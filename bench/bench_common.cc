@@ -1,0 +1,98 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace siwi::bench {
+
+Cell
+runCell(const workloads::Workload &wl, const pipeline::SMConfig &cfg)
+{
+    workloads::RunResult res = workloads::runWorkload(
+        wl, cfg, workloads::SizeClass::Full);
+    Cell c;
+    c.stats = res.stats;
+    c.ipc = res.stats.ipc();
+    c.verified = res.verified;
+    if (!res.verified) {
+        std::fprintf(stderr,
+                     "VERIFICATION FAILED: %s on %s: %s\n",
+                     wl.name(), pipelineModeName(cfg.mode),
+                     res.verify_msg.c_str());
+    }
+    return c;
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / double(v.size()));
+}
+
+namespace {
+
+void
+printTable(const std::vector<const workloads::Workload *> &wls,
+           const std::vector<std::string> &col_names,
+           const std::vector<std::vector<double>> &cols,
+           const char *fmt)
+{
+    std::printf("%-22s", "");
+    for (const std::string &n : col_names)
+        std::printf("%12s", n.c_str());
+    std::printf("\n");
+
+    for (size_t r = 0; r < wls.size(); ++r) {
+        std::printf("%-22s", wls[r]->name());
+        for (const auto &col : cols)
+            std::printf(fmt, col[r]);
+        std::printf("\n");
+    }
+
+    // Geomean over non-excluded workloads (paper: TMD not counted).
+    std::printf("%-22s", "Gmean");
+    for (const auto &col : cols) {
+        std::vector<double> vals;
+        for (size_t r = 0; r < wls.size(); ++r) {
+            if (!wls[r]->excludedFromMeans())
+                vals.push_back(col[r]);
+        }
+        std::printf(fmt, geomean(vals));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+void
+printIpcTable(const std::vector<const workloads::Workload *> &wls,
+              const std::vector<std::string> &col_names,
+              const std::vector<std::vector<double>> &cols)
+{
+    printTable(wls, col_names, cols, "%12.2f");
+}
+
+void
+printRatioTable(const std::vector<const workloads::Workload *> &wls,
+                const std::vector<std::string> &col_names,
+                const std::vector<std::vector<double>> &cols)
+{
+    printTable(wls, col_names, cols, "%12.3f");
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+} // namespace siwi::bench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction benches.
+ */
+
+#ifndef SIWI_BENCH_BENCH_COMMON_HH
+#define SIWI_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/siwi.hh"
+
+namespace siwi::bench {
+
+/** Result of one (workload, configuration) run. */
+struct Cell
+{
+    double ipc = 0.0;
+    core::SimStats stats;
+    bool verified = false;
+};
+
+/** Run one workload on one configuration at Full size. */
+Cell runCell(const workloads::Workload &wl,
+             const pipeline::SMConfig &cfg);
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &v);
+
+/**
+ * Print a table: rows = workloads, columns = labeled
+ * configurations, values = IPC (plus a geomean row honoring the
+ * paper's TMD exclusion).
+ */
+void printIpcTable(
+    const std::vector<const workloads::Workload *> &wls,
+    const std::vector<std::string> &col_names,
+    const std::vector<std::vector<double>> &cols);
+
+/**
+ * Print a ratio table (e.g. speedup vs a reference column).
+ */
+void printRatioTable(
+    const std::vector<const workloads::Workload *> &wls,
+    const std::vector<std::string> &col_names,
+    const std::vector<std::vector<double>> &cols);
+
+/** True when the argument list contains the flag. */
+bool hasFlag(int argc, char **argv, const std::string &flag);
+
+} // namespace siwi::bench
+
+#endif // SIWI_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 7 reproduction: IPC of the regular (7a) and irregular (7b)
+ * workloads under Baseline, SBI, SWI, SBI+SWI and the 64-wide
+ * thread-frontier reference.
+ *
+ * Flags:
+ *   --regular / --irregular  restrict to one sub-figure
+ *   --ablate-sbi-fallback    add an SBI column without the
+ *                            secondary-front-end fallback
+ *                            (DESIGN.md interpretation note)
+ *   --no-mem-splits          disable DWS-style memory splits
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace siwi;
+using namespace siwi::bench;
+using pipeline::PipelineMode;
+using pipeline::SMConfig;
+
+namespace {
+
+void
+runSet(const std::vector<const workloads::Workload *> &wls,
+       const char *title, bool ablate_fallback, bool no_mem_splits)
+{
+    std::vector<std::string> names = {"Baseline", "SBI", "SWI",
+                                      "SBI+SWI", "Warp64"};
+    std::vector<SMConfig> cfgs = {
+        SMConfig::make(PipelineMode::Baseline),
+        SMConfig::make(PipelineMode::SBI),
+        SMConfig::make(PipelineMode::SWI),
+        SMConfig::make(PipelineMode::SBISWI),
+        SMConfig::make(PipelineMode::Warp64),
+    };
+    if (ablate_fallback) {
+        SMConfig c = SMConfig::make(PipelineMode::SBI);
+        c.sbi_secondary_fallback = false;
+        names.push_back("SBI-nofb");
+        cfgs.push_back(c);
+    }
+    if (no_mem_splits) {
+        for (SMConfig &c : cfgs)
+            c.split_on_memory_divergence = false;
+    }
+
+    std::vector<std::vector<double>> cols(cfgs.size());
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        for (const workloads::Workload *wl : wls)
+            cols[c].push_back(runCell(*wl, cfgs[c]).ipc);
+    }
+
+    std::printf("\n=== Figure 7: %s applications (IPC) ===\n",
+                title);
+    printIpcTable(wls, names, cols);
+
+    // Speedups vs baseline, the paper's headline numbers.
+    std::printf("\n--- speedup vs Baseline (gmean, TMD excluded) "
+                "---\n");
+    std::vector<double> base;
+    for (size_t r = 0; r < wls.size(); ++r) {
+        if (!wls[r]->excludedFromMeans())
+            base.push_back(cols[0][r]);
+    }
+    double base_gm = geomean(base);
+    for (size_t c = 1; c < cfgs.size(); ++c) {
+        std::vector<double> vals;
+        for (size_t r = 0; r < wls.size(); ++r) {
+            if (!wls[r]->excludedFromMeans())
+                vals.push_back(cols[c][r]);
+        }
+        std::printf("  %-10s %+6.1f%%\n", names[c].c_str(),
+                    100.0 * (geomean(vals) / base_gm - 1.0));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool regular = hasFlag(argc, argv, "--regular");
+    bool irregular = hasFlag(argc, argv, "--irregular");
+    bool ablate = hasFlag(argc, argv, "--ablate-sbi-fallback");
+    bool no_splits = hasFlag(argc, argv, "--no-mem-splits");
+    if (!regular && !irregular)
+        regular = irregular = true;
+
+    std::printf("Reproduction of Figure 7 (Brunie, Collange, "
+                "Diamos, ISCA 2012)\n");
+    std::printf("Paper reference gmean speedups vs baseline:\n"
+                "  regular:   SBI +15%%, SWI +25%%, SBI+SWI +23%%\n"
+                "  irregular: SBI +41%%, SWI +33%%, SBI+SWI "
+                "+40%%\n");
+
+    if (regular) {
+        runSet(workloads::regularWorkloads(), "regular", ablate,
+               no_splits);
+    }
+    if (irregular) {
+        runSet(workloads::irregularWorkloads(), "irregular", ablate,
+               no_splits);
+    }
+    return 0;
+}

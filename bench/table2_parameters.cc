@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 2 reproduction: micro-architecture parameters of each
+ * simulated configuration.
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+using pipeline::PipelineMode;
+using pipeline::SMConfig;
+
+int
+main()
+{
+    std::printf("Reproduction of Table 2: micro-architecture "
+                "parameters\n");
+    for (PipelineMode m :
+         {PipelineMode::Baseline, PipelineMode::Warp64,
+          PipelineMode::SBI, PipelineMode::SWI,
+          PipelineMode::SBISWI}) {
+        SMConfig c = SMConfig::make(m);
+        std::printf("\n### %s\n%s", pipelineModeName(m),
+                    c.summary().c_str());
+    }
+    std::printf("\nPaper Table 2 reference:\n"
+                "  Baseline: 32x32 warps, sched 1cyc, delivery "
+                "0cyc\n"
+                "  SBI: 16x64, sched 1cyc, delivery 1cyc\n"
+                "  SWI: 16x64, sched 2cyc, delivery 1cyc\n"
+                "  common: 1GHz, exec 8cyc, scoreboard 6/warp, L1 "
+                "48K 6-way 128B 3cyc, mem 10GB/s 330ns\n");
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 3 reproduction: storage requirements of each technique.
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+
+int
+main()
+{
+    std::printf("Reproduction of Table 3: hardware requirements "
+                "per configuration\n(1536-thread SM geometry, as "
+                "in the paper's area study)\n\n");
+    std::printf("%s", core::formatInventoryTable().c_str());
+    std::printf("\nPaper Table 3 reference geometries:\n"
+                "  Scoreboard:    2x24x48 | 24x144 | 2x24x48 | "
+                "24x288 bits\n"
+                "  Warp pool/HCT: 2x24x64 | 24x201 | 24x104  | "
+                "24x201 banked\n"
+                "  Stack/CCT:     144x256 | 128x104 x3\n"
+                "  Insn buffer:   48x64 | 48x64 | 24x64 dual | "
+                "48x64 dual\n");
+    return 0;
+}

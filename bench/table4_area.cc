@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 4 reproduction: area of each front-end component and the
+ * total overhead relative to a 15.6 mm^2 Fermi SM (40 nm).
+ *
+ * The per-bit densities are calibrated against the paper's RTL
+ * synthesis (see core/area_model.hh and DESIGN.md substitutions);
+ * the inventory geometry and all arithmetic are modeled.
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+
+int
+main()
+{
+    std::printf("Reproduction of Table 4: area of each component "
+                "(x1000 um^2, 40nm)\n\n");
+    core::AreaModel model;
+    std::printf("%s", model.formatTable().c_str());
+    std::printf("\nPaper Table 4 reference:\n"
+                "  Totals: 791.6 | 1258 | 1243 | 1365.6\n"
+                "  Overheads: - | 466.4 | 451.4 | 574\n"
+                "  %% of SM:  - | 3.0 | 2.9 | 3.7\n");
+    return 0;
+}

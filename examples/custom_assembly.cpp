@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Authoring kernels in assembly text: assemble a hand-written
+ * reduction kernel, compile it, run it, and read back the result.
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+
+namespace {
+
+// Per-thread serial reduction over a strided slice, then a store;
+// data-dependent early exit shows conditional branches in assembly.
+const char *source = R"(
+.kernel strided_sum
+    s2r r0, %gtid
+    s2r r1, %nctaid
+    ; base address of this thread's slice
+    shl r2, r0, #4        ; 4 words per thread
+    shl r2, r2, #2
+    iadd r2, r2, #0x10000
+    movi r3, #0           ; accumulator
+    movi r4, #0           ; i = 0
+top:
+    ld r5, [r2]
+    iadd r3, r3, r5
+    ; early exit when a zero sentinel is found
+    bz r5, store
+    iadd r2, r2, #4
+    iadd r4, r4, #1
+    isetlt r6, r4, #16
+    bnz r6, top
+store:
+    shl r7, r0, #2
+    iadd r7, r7, #0x40000
+    st [r7+0], r3
+    exit
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto asm_result = isa::assemble(source);
+    if (!asm_result.ok()) {
+        std::fprintf(stderr, "assembly error: %s\n",
+                     asm_result.error.c_str());
+        return 1;
+    }
+    core::Kernel kernel = core::Kernel::compile(asm_result.program);
+    std::printf("assembled + compiled %s: %u instructions, "
+                "%u sync points\n",
+                kernel.name().c_str(), kernel.program().size(),
+                kernel.syncStats().sync_points);
+
+    const unsigned threads = 256;
+    core::Gpu gpu(
+        pipeline::SMConfig::make(pipeline::PipelineMode::SBI));
+    Rng rng(3);
+    std::vector<u32> expected(threads, 0);
+    for (unsigned t = 0; t < threads; ++t) {
+        bool cut = false;
+        for (unsigned i = 0; i < 16; ++i) {
+            // Sprinkle zero sentinels to trigger the early exit.
+            u32 v = rng.below(10) == 0 ? 0 : u32(rng.below(100));
+            gpu.memory().write32(0x10000 + Addr(t * 16 + i) * 4, v);
+            if (!cut) {
+                expected[t] += v;
+                if (v == 0)
+                    cut = true;
+            }
+        }
+    }
+
+    core::LaunchConfig lc;
+    lc.grid_blocks = 1;
+    lc.block_threads = threads;
+    core::SimStats st = gpu.launch(kernel, lc);
+
+    unsigned bad = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        if (gpu.memory().read32(0x40000 + Addr(t) * 4) !=
+            expected[t])
+            ++bad;
+    }
+    std::printf("ran %llu cycles, IPC %.1f, %llu divergences; "
+                "%u/%u results correct\n",
+                (unsigned long long)st.cycles, st.ipc(),
+                (unsigned long long)st.branch_divergences,
+                threads - bad, threads);
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Mandelbrot on the simulated GPU, rendered as ASCII art.
+ *
+ * Demonstrates escape-time divergence: threads in the set iterate
+ * to the cap, neighbors escape early. Also shows the paper's
+ * observation that the per-row block barrier prevents warp-splits
+ * from running ahead across rows (compare split counts with the
+ * barrier removed).
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+using pipeline::PipelineMode;
+
+namespace {
+
+constexpr unsigned width = 96;
+constexpr unsigned rows = 24;
+constexpr unsigned max_iter = 24;
+constexpr Addr out = 0x400000;
+
+isa::Program
+mandelKernel(bool with_barrier)
+{
+    isa::KernelBuilder b("mandel");
+    using isa::Imm;
+    isa::Reg tid = b.reg(), cre = b.reg(), t = b.reg();
+    b.s2r(tid, isa::SpecialReg::TID);
+    b.i2f(cre, tid);
+    b.fmovi(t, 3.2f / float(width));
+    b.fmul(cre, cre, t);
+    b.fmovi(t, -2.3f);
+    b.fadd(cre, cre, t);
+
+    isa::Reg row = b.reg(), rcond = b.reg();
+    b.movi(row, 0);
+    b.loop();
+    {
+        isa::Reg cim = b.reg();
+        b.i2f(cim, row);
+        b.fmovi(t, 2.2f / float(rows));
+        b.fmul(cim, cim, t);
+        b.fmovi(t, -1.1f);
+        b.fadd(cim, cim, t);
+
+        isa::Reg zr = b.reg(), zi = b.reg(), it = b.reg(),
+                 icond = b.reg(), zr2 = b.reg(), zi2 = b.reg(),
+                 mag = b.reg(), esc = b.reg(), tmp = b.reg(),
+                 four = b.reg(), two = b.reg();
+        b.fmovi(zr, 0.0f);
+        b.fmovi(zi, 0.0f);
+        b.fmovi(four, 4.0f);
+        b.fmovi(two, 2.0f);
+        b.movi(it, 0);
+        b.loop();
+        {
+            b.fmul(zr2, zr, zr);
+            b.fmul(zi2, zi, zi);
+            b.fadd(mag, zr2, zi2);
+            b.fsetgt(esc, mag, four);
+            b.breakIf(esc);
+            b.fmul(tmp, zr, zi);
+            b.fsub(zr, zr2, zi2);
+            b.fadd(zr, zr, cre);
+            b.fmad(zi, tmp, two, cim);
+            b.iadd(it, it, Imm(1));
+            b.isetlt(icond, it, Imm(i32(max_iter)));
+        }
+        b.endLoopIf(icond);
+
+        isa::Reg idx = b.reg(), oaddr = b.reg();
+        b.imul(idx, row, Imm(i32(width)));
+        b.iadd(idx, idx, tid);
+        b.shl(oaddr, idx, Imm(2));
+        b.iadd(oaddr, oaddr, Imm(i32(out)));
+        b.st(oaddr, 0, it);
+        if (with_barrier)
+            b.bar();
+        b.iadd(row, row, Imm(1));
+        b.isetlt(rcond, row, Imm(i32(rows)));
+    }
+    b.endLoopIf(rcond);
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Gpu gpu(pipeline::SMConfig::make(PipelineMode::SBISWI));
+    core::Kernel k = core::Kernel::compile(mandelKernel(true));
+    core::LaunchConfig lc;
+    lc.grid_blocks = 1;
+    lc.block_threads = width;
+    core::SimStats st = gpu.launch(k, lc);
+
+    const char *shades = " .:-=+*#%@";
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned x = 0; x < width; ++x) {
+            u32 it = gpu.memory().read32(
+                out + Addr(r * width + x) * 4);
+            unsigned shade = it * 9 / max_iter;
+            std::putchar(it >= max_iter ? '@' : shades[shade]);
+        }
+        std::putchar('\n');
+    }
+    std::printf("\nSBI+SWI: %llu cycles, IPC %.1f, %llu warp "
+                "splits, %llu merges, %llu barrier releases\n",
+                (unsigned long long)st.cycles, st.ipc(),
+                (unsigned long long)st.warp_splits,
+                (unsigned long long)st.merges,
+                (unsigned long long)st.barrier_releases);
+
+    // The paper notes Mandelbrot's block barrier keeps warp-splits
+    // from running ahead across rows; compare without it.
+    core::Gpu gpu2(pipeline::SMConfig::make(PipelineMode::SBISWI));
+    core::Kernel k2 = core::Kernel::compile(mandelKernel(false));
+    core::SimStats st2 = gpu2.launch(k2, lc);
+    std::printf("without the row barrier: %llu cycles, IPC %.1f, "
+                "%llu splits\n",
+                (unsigned long long)st2.cycles, st2.ipc(),
+                (unsigned long long)st2.warp_splits);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: build a kernel with the KernelBuilder, compile it,
+ * run it on two SM configurations, verify the result, and compare
+ * performance.
+ *
+ * The kernel is a divergent SAXPY: odd threads scale by 2a, even
+ * threads by a -- a balanced if/else that SBI accelerates.
+ */
+
+#include <cstdio>
+
+#include "core/siwi.hh"
+
+using namespace siwi;
+
+int
+main()
+{
+    // ---- 1. Author a kernel ------------------------------------
+    isa::KernelBuilder b("divergent_saxpy");
+    isa::Reg gtid = b.reg(), x = b.reg(), y = b.reg(),
+             a = b.reg(), odd = b.reg(), xa = b.reg(),
+             ya = b.reg();
+    b.s2r(gtid, isa::SpecialReg::GTID);
+    b.shl(xa, gtid, isa::Imm(2));
+    b.iadd(ya, xa, isa::Imm(0x20000));
+    b.iadd(xa, xa, isa::Imm(0x10000));
+    b.ld(x, xa);
+    b.ld(y, ya);
+    b.and_(odd, gtid, isa::Imm(1));
+    b.fmovi(a, 1.5f);
+    b.if_(odd);
+    {
+        b.fadd(a, a, a); // odd threads: 2a
+        b.fmad(y, a, x, y);
+    }
+    b.else_();
+    {
+        b.fmad(y, a, x, y);
+    }
+    b.endIf();
+    b.st(ya, 0, y);
+
+    // ---- 2. Compile (thread-frontier layout + SYNC markers) ----
+    core::Kernel kernel = core::Kernel::compile(b.build());
+    std::printf("compiled %u instructions, %u sync points\n\n%s\n",
+                kernel.program().size(),
+                kernel.syncStats().sync_points,
+                kernel.program().disassemble().c_str());
+
+    // ---- 3. Run on the baseline and on SBI+SWI -----------------
+    const unsigned n = 4096;
+    for (auto mode : {pipeline::PipelineMode::Baseline,
+                      pipeline::PipelineMode::SBISWI}) {
+        core::Gpu gpu(pipeline::SMConfig::make(mode));
+        for (unsigned i = 0; i < n; ++i) {
+            gpu.memory().writeF32(0x10000 + Addr(i) * 4, float(i));
+            gpu.memory().writeF32(0x20000 + Addr(i) * 4, 1.0f);
+        }
+        core::LaunchConfig lc;
+        lc.grid_blocks = n / 1024;
+        lc.block_threads = 1024;
+        core::SimStats st = gpu.launch(kernel, lc);
+
+        // ---- 4. Verify ------------------------------------------
+        unsigned errors = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            float af = (i & 1) ? 3.0f : 1.5f;
+            float want = af * float(i) + 1.0f;
+            float got = gpu.memory().readF32(0x20000 + Addr(i) * 4);
+            if (want != got)
+                ++errors;
+        }
+        std::printf("%-9s: %6llu cycles, IPC %5.1f, verified: %s\n",
+                    pipeline::pipelineModeName(mode),
+                    (unsigned long long)st.cycles, st.ipc(),
+                    errors == 0 ? "yes" : "NO");
+    }
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "cfg/basic_block.hh"
+
+#include <sstream>
+
+namespace siwi::cfg {
+
+bool
+BasicBlock::isExit() const
+{
+    return !insts.empty() && insts.back().op == isa::Opcode::EXIT;
+}
+
+std::vector<u32>
+BasicBlock::succs() const
+{
+    std::vector<u32> out;
+    if (taken != no_block)
+        out.push_back(taken);
+    if (fall != no_block && fall != taken)
+        out.push_back(fall);
+    return out;
+}
+
+std::string
+BasicBlock::toString() const
+{
+    std::ostringstream os;
+    os << "B" << id << "(" << insts.size() << " insts";
+    if (taken != no_block)
+        os << ", taken=B" << taken;
+    if (fall != no_block)
+        os << ", fall=B" << fall;
+    os << ")";
+    return os.str();
+}
+
+} // namespace siwi::cfg

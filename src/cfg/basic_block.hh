@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Basic block representation used by the kernel compiler passes.
+ */
+
+#ifndef SIWI_CFG_BASIC_BLOCK_HH
+#define SIWI_CFG_BASIC_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace siwi::cfg {
+
+/** Sentinel for "no block". */
+constexpr u32 no_block = 0xffffffffu;
+
+/**
+ * One basic block of a kernel CFG.
+ *
+ * While a program is in CFG form, the control-flow operands of its
+ * instructions (branch @c target, @c reconv, SYNC @c div) hold BLOCK
+ * IDS, not PCs; Cfg::linearize() translates them back to PCs.
+ */
+struct BasicBlock
+{
+    u32 id = no_block;
+
+    /** Instructions, including a trailing branch/EXIT terminator. */
+    std::vector<isa::Instruction> insts;
+
+    /** Taken successor of a trailing branch (block id). */
+    u32 taken = no_block;
+
+    /** Fall-through successor (block id). */
+    u32 fall = no_block;
+
+    /** Predecessor block ids. */
+    std::vector<u32> preds;
+
+    /** First PC of the block in the source program (informational). */
+    Pc orig_pc = invalid_pc;
+
+    /** True when the block ends the kernel (EXIT terminator). */
+    bool isExit() const;
+
+    /** Successors in a flat list (taken first). */
+    std::vector<u32> succs() const;
+
+    /** One-line summary for debugging. */
+    std::string toString() const;
+};
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_BASIC_BLOCK_HH

@@ -1,0 +1,209 @@
+#include "cfg/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace siwi::cfg {
+
+using isa::Instruction;
+using isa::Opcode;
+
+const BasicBlock &
+Cfg::block(u32 id) const
+{
+    siwi_assert(id < blocks_.size(), "block id out of range");
+    return blocks_[id];
+}
+
+BasicBlock &
+Cfg::block(u32 id)
+{
+    siwi_assert(id < blocks_.size(), "block id out of range");
+    return blocks_[id];
+}
+
+Cfg
+Cfg::fromProgram(const isa::Program &prog)
+{
+    siwi_assert(!prog.empty(), "empty program");
+
+    // Leaders: entry, branch targets, instructions following a
+    // terminator (branch or EXIT).
+    std::set<Pc> leaders;
+    leaders.insert(0);
+    for (Pc pc = 0; pc < prog.size(); ++pc) {
+        const Instruction &inst = prog.at(pc);
+        if (isa::isBranch(inst.op)) {
+            leaders.insert(inst.target);
+            if (pc + 1 < prog.size())
+                leaders.insert(pc + 1);
+        } else if (inst.op == Opcode::EXIT) {
+            if (pc + 1 < prog.size())
+                leaders.insert(pc + 1);
+        }
+    }
+
+    Cfg cfg;
+    cfg.name_ = prog.name();
+    std::map<Pc, u32> block_of_pc; // leader pc -> block id
+    for (Pc leader : leaders) {
+        u32 id = u32(cfg.blocks_.size());
+        cfg.blocks_.push_back(BasicBlock{});
+        cfg.blocks_.back().id = id;
+        cfg.blocks_.back().orig_pc = leader;
+        block_of_pc[leader] = id;
+    }
+
+    // Fill instructions and edges.
+    auto leader_it = leaders.begin();
+    for (u32 b = 0; b < cfg.numBlocks(); ++b, ++leader_it) {
+        Pc start = *leader_it;
+        auto next_it = std::next(leader_it);
+        Pc end = next_it == leaders.end() ? prog.size() : *next_it;
+        BasicBlock &bb = cfg.blocks_[b];
+        for (Pc pc = start; pc < end; ++pc)
+            bb.insts.push_back(prog.at(pc));
+
+        Instruction &last = bb.insts.back();
+        if (isa::isBranch(last.op)) {
+            bb.taken = block_of_pc.at(last.target);
+            last.target = bb.taken; // block-id form
+            if (isa::isCondBranch(last.op) && end < prog.size())
+                bb.fall = block_of_pc.at(end);
+            // Translate a pre-existing reconvergence annotation.
+            if (isa::isCondBranch(last.op) &&
+                last.reconv != invalid_pc) {
+                auto it = block_of_pc.find(last.reconv);
+                last.reconv =
+                    it == block_of_pc.end() ? no_block : it->second;
+            }
+        } else if (last.op != Opcode::EXIT) {
+            siwi_assert(end < prog.size(),
+                        "program falls off the end");
+            bb.fall = block_of_pc.at(end);
+        }
+        // Translate SYNC payloads (pc -> owning block id).
+        for (Instruction &inst : bb.insts) {
+            if (inst.op == Opcode::SYNC && inst.div != invalid_pc) {
+                auto it = block_of_pc.upper_bound(inst.div);
+                siwi_assert(it != block_of_pc.begin(),
+                            "sync payload before entry");
+                inst.div = std::prev(it)->second;
+            }
+        }
+    }
+
+    cfg.recomputePreds();
+    return cfg;
+}
+
+void
+Cfg::recomputePreds()
+{
+    for (BasicBlock &bb : blocks_)
+        bb.preds.clear();
+    for (BasicBlock &bb : blocks_) {
+        for (u32 s : bb.succs())
+            blocks_[s].preds.push_back(bb.id);
+    }
+}
+
+isa::Program
+Cfg::linearize(const std::vector<u32> &order) const
+{
+    siwi_assert(!order.empty() && order.front() == 0,
+                "linearize order must start at entry");
+
+    // Decide, per placed block, whether a fall-through BRA must be
+    // appended because its fall successor is not physically next.
+    std::vector<bool> needs_bra(order.size(), false);
+    for (size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = block(order[i]);
+        u32 next = i + 1 < order.size() ? order[i + 1] : no_block;
+        if (bb.fall != no_block && bb.fall != next)
+            needs_bra[i] = true;
+        if (bb.fall == no_block && bb.taken == no_block &&
+            !bb.isExit()) {
+            panic("block B", bb.id, " has no terminator");
+        }
+    }
+
+    // First pass: start PC of every block.
+    std::vector<Pc> start_pc(numBlocks(), invalid_pc);
+    Pc pc = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        start_pc[order[i]] = pc;
+        pc += Pc(block(order[i]).insts.size());
+        if (needs_bra[i])
+            ++pc;
+    }
+
+    // Last PC of every placed block (used for SYNC payloads, which
+    // point at "the last instruction of the immediate dominator" --
+    // including a fall-through BRA if one got inserted).
+    std::vector<Pc> last_pc(numBlocks(), invalid_pc);
+    for (size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = block(order[i]);
+        Pc sz = Pc(bb.insts.size()) + (needs_bra[i] ? 1 : 0);
+        last_pc[order[i]] = start_pc[order[i]] + sz - 1;
+    }
+
+    // Second pass: emit, translating block ids to PCs.
+    isa::Program out(name_);
+    for (size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock &bb = block(order[i]);
+        for (const Instruction &src : bb.insts) {
+            Instruction inst = src;
+            if (isa::isBranch(inst.op)) {
+                siwi_assert(inst.target < numBlocks() &&
+                            start_pc[inst.target] != invalid_pc,
+                            "branch to unplaced block");
+                inst.target = start_pc[inst.target];
+                if (isa::isCondBranch(inst.op) &&
+                    inst.reconv != invalid_pc &&
+                    inst.reconv != no_block) {
+                    inst.reconv = start_pc[inst.reconv];
+                } else {
+                    inst.reconv = invalid_pc;
+                }
+            }
+            if (inst.op == Opcode::SYNC) {
+                if (inst.div != invalid_pc && inst.div != no_block) {
+                    siwi_assert(last_pc[inst.div] != invalid_pc,
+                                "sync payload block unplaced");
+                    inst.div = last_pc[inst.div];
+                } else {
+                    inst.div = invalid_pc;
+                }
+            }
+            out.push(inst);
+        }
+        if (needs_bra[i]) {
+            Instruction bra;
+            bra.op = Opcode::BRA;
+            bra.target = start_pc[bb.fall];
+            out.push(bra);
+        }
+    }
+    return out;
+}
+
+std::string
+Cfg::toString() const
+{
+    std::ostringstream os;
+    os << "cfg " << name_ << " (" << numBlocks() << " blocks)\n";
+    for (const BasicBlock &bb : blocks_) {
+        os << "  " << bb.toString() << " preds={";
+        for (size_t i = 0; i < bb.preds.size(); ++i)
+            os << (i ? "," : "") << "B" << bb.preds[i];
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace siwi::cfg

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Control-flow graph construction and re-linearization.
+ */
+
+#ifndef SIWI_CFG_CFG_HH
+#define SIWI_CFG_CFG_HH
+
+#include <string>
+#include <vector>
+
+#include "cfg/basic_block.hh"
+#include "isa/program.hh"
+
+namespace siwi::cfg {
+
+/**
+ * Control-flow graph of a kernel.
+ *
+ * Built from a linear Program; passes mutate the blocks; linearize()
+ * re-emits a Program in a chosen block order, inserting fall-through
+ * BRAs where the order breaks adjacency and translating block-id
+ * control operands back into PCs.
+ */
+class Cfg
+{
+  public:
+    /** Build the CFG of @p prog. Entry is block 0. */
+    static Cfg fromProgram(const isa::Program &prog);
+
+    u32 numBlocks() const { return u32(blocks_.size()); }
+    const BasicBlock &block(u32 id) const;
+    BasicBlock &block(u32 id);
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Recompute every block's predecessor list from the edges. */
+    void recomputePreds();
+
+    /**
+     * Emit the program with blocks in @p order (which must contain
+     * every reachable block exactly once, entry first).
+     */
+    isa::Program linearize(const std::vector<u32> &order) const;
+
+    /** Multi-line dump for debugging and golden tests. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_CFG_HH

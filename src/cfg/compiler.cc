@@ -1,0 +1,28 @@
+#include "cfg/compiler.hh"
+
+#include "common/log.hh"
+
+namespace siwi::cfg {
+
+CompiledKernel
+compileKernel(const isa::Program &raw, const CompileOptions &opts)
+{
+    std::string err = raw.validate();
+    siwi_assert(err.empty(), "compileKernel: invalid input: ", err);
+
+    Cfg cfg = Cfg::fromProgram(raw);
+
+    CompiledKernel out;
+    if (opts.insert_sync)
+        out.sync = insertSyncMarkers(cfg);
+
+    std::vector<u32> order = layoutOrder(cfg, opts.layout);
+    out.program = cfg.linearize(order);
+    out.layout_violations = countLayoutViolations(out.program);
+
+    err = out.program.validate();
+    siwi_assert(err.empty(), "compileKernel: invalid output: ", err);
+    return out;
+}
+
+} // namespace siwi::cfg

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Kernel compilation driver: CFG build, thread-frontier layout, and
+ * reconvergence marker insertion, producing an executable Program.
+ */
+
+#ifndef SIWI_CFG_COMPILER_HH
+#define SIWI_CFG_COMPILER_HH
+
+#include "cfg/layout.hh"
+#include "cfg/sync_insertion.hh"
+#include "isa/program.hh"
+
+namespace siwi::cfg {
+
+/** Options controlling kernel compilation. */
+struct CompileOptions
+{
+    LayoutMode layout = LayoutMode::ThreadFrontier;
+    /** Insert SYNC markers and reconvergence annotations. */
+    bool insert_sync = true;
+};
+
+/** A compiled kernel with compilation diagnostics. */
+struct CompiledKernel
+{
+    isa::Program program;
+    SyncStats sync;
+    /** Thread-frontier violations remaining after layout. */
+    unsigned layout_violations = 0;
+};
+
+/**
+ * Compile a raw (builder- or assembler-produced) program into its
+ * executable form: blocks laid out per @p opts, SYNC markers at
+ * reconvergence points, conditional branches annotated with their
+ * reconvergence PC (consumed by the baseline divergence stack).
+ */
+CompiledKernel compileKernel(const isa::Program &raw,
+                             const CompileOptions &opts = {});
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_COMPILER_HH

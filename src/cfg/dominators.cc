@@ -1,0 +1,163 @@
+#include "cfg/dominators.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace siwi::cfg {
+
+namespace {
+
+/** Iterative DFS producing a reverse post-order over @p succs. */
+std::vector<u32>
+reversePostOrder(u32 n, u32 root,
+                 const std::vector<std::vector<u32>> &succs)
+{
+    std::vector<u32> postorder;
+    std::vector<u8> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    // Explicit stack of (node, next-succ-index).
+    std::vector<std::pair<u32, size_t>> stack;
+    stack.push_back({root, 0});
+    state[root] = 1;
+    while (!stack.empty()) {
+        auto &[node, idx] = stack.back();
+        if (idx < succs[node].size()) {
+            u32 s = succs[node][idx++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[node] = 2;
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+    return postorder;
+}
+
+} // namespace
+
+std::vector<u32>
+DominatorTree::solve(u32 n, u32 root,
+                     const std::vector<std::vector<u32>> &preds,
+                     const std::vector<std::vector<u32>> &succs)
+{
+    std::vector<u32> rpo = reversePostOrder(n, root, succs);
+    std::vector<u32> rpo_num(n, no_block);
+    for (u32 i = 0; i < rpo.size(); ++i)
+        rpo_num[rpo[i]] = i;
+
+    std::vector<u32> idom(n, no_block);
+    idom[root] = root;
+
+    auto intersect = [&](u32 a, u32 b) {
+        while (a != b) {
+            while (rpo_num[a] > rpo_num[b])
+                a = idom[a];
+            while (rpo_num[b] > rpo_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 b : rpo) {
+            if (b == root)
+                continue;
+            u32 new_idom = no_block;
+            for (u32 p : preds[b]) {
+                if (rpo_num[p] == no_block || idom[p] == no_block)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == no_block
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != no_block && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+DominatorTree
+DominatorTree::dominators(const Cfg &cfg)
+{
+    u32 n = cfg.numBlocks();
+    std::vector<std::vector<u32>> preds(n), succs(n);
+    for (u32 b = 0; b < n; ++b) {
+        preds[b] = cfg.block(b).preds;
+        succs[b] = cfg.block(b).succs();
+    }
+    DominatorTree t;
+    t.root_ = 0;
+    t.idom_ = solve(n, 0, preds, succs);
+    t.idom_[0] = no_block; // root has no idom externally
+    return t;
+}
+
+DominatorTree
+DominatorTree::postDominators(const Cfg &cfg)
+{
+    u32 n = cfg.numBlocks();
+    u32 vexit = n; // virtual exit node
+    std::vector<std::vector<u32>> preds(n + 1), succs(n + 1);
+    // Reverse graph: succ(reverse) = preds(forward), plus edges from
+    // the virtual exit to every EXIT block.
+    for (u32 b = 0; b < n; ++b) {
+        preds[b] = cfg.block(b).succs(); // reverse preds
+        succs[b] = cfg.block(b).preds;   // reverse succs
+        if (cfg.block(b).isExit()) {
+            succs[vexit].push_back(b);
+            preds[b].push_back(vexit);
+        }
+    }
+    DominatorTree t;
+    t.root_ = vexit;
+    t.virtual_exit_ = vexit;
+    t.idom_ = solve(n + 1, vexit, preds, succs);
+    // Blocks whose ipdom is the virtual exit have no real ipdom.
+    for (u32 b = 0; b < n; ++b) {
+        if (t.idom_[b] == vexit)
+            t.idom_[b] = no_block;
+    }
+    t.idom_[vexit] = no_block;
+    return t;
+}
+
+u32
+DominatorTree::idom(u32 b) const
+{
+    siwi_assert(b < idom_.size(), "block out of range");
+    return idom_[b];
+}
+
+bool
+DominatorTree::dominates(u32 a, u32 b) const
+{
+    if (!reachable(b))
+        return false;
+    u32 cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        u32 up = idom_[cur];
+        if (up == no_block || up == cur)
+            return false;
+        cur = up;
+    }
+}
+
+bool
+DominatorTree::reachable(u32 b) const
+{
+    siwi_assert(b < idom_.size(), "block out of range");
+    return b == root_ || idom_[b] != no_block;
+}
+
+} // namespace siwi::cfg

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dominator and post-dominator trees (Cooper-Harvey-Kennedy).
+ *
+ * Sync-instruction insertion (section 3.3 of the paper) needs both:
+ * the reconvergence point of a divergent branch is its immediate
+ * post-dominator, and the SYNC payload PCdiv is the last instruction
+ * of the immediate dominator of that reconvergence point.
+ */
+
+#ifndef SIWI_CFG_DOMINATORS_HH
+#define SIWI_CFG_DOMINATORS_HH
+
+#include <vector>
+
+#include "cfg/cfg.hh"
+
+namespace siwi::cfg {
+
+/**
+ * Dominator tree over a Cfg, in either direction.
+ *
+ * Forward direction: classic dominators rooted at the entry block.
+ * Reverse direction: post-dominators, rooted at a virtual exit that
+ * every EXIT-terminated block feeds.
+ */
+class DominatorTree
+{
+  public:
+    /** Compute the (forward) dominator tree. */
+    static DominatorTree dominators(const Cfg &cfg);
+
+    /** Compute the post-dominator tree. */
+    static DominatorTree postDominators(const Cfg &cfg);
+
+    /**
+     * Immediate (post-)dominator of @p b; no_block for the root,
+     * unreachable blocks, and (in the reverse tree) blocks that
+     * cannot reach an exit.
+     */
+    u32 idom(u32 b) const;
+
+    /** True when @p a (post-)dominates @p b (reflexive). */
+    bool dominates(u32 a, u32 b) const;
+
+    /** True when @p b was reachable during the computation. */
+    bool reachable(u32 b) const;
+
+  private:
+    DominatorTree() = default;
+
+    /**
+     * Generic CHK solver over an abstract graph with nodes
+     * [0, n), root @p root, and predecessor lists @p preds.
+     */
+    static std::vector<u32> solve(
+        u32 n, u32 root,
+        const std::vector<std::vector<u32>> &preds,
+        const std::vector<std::vector<u32>> &succs);
+
+    std::vector<u32> idom_;  //!< per block; no_block when undefined
+    u32 root_ = no_block;
+    u32 virtual_exit_ = no_block; //!< only set for post-dominators
+};
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_DOMINATORS_HH

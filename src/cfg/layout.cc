@@ -1,0 +1,97 @@
+#include "cfg/layout.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace siwi::cfg {
+
+namespace {
+
+/**
+ * Reverse post-order over the CFG. Successors are visited
+ * fall-through first so that a branch's not-taken path (usually the
+ * 'then' block, at lower addresses in the original program) keeps a
+ * lower address than the taken path, mirroring the layout NVIDIA's
+ * compiler produces (section 5.1 of the paper).
+ */
+std::vector<u32>
+rpoOrder(const Cfg &cfg)
+{
+    std::vector<u32> postorder;
+    std::vector<u8> state(cfg.numBlocks(), 0);
+    std::vector<std::pair<u32, size_t>> stack;
+    stack.push_back({0, 0});
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[node, idx] = stack.back();
+        const BasicBlock &bb = cfg.block(node);
+        // Descend into the taken path first so the fall-through
+        // path finishes last and lands immediately after this block
+        // in the reversed post-order.
+        u32 order[2] = {bb.taken, bb.fall};
+        bool pushed = false;
+        while (idx < 2) {
+            u32 s = order[idx++];
+            if (s != no_block && state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+                pushed = true;
+                break;
+            }
+        }
+        if (!pushed && idx >= 2) {
+            state[node] = 2;
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+    return postorder;
+}
+
+} // namespace
+
+std::vector<u32>
+layoutOrder(const Cfg &cfg, LayoutMode mode)
+{
+    if (mode == LayoutMode::ThreadFrontier)
+        return rpoOrder(cfg);
+
+    // Preserve: original block order, restricted to reachable blocks.
+    std::vector<u8> reach(cfg.numBlocks(), 0);
+    std::vector<u32> work{0};
+    reach[0] = 1;
+    while (!work.empty()) {
+        u32 b = work.back();
+        work.pop_back();
+        for (u32 s : cfg.block(b).succs()) {
+            if (!reach[s]) {
+                reach[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+    std::vector<u32> order;
+    for (u32 b = 0; b < cfg.numBlocks(); ++b) {
+        if (reach[b])
+            order.push_back(b);
+    }
+    return order;
+}
+
+unsigned
+countLayoutViolations(const isa::Program &prog)
+{
+    unsigned violations = 0;
+    for (Pc pc = 0; pc < prog.size(); ++pc) {
+        const isa::Instruction &inst = prog.at(pc);
+        if (isa::isCondBranch(inst.op) && inst.reconv != invalid_pc &&
+            inst.reconv <= pc) {
+            ++violations;
+        }
+    }
+    return violations;
+}
+
+} // namespace siwi::cfg

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thread-frontier code layout (Diamos et al. [10], as used in
+ * section 3.3 of the paper).
+ *
+ * The property the rest of the system relies on: every reconvergence
+ * point is placed at a higher address than its divergence point, so
+ * that min-PC warp-split scheduling reconverges at the earliest
+ * possible point and the selective synchronization barrier intervals
+ * [PCdiv, PCrec) are well-formed.
+ */
+
+#ifndef SIWI_CFG_LAYOUT_HH
+#define SIWI_CFG_LAYOUT_HH
+
+#include <vector>
+
+#include "cfg/cfg.hh"
+
+namespace siwi::cfg {
+
+/** Block-ordering strategy for linearization. */
+enum class LayoutMode {
+    /**
+     * Keep the builder's emission order (reachable blocks only).
+     * Used to reproduce the paper's TMD1 benchmark, whose CUDA
+     * binary was laid out in a non-thread-frontier order.
+     */
+    Preserve,
+    /** Thread-frontier order (reverse post-order walk). */
+    ThreadFrontier,
+};
+
+/**
+ * Compute a block order for @p cfg. Unreachable blocks are dropped.
+ * The entry block is always first.
+ */
+std::vector<u32> layoutOrder(const Cfg &cfg, LayoutMode mode);
+
+/**
+ * Check the thread-frontier property on a *linearized* program:
+ * every conditional branch's reconvergence annotation must lie at a
+ * strictly higher address than the branch itself.
+ * @return number of violations.
+ */
+unsigned countLayoutViolations(const isa::Program &prog);
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_LAYOUT_HH

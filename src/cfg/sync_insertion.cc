@@ -1,0 +1,72 @@
+#include "cfg/sync_insertion.hh"
+
+#include <map>
+
+#include "cfg/dominators.hh"
+#include "common/log.hh"
+
+namespace siwi::cfg {
+
+using isa::Instruction;
+using isa::Opcode;
+
+SyncStats
+insertSyncMarkers(Cfg &cfg)
+{
+    SyncStats stats;
+    DominatorTree dom = DominatorTree::dominators(cfg);
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+
+    // reconvergence block -> divergence block (idom of the reconv
+    // point; shared by all branches reconverging there).
+    std::map<u32, u32> sync_blocks;
+
+    for (u32 b = 0; b < cfg.numBlocks(); ++b) {
+        BasicBlock &bb = cfg.block(b);
+        if (bb.insts.empty())
+            continue;
+        Instruction &term = bb.insts.back();
+        if (!isa::isCondBranch(term.op))
+            continue;
+        if (bb.taken == bb.fall || bb.fall == no_block) {
+            // Degenerate branch: cannot diverge.
+            term.reconv = no_block;
+            continue;
+        }
+        u32 r = pdom.idom(b);
+        if (r == no_block) {
+            // No post-dominator (e.g. both paths exit separately):
+            // divergence never reconverges; nothing to annotate.
+            term.reconv = no_block;
+            ++stats.unresolved;
+            continue;
+        }
+        term.reconv = r;
+        ++stats.divergent_branches;
+
+        u32 d = dom.idom(r);
+        if (d == no_block)
+            continue; // reconvergence at entry: no divergence point
+        auto it = sync_blocks.find(r);
+        if (it == sync_blocks.end())
+            sync_blocks[r] = d;
+        else
+            siwi_assert(it->second == d, "idom mismatch");
+    }
+
+    // Prepend SYNC to each reconvergence block. Payload carries the
+    // divergence *block id*; linearize() turns it into the PC of
+    // that block's last instruction.
+    for (auto [r, d] : sync_blocks) {
+        Instruction sync;
+        sync.op = Opcode::SYNC;
+        sync.div = d;
+        BasicBlock &rb = cfg.block(r);
+        rb.insts.insert(rb.insts.begin(), sync);
+        ++stats.sync_points;
+    }
+
+    return stats;
+}
+
+} // namespace siwi::cfg

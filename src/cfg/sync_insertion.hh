@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reconvergence analysis and SYNC-marker insertion (paper §3.3).
+ */
+
+#ifndef SIWI_CFG_SYNC_INSERTION_HH
+#define SIWI_CFG_SYNC_INSERTION_HH
+
+#include "cfg/cfg.hh"
+
+namespace siwi::cfg {
+
+/** Outcome of the reconvergence pass, for diagnostics and tests. */
+struct SyncStats
+{
+    unsigned divergent_branches = 0; //!< cond branches annotated
+    unsigned sync_points = 0;        //!< SYNC instructions inserted
+    unsigned unresolved = 0;         //!< branches without an ipdom
+};
+
+/**
+ * Annotate every conditional branch with its reconvergence point
+ * (immediate post-dominator) and prepend a SYNC instruction to every
+ * reconvergence block.
+ *
+ * The SYNC payload names the divergence point: the immediate
+ * dominator of the reconvergence block (its last instruction once
+ * linearized) -- the paper's conservative choice that tolerates
+ * unstructured control flow with several divergence points per
+ * reconvergence point.
+ *
+ * Must run on CFG form (block-id operands); linearize() translates
+ * the annotations into PCs.
+ */
+SyncStats insertSyncMarkers(Cfg &cfg);
+
+} // namespace siwi::cfg
+
+#endif // SIWI_CFG_SYNC_INSERTION_HH

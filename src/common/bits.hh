@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by lane shuffling and the
+ * set-associative lookup hardware models.
+ */
+
+#ifndef SIWI_COMMON_BITS_HH
+#define SIWI_COMMON_BITS_HH
+
+#include <bit>
+
+#include "common/types.hh"
+
+namespace siwi {
+
+/** ceil(log2(x)) for x >= 1. */
+constexpr unsigned
+log2Ceil(u64 x)
+{
+    if (x <= 1)
+        return 0;
+    return 64 - std::countl_zero(x - 1);
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr unsigned
+log2Floor(u64 x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** True when x is a power of two (and nonzero). */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** ceil(a / b). */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Reverse the low @p width bits of @p x (the paper's bitrev for the
+ * XorRev lane-shuffle function; Table 1).
+ */
+constexpr u64
+bitReverse(u64 x, unsigned width)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace siwi
+
+#endif // SIWI_COMMON_BITS_HH

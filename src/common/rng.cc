@@ -1,0 +1,69 @@
+#include "common/rng.hh"
+
+#include "common/log.hh"
+
+namespace siwi {
+
+namespace {
+
+/** splitmix64 step, used to spread user seeds over the state space. */
+u64
+splitmix(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 s = seed;
+    state_ = splitmix(s);
+    if (state_ == 0)
+        state_ = 0x853c49e6748fea9bull;
+}
+
+u64
+Rng::next()
+{
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    siwi_assert(bound != 0, "Rng::below(0)");
+    // Rejection-free modulo is fine here: bias is irrelevant for
+    // workload generation and tie-breaking.
+    return next() % bound;
+}
+
+i64
+Rng::range(i64 lo, i64 hi)
+{
+    siwi_assert(lo <= hi, "Rng::range: lo > hi");
+    return lo + i64(below(u64(hi - lo) + 1));
+}
+
+float
+Rng::uniform()
+{
+    return float(next() >> 40) / float(1 << 24);
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+} // namespace siwi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Used for workload input generation and for the pseudo-random
+ * tie-breaking of the SWI secondary scheduler (section 4 of the
+ * paper). A hand-rolled xorshift keeps results identical across
+ * platforms and standard libraries.
+ */
+
+#ifndef SIWI_COMMON_RNG_HH
+#define SIWI_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace siwi {
+
+/**
+ * xorshift64* generator with splitmix64 seeding.
+ *
+ * Deterministic for a given seed on every platform; not
+ * cryptographic, which is fine for workloads and tie-breaking.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64 below(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64 range(i64 lo, i64 hi);
+
+    /** Uniform float in [0, 1). */
+    float uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+  private:
+    u64 state_;
+};
+
+} // namespace siwi
+
+#endif // SIWI_COMMON_RNG_HH

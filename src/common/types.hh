@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every SBWI module.
+ */
+
+#ifndef SIWI_COMMON_TYPES_HH
+#define SIWI_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace siwi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = u64;
+
+/** Simulation time, in SM core clock cycles. */
+using Cycle = u64;
+
+/** Instruction address: index into a Program's instruction vector. */
+using Pc = u32;
+
+/** Sentinel PC used for "no address". */
+constexpr Pc invalid_pc = 0xffffffffu;
+
+/** Architectural register index (r0..r63). */
+using RegIdx = u8;
+
+/** Number of architectural registers per thread. */
+constexpr unsigned num_arch_regs = 64;
+
+/** Hardware warp slot identifier within an SM. */
+using WarpId = u16;
+
+/** Lane index within a warp (0..warp_width-1). */
+using LaneId = u8;
+
+/** Maximum warp width supported by LaneMask. */
+constexpr unsigned max_warp_width = 64;
+
+} // namespace siwi
+
+#endif // SIWI_COMMON_TYPES_HH

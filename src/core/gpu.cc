@@ -1,0 +1,29 @@
+#include "core/gpu.hh"
+
+#include "common/log.hh"
+
+namespace siwi::core {
+
+Gpu::Gpu(const pipeline::SMConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+SimStats
+Gpu::launch(const Kernel &kernel, const LaunchConfig &lc)
+{
+    return launchTraced(kernel, lc, nullptr);
+}
+
+SimStats
+Gpu::launchTraced(const Kernel &kernel, const LaunchConfig &lc,
+                  pipeline::SM::TraceHook hook)
+{
+    pipeline::SM sm(cfg_, memory_);
+    if (hook)
+        sm.setTraceHook(std::move(hook));
+    sm.launch(kernel.program(), lc.grid_blocks, lc.block_threads);
+    return sm.run(lc.max_cycles);
+}
+
+} // namespace siwi::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gpu: the top-level public entry point of the library.
+ *
+ * One Gpu = one SM (the paper simulates a single SM) plus a global
+ * memory image shared across launches. Each launch runs a grid to
+ * completion on a freshly initialized pipeline and returns its
+ * statistics.
+ */
+
+#ifndef SIWI_CORE_GPU_HH
+#define SIWI_CORE_GPU_HH
+
+#include <memory>
+
+#include "core/kernel.hh"
+#include "core/stats.hh"
+#include "mem/memory_image.hh"
+#include "pipeline/sm.hh"
+
+namespace siwi::core {
+
+/** Grid dimensions for a kernel launch. */
+struct LaunchConfig
+{
+    unsigned grid_blocks = 1;
+    unsigned block_threads = 256;
+    Cycle max_cycles = 50'000'000;
+};
+
+/**
+ * The simulated device.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(const pipeline::SMConfig &cfg);
+
+    /** Global memory, for host-side setup and result readback. */
+    mem::MemoryImage &memory() { return memory_; }
+    const mem::MemoryImage &memory() const { return memory_; }
+
+    const pipeline::SMConfig &config() const { return cfg_; }
+
+    /** Run @p kernel over @p lc to completion; returns statistics. */
+    SimStats launch(const Kernel &kernel, const LaunchConfig &lc);
+
+    /** As launch(), with a per-issue trace hook (Figure 2 diagrams). */
+    SimStats launchTraced(const Kernel &kernel, const LaunchConfig &lc,
+                          pipeline::SM::TraceHook hook);
+
+  private:
+    pipeline::SMConfig cfg_;
+    mem::MemoryImage memory_;
+};
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_GPU_HH

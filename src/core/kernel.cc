@@ -1,0 +1,25 @@
+#include "core/kernel.hh"
+
+namespace siwi::core {
+
+Kernel
+Kernel::compile(const isa::Program &raw,
+                const cfg::CompileOptions &opts)
+{
+    cfg::CompiledKernel ck = cfg::compileKernel(raw, opts);
+    Kernel k;
+    k.prog_ = std::move(ck.program);
+    k.sync_ = ck.sync;
+    k.layout_violations_ = ck.layout_violations;
+    return k;
+}
+
+Kernel
+Kernel::fromProgram(isa::Program prog)
+{
+    Kernel k;
+    k.prog_ = std::move(prog);
+    return k;
+}
+
+} // namespace siwi::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kernel: a compiled program ready to launch on the simulated GPU.
+ */
+
+#ifndef SIWI_CORE_KERNEL_HH
+#define SIWI_CORE_KERNEL_HH
+
+#include "cfg/compiler.hh"
+#include "isa/program.hh"
+
+namespace siwi::core {
+
+/**
+ * A compiled kernel: the executable program plus compilation
+ * diagnostics (reconvergence analysis results, layout quality).
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+
+    /** Compile a raw builder/assembler program. */
+    static Kernel compile(const isa::Program &raw,
+                          const cfg::CompileOptions &opts = {});
+
+    /** Wrap an already-executable program without recompiling. */
+    static Kernel fromProgram(isa::Program prog);
+
+    const isa::Program &program() const { return prog_; }
+    const std::string &name() const { return prog_.name(); }
+
+    /** Reconvergence-pass statistics. */
+    const cfg::SyncStats &syncStats() const { return sync_; }
+
+    /** Thread-frontier layout violations (TMD1-style anomalies). */
+    unsigned layoutViolations() const { return layout_violations_; }
+
+  private:
+    isa::Program prog_;
+    cfg::SyncStats sync_;
+    unsigned layout_violations_ = 0;
+};
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_KERNEL_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the SBWI library.
+ *
+ * Typical use:
+ * @code
+ *   #include "core/siwi.hh"
+ *
+ *   siwi::isa::KernelBuilder b("saxpy");
+ *   ... build the kernel ...
+ *   auto kernel = siwi::core::Kernel::compile(b.build());
+ *
+ *   auto cfg = siwi::pipeline::SMConfig::make(
+ *       siwi::pipeline::PipelineMode::SBISWI);
+ *   siwi::core::Gpu gpu(cfg);
+ *   ... initialize gpu.memory() ...
+ *   auto stats = gpu.launch(kernel, {grid_blocks, block_threads});
+ *   std::cout << stats.summary();
+ * @endcode
+ */
+
+#ifndef SIWI_CORE_SIWI_HH
+#define SIWI_CORE_SIWI_HH
+
+#include "cfg/compiler.hh"
+#include "core/area_model.hh"
+#include "core/gpu.hh"
+#include "core/hardware_inventory.hh"
+#include "core/kernel.hh"
+#include "core/stats.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "pipeline/config.hh"
+#include "workloads/workload.hh"
+
+#endif // SIWI_CORE_SIWI_HH

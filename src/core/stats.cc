@@ -1,0 +1,48 @@
+#include "core/stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace siwi::core {
+
+std::string
+SimStats::summary() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    os << "cycles:              " << cycles
+       << (hit_cycle_limit ? "  (CYCLE LIMIT HIT)" : "") << "\n"
+       << "instructions:        " << instructions << "\n"
+       << "thread instructions: " << thread_instructions << "\n"
+       << "IPC:                 " << ipc() << "\n"
+       << "issues prim/sec:     " << primary_issues << " / "
+       << secondary_issues << " (row-share " << row_share_issues
+       << ", fallback " << fallback_issues << ")\n"
+       << "conflicts squashed:  " << conflicts_squashed
+       << ", stale cascade picks: " << cascade_stale << "\n"
+       << "divergences:         " << branch_divergences
+       << " (splits " << warp_splits << ", mem-splits "
+       << memory_splits << ", merges " << merges << ")\n"
+       << "sync suspensions:    " << sync_suspensions << "\n"
+       << "L1:                  " << l1_hits << " hits / "
+       << l1_misses << " misses (" << std::setprecision(1)
+       << 100.0 * l1HitRate() << "%)\n"
+       << std::setprecision(2)
+       << "DRAM:                " << dram_transactions
+       << " transactions, " << dram_bytes << " bytes\n"
+       << "work:                " << blocks_launched << " blocks, "
+       << threads_launched << " threads\n";
+    for (const UnitStats &u : units) {
+        double util =
+            cycles ? 100.0 * double(u.busy_cycles) / double(cycles)
+                   : 0.0;
+        os << "  unit " << std::left << std::setw(5) << u.name
+           << std::right << " issues " << std::setw(10) << u.issues
+           << "  busy " << std::setw(5) << std::setprecision(1)
+           << util << "%  thread-insts " << u.thread_instructions
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace siwi::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Aggregate simulation statistics reported by one kernel launch.
+ */
+
+#ifndef SIWI_CORE_STATS_HH
+#define SIWI_CORE_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace siwi::core {
+
+/** Per-execution-group occupancy. */
+struct UnitStats
+{
+    std::string name;
+    u64 issues = 0;
+    u64 busy_cycles = 0;
+    u64 thread_instructions = 0;
+};
+
+/**
+ * Everything a kernel launch measures. The headline metric is
+ * thread instructions per cycle (the y-axis of Figure 7).
+ */
+struct SimStats
+{
+    Cycle cycles = 0;
+    bool hit_cycle_limit = false;
+
+    // --- front-end ---
+    u64 fetches = 0;
+    u64 instructions = 0;        //!< instructions issued
+    u64 thread_instructions = 0; //!< sum of active lanes at issue
+    u64 primary_issues = 0;
+    u64 secondary_issues = 0;
+    u64 row_share_issues = 0;    //!< secondary sharing primary's row
+    u64 fallback_issues = 0;     //!< SBI secondary fallback issues
+    u64 conflicts_squashed = 0;  //!< SWI a-posteriori conflicts
+    u64 cascade_stale = 0;       //!< cascade picks invalidated
+    u64 sync_suspensions = 0;    //!< scheduling attempts gated by SYNC
+
+    // --- divergence ---
+    u64 branch_divergences = 0;
+    u64 warp_splits = 0;
+    u64 memory_splits = 0;
+    u64 merges = 0;
+    u64 promotions = 0;
+    u64 heap_full_stalls = 0;
+    u64 cct_degraded_inserts = 0;
+    u64 barrier_releases = 0;
+    unsigned max_stack_depth = 0;
+    unsigned max_live_contexts = 0;
+
+    // --- memory ---
+    u64 l1_hits = 0;
+    u64 l1_misses = 0;
+    u64 l1_evictions = 0;
+    u64 load_transactions = 0;
+    u64 store_transactions = 0;
+    u64 mshr_merges = 0;
+    u64 mshr_stalls = 0;
+    u64 dram_transactions = 0;
+    u64 dram_bytes = 0;
+
+    // --- work ---
+    u64 threads_launched = 0;
+    u64 blocks_launched = 0;
+
+    std::vector<UnitStats> units;
+
+    /** Thread instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? double(thread_instructions) / double(cycles)
+                      : 0.0;
+    }
+
+    /** L1 hit rate over load transactions. */
+    double l1HitRate() const
+    {
+        u64 total = l1_hits + l1_misses;
+        return total ? double(l1_hits) / double(total) : 0.0;
+    }
+
+    /** Multi-line human-readable report. */
+    std::string summary() const;
+};
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_HH

@@ -1,0 +1,66 @@
+#include "divergence/hct.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace siwi::divergence {
+
+SorterResult
+hctSort(const SorterEntry &a, const SorterEntry &b,
+        const SorterEntry &c)
+{
+    SorterResult res;
+
+    std::vector<SorterEntry> live;
+    for (const SorterEntry *e : {&a, &b, &c}) {
+        if (e->valid)
+            live.push_back(*e);
+    }
+
+    // Sort by PC; stable so earlier inputs keep priority on ties.
+    std::stable_sort(live.begin(), live.end(),
+                     [](const SorterEntry &x, const SorterEntry &y) {
+                         return x.pc < y.pc;
+                     });
+
+    // Compact/merge adjacent equal-PC entries (reconvergence),
+    // unless either side is pinned or their barrier states differ.
+    std::vector<SorterEntry> merged;
+    for (const SorterEntry &e : live) {
+        if (!merged.empty() && merged.back().pc == e.pc &&
+            !merged.back().pinned && !e.pinned &&
+            merged.back().barrier == e.barrier) {
+            siwi_assert(!merged.back().mask.intersects(e.mask),
+                        "merging overlapping warp-splits");
+            merged.back().mask |= e.mask;
+            ++res.merges;
+        } else {
+            merged.push_back(e);
+        }
+    }
+
+    // Keep (up to) two hot; spill the third. Prefer spilling the
+    // highest-PC unpinned entry.
+    if (merged.size() > 2) {
+        siwi_assert(merged.size() == 3, "more than 3 sorter inputs");
+        int spill_idx = -1;
+        for (int i = 2; i >= 0; --i) {
+            if (!merged[size_t(i)].pinned) {
+                spill_idx = i;
+                break;
+            }
+        }
+        siwi_assert(spill_idx >= 0, "all three sorter entries pinned");
+        res.spill = merged[size_t(spill_idx)];
+        merged.erase(merged.begin() + spill_idx);
+    }
+
+    for (size_t i = 0; i < merged.size(); ++i)
+        res.hot[i] = merged[i];
+    res.want_pop = merged.size() < 2;
+    return res;
+}
+
+} // namespace siwi::divergence

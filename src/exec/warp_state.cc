@@ -1,0 +1,63 @@
+#include "exec/warp_state.hh"
+
+#include "common/log.hh"
+
+namespace siwi::exec {
+
+WarpState::WarpState(unsigned width)
+    : width_(width), regs_(width), info_(width)
+{
+    siwi_assert(width >= 1 && width <= max_warp_width,
+                "bad warp width");
+    clear();
+}
+
+u32
+WarpState::reg(unsigned lane, RegIdx r) const
+{
+    siwi_assert(lane < width_ && r < num_arch_regs, "bad reg access");
+    return regs_[lane][r];
+}
+
+void
+WarpState::setReg(unsigned lane, RegIdx r, u32 value)
+{
+    siwi_assert(lane < width_ && r < num_arch_regs, "bad reg access");
+    regs_[lane][r] = value;
+}
+
+ThreadInfo &
+WarpState::info(unsigned lane)
+{
+    siwi_assert(lane < width_, "bad lane");
+    return info_[lane];
+}
+
+const ThreadInfo &
+WarpState::info(unsigned lane) const
+{
+    siwi_assert(lane < width_, "bad lane");
+    return info_[lane];
+}
+
+LaneMask
+WarpState::validMask() const
+{
+    LaneMask m;
+    for (unsigned i = 0; i < width_; ++i) {
+        if (info_[i].valid)
+            m.set(i);
+    }
+    return m;
+}
+
+void
+WarpState::clear()
+{
+    for (unsigned i = 0; i < width_; ++i) {
+        regs_[i].fill(0);
+        info_[i] = ThreadInfo{};
+    }
+}
+
+} // namespace siwi::exec

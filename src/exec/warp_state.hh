@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Architectural state of the threads mapped onto one hardware warp.
+ */
+
+#ifndef SIWI_EXEC_WARP_STATE_HH
+#define SIWI_EXEC_WARP_STATE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/lane_mask.hh"
+#include "common/types.hh"
+
+namespace siwi::exec {
+
+/** Identity of the thread occupying a lane (for S2R). */
+struct ThreadInfo
+{
+    i32 tid = 0;    //!< thread index within its block
+    i32 ntid = 0;   //!< threads per block
+    i32 ctaid = 0;  //!< block index
+    i32 nctaid = 0; //!< blocks in grid
+    i32 gtid = 0;   //!< global thread index
+    i32 lane = 0;   //!< physical lane (post lane-shuffle)
+    i32 wid = 0;    //!< hardware warp slot
+    bool valid = false;
+};
+
+/**
+ * Register files and thread identities of one warp, indexed by
+ * physical lane.
+ *
+ * Values are raw 32-bit words; float semantics are applied by the
+ * functional unit via bit casts.
+ */
+class WarpState
+{
+  public:
+    explicit WarpState(unsigned width);
+
+    unsigned width() const { return width_; }
+
+    u32 reg(unsigned lane, RegIdx r) const;
+    void setReg(unsigned lane, RegIdx r, u32 value);
+
+    ThreadInfo &info(unsigned lane);
+    const ThreadInfo &info(unsigned lane) const;
+
+    /** Mask of lanes holding a valid (launched, unexited) thread. */
+    LaneMask validMask() const;
+
+    /** Reset to empty (no valid threads, zeroed registers). */
+    void clear();
+
+  private:
+    unsigned width_;
+    std::vector<std::array<u32, num_arch_regs>> regs_;
+    std::vector<ThreadInfo> info_;
+};
+
+} // namespace siwi::exec
+
+#endif // SIWI_EXEC_WARP_STATE_HH

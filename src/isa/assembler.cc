@@ -1,0 +1,388 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace siwi::isa {
+
+namespace {
+
+/** Cursor over one source line with error reporting. */
+class LineParser
+{
+  public:
+    explicit LineParser(std::string_view s) : s_(s) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= s_.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Parse an identifier [A-Za-z_][A-Za-z0-9_]*. */
+    std::string
+    ident()
+    {
+        skipWs();
+        std::string out;
+        if (pos_ < s_.size() &&
+            (std::isalpha(static_cast<unsigned char>(s_[pos_])) ||
+             s_[pos_] == '_')) {
+            while (pos_ < s_.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '_')) {
+                out.push_back(s_[pos_++]);
+            }
+        }
+        return out;
+    }
+
+    /** Parse a signed decimal or 0x hex integer. */
+    bool
+    integer(i64 &out)
+    {
+        skipWs();
+        size_t start = pos_;
+        bool neg = false;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) {
+            neg = s_[pos_] == '-';
+            ++pos_;
+        }
+        u64 val = 0;
+        bool any = false;
+        if (pos_ + 1 < s_.size() && s_[pos_] == '0' &&
+            (s_[pos_ + 1] == 'x' || s_[pos_ + 1] == 'X')) {
+            pos_ += 2;
+            while (pos_ < s_.size() &&
+                   std::isxdigit(
+                       static_cast<unsigned char>(s_[pos_]))) {
+                char c = s_[pos_++];
+                u64 d = std::isdigit(static_cast<unsigned char>(c))
+                            ? u64(c - '0')
+                            : u64(std::tolower(c) - 'a' + 10);
+                val = val * 16 + d;
+                any = true;
+            }
+        } else {
+            while (pos_ < s_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(s_[pos_]))) {
+                val = val * 10 + u64(s_[pos_++] - '0');
+                any = true;
+            }
+        }
+        if (!any) {
+            pos_ = start;
+            return false;
+        }
+        out = neg ? -i64(val) : i64(val);
+        return true;
+    }
+
+    /** Parse a register operand rN. */
+    bool
+    regOperand(RegIdx &out)
+    {
+        skipWs();
+        size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == 'r' || s_[pos_] == 'R')) {
+            ++pos_;
+            i64 n;
+            if (integer(n) && n >= 0 && n < i64(num_arch_regs)) {
+                out = RegIdx(n);
+                return true;
+            }
+        }
+        pos_ = start;
+        return false;
+    }
+
+    size_t pos() const { return pos_; }
+
+  private:
+    std::string_view s_;
+    size_t pos_ = 0;
+};
+
+struct PendingRef
+{
+    Pc pc;            //!< instruction to patch
+    std::string name; //!< label name
+    int line;         //!< source line for diagnostics
+    enum class Field { Target, Reconv, Div } field;
+};
+
+std::string_view
+stripComment(std::string_view line)
+{
+    size_t best = line.size();
+    size_t semi = line.find(';');
+    if (semi != std::string_view::npos)
+        best = std::min(best, semi);
+    size_t slashes = line.find("//");
+    if (slashes != std::string_view::npos)
+        best = std::min(best, slashes);
+    return line.substr(0, best);
+}
+
+} // namespace
+
+AsmResult
+assemble(std::string_view source)
+{
+    AsmResult res;
+    Program prog;
+    std::map<std::string, Pc> labels;
+    std::vector<PendingRef> refs;
+
+    auto fail = [&](int line, const std::string &msg) {
+        std::ostringstream os;
+        os << "line " << line << ": " << msg;
+        res.error = os.str();
+        return res;
+    };
+
+    std::istringstream in{std::string(source)};
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::string_view line = stripComment(raw);
+        LineParser p(line);
+        if (p.atEnd())
+            continue;
+
+        // Directive?
+        if (p.consume('.')) {
+            std::string dir = p.ident();
+            if (dir == "kernel") {
+                p.skipWs();
+                std::string name = p.ident();
+                prog.setName(name);
+                continue;
+            }
+            return fail(lineno, "unknown directive ." + dir);
+        }
+
+        std::string word = p.ident();
+        if (word.empty())
+            return fail(lineno, "expected mnemonic or label");
+
+        // Label definition?
+        if (p.consume(':')) {
+            if (labels.count(word))
+                return fail(lineno, "label redefined: " + word);
+            labels[word] = prog.size();
+            if (p.atEnd())
+                continue;
+            word = p.ident();
+            if (word.empty())
+                return fail(lineno, "expected mnemonic after label");
+        }
+
+        Opcode op = opFromName(word);
+        if (op == Opcode::NumOpcodes)
+            return fail(lineno, "unknown mnemonic: " + word);
+
+        Instruction inst;
+        inst.op = op;
+        const OpInfo &info = opInfo(op);
+
+        auto parseReg = [&](RegIdx &r) {
+            return p.regOperand(r);
+        };
+        auto expectComma = [&]() { return p.consume(','); };
+
+        auto parseLabelRef = [&](PendingRef::Field field) -> bool {
+            p.skipWs();
+            std::string name = p.ident();
+            if (name.empty())
+                return false;
+            refs.push_back({prog.size(), name, lineno, field});
+            return true;
+        };
+
+        switch (info.form) {
+          case OperandForm::None:
+            break;
+          case OperandForm::DstSa:
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !parseReg(inst.sa))
+                return fail(lineno, "expected 'rd, ra'");
+            break;
+          case OperandForm::DstSaSb: {
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !parseReg(inst.sa) || !expectComma())
+                return fail(lineno, "expected 'rd, ra, rb|#imm'");
+            if (p.consume('#')) {
+                i64 v;
+                if (!p.integer(v))
+                    return fail(lineno, "bad immediate");
+                inst.imm = i32(v);
+                inst.b_is_imm = true;
+            } else if (!parseReg(inst.sb)) {
+                return fail(lineno, "expected rb or #imm");
+            }
+            break;
+          }
+          case OperandForm::DstSaSbSc: {
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !parseReg(inst.sa) || !expectComma())
+                return fail(lineno, "expected 'rd, ra, rb, rc'");
+            if (p.consume('#')) {
+                i64 v;
+                if (!p.integer(v))
+                    return fail(lineno, "bad immediate");
+                inst.imm = i32(v);
+                inst.b_is_imm = true;
+            } else if (!parseReg(inst.sb)) {
+                return fail(lineno, "expected rb or #imm");
+            }
+            if (!expectComma() || !parseReg(inst.sc))
+                return fail(lineno, "expected ', rc'");
+            break;
+          }
+          case OperandForm::DstImm: {
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !p.consume('#'))
+                return fail(lineno, "expected 'rd, #imm'");
+            i64 v;
+            if (!p.integer(v))
+                return fail(lineno, "bad immediate");
+            inst.imm = i32(v);
+            inst.b_is_imm = true;
+            break;
+          }
+          case OperandForm::DstSreg: {
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !p.consume('%'))
+                return fail(lineno, "expected 'rd, %sreg'");
+            std::string sr = p.ident();
+            SpecialReg s = sregFromName(sr);
+            if (s == SpecialReg::NumSpecialRegs)
+                return fail(lineno, "unknown special register: " + sr);
+            inst.sreg = s;
+            break;
+          }
+          case OperandForm::Load: {
+            if (!parseReg(inst.dst) || !expectComma() ||
+                !p.consume('['))
+                return fail(lineno, "expected 'rd, [ra+imm]'");
+            if (!parseReg(inst.sa))
+                return fail(lineno, "expected base register");
+            i64 off = 0;
+            p.skipWs();
+            if (!p.consume(']')) {
+                if (!p.integer(off) || !p.consume(']'))
+                    return fail(lineno, "bad address expression");
+            }
+            inst.imm = i32(off);
+            break;
+          }
+          case OperandForm::Store: {
+            if (!p.consume('['))
+                return fail(lineno, "expected '[ra+imm], rb'");
+            if (!parseReg(inst.sa))
+                return fail(lineno, "expected base register");
+            i64 off = 0;
+            p.skipWs();
+            if (!p.consume(']')) {
+                if (!p.integer(off) || !p.consume(']'))
+                    return fail(lineno, "bad address expression");
+            }
+            inst.imm = i32(off);
+            if (!expectComma() || !parseReg(inst.sb))
+                return fail(lineno, "expected ', rb'");
+            break;
+          }
+          case OperandForm::Bra:
+            if (!parseLabelRef(PendingRef::Field::Target))
+                return fail(lineno, "expected branch target label");
+            break;
+          case OperandForm::CondBra:
+            if (!parseReg(inst.sa) || !expectComma() ||
+                !parseLabelRef(PendingRef::Field::Target))
+                return fail(lineno, "expected 'ra, label'");
+            // Optional reconvergence annotation ", !label".
+            if (p.consume(',')) {
+                if (!p.consume('!') ||
+                    !parseLabelRef(PendingRef::Field::Reconv))
+                    return fail(lineno, "bad reconvergence annotation");
+            }
+            break;
+          case OperandForm::Sync:
+            if (!p.consume('@') ||
+                !parseLabelRef(PendingRef::Field::Div))
+                return fail(lineno, "expected '@label'");
+            break;
+        }
+
+        if (!p.atEnd())
+            return fail(lineno, "trailing characters");
+        prog.push(inst);
+    }
+
+    // Resolve label references; bare "Lnn" names that were never
+    // defined resolve to PC nn (the disassembler's label scheme).
+    for (const PendingRef &ref : refs) {
+        Pc pc;
+        auto it = labels.find(ref.name);
+        if (it != labels.end()) {
+            pc = it->second;
+        } else if (ref.name.size() > 1 && ref.name[0] == 'L') {
+            char *end = nullptr;
+            unsigned long v =
+                std::strtoul(ref.name.c_str() + 1, &end, 10);
+            if (*end != '\0' || v >= prog.size())
+                return fail(ref.line, "undefined label: " + ref.name);
+            pc = Pc(v);
+        } else {
+            return fail(ref.line, "undefined label: " + ref.name);
+        }
+        Instruction &inst = prog.at(ref.pc);
+        switch (ref.field) {
+          case PendingRef::Field::Target:
+            inst.target = pc;
+            break;
+          case PendingRef::Field::Reconv:
+            inst.reconv = pc;
+            break;
+          case PendingRef::Field::Div:
+            inst.div = pc;
+            break;
+        }
+    }
+
+    std::string err = prog.validate();
+    if (!err.empty()) {
+        res.error = "invalid program: " + err;
+        return res;
+    }
+    res.program = std::move(prog);
+    return res;
+}
+
+} // namespace siwi::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text assembler for the SIMT ISA.
+ *
+ * Accepts the syntax produced by Program::disassemble(), so
+ * assemble(disassemble(p)) round-trips. Kernels can also be written
+ * by hand (see the custom_assembly example).
+ */
+
+#ifndef SIWI_ISA_ASSEMBLER_HH
+#define SIWI_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace siwi::isa {
+
+/** Result of assembling a source string. */
+struct AsmResult
+{
+    Program program;   //!< valid only when ok() is true
+    std::string error; //!< empty on success, else "line N: message"
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Assemble ISA source text.
+ *
+ * Syntax (one instruction per line):
+ *   .kernel name              -- optional kernel name directive
+ *   label:                    -- any identifier, or Lnn
+ *   iadd r3, r1, #5           -- '#' marks immediates
+ *   ld r4, [r2+16]
+ *   st [r2+0], r5
+ *   s2r r0, %gtid
+ *   bnz r1, loop_top          -- optional ", !rlabel" reconv annot.
+ *   sync @Ldiv                -- divergence-point payload
+ *   ; comment  or  // comment
+ */
+AsmResult assemble(std::string_view source);
+
+} // namespace siwi::isa
+
+#endif // SIWI_ISA_ASSEMBLER_HH

@@ -1,0 +1,478 @@
+#include "isa/builder.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace siwi::isa {
+
+KernelBuilder::KernelBuilder(std::string name) : prog_(std::move(name))
+{
+}
+
+Reg
+KernelBuilder::reg()
+{
+    siwi_assert(next_reg_ < num_arch_regs,
+                "out of architectural registers");
+    return Reg{RegIdx(next_reg_++)};
+}
+
+Pc
+KernelBuilder::emit(const Instruction &inst)
+{
+    siwi_assert(!built_, "KernelBuilder reused after build()");
+    return prog_.push(inst);
+}
+
+Pc
+KernelBuilder::emit2(Opcode op, Reg d, Reg a, Reg b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.sa = a.idx;
+    i.sb = b.idx;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::emit2i(Opcode op, Reg d, Reg a, i32 imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.sa = a.idx;
+    i.imm = imm;
+    i.b_is_imm = true;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::emit1(Opcode op, Reg d, Reg a)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.sa = a.idx;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::nop()
+{
+    return emit(Instruction{});
+}
+
+Pc
+KernelBuilder::mov(Reg d, Reg a)
+{
+    return emit1(Opcode::MOV, d, a);
+}
+
+Pc
+KernelBuilder::movi(Reg d, i32 imm)
+{
+    Instruction i;
+    i.op = Opcode::MOVI;
+    i.dst = d.idx;
+    i.imm = imm;
+    i.b_is_imm = true;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::fmovi(Reg d, float value)
+{
+    return movi(d, std::bit_cast<i32>(value));
+}
+
+Pc
+KernelBuilder::s2r(Reg d, SpecialReg sr)
+{
+    Instruction i;
+    i.op = Opcode::S2R;
+    i.dst = d.idx;
+    i.sreg = sr;
+    return emit(i);
+}
+
+Pc KernelBuilder::iadd(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::IADD, d, a, b); }
+Pc KernelBuilder::iadd(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::IADD, d, a, b.v); }
+Pc KernelBuilder::isub(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISUB, d, a, b); }
+Pc KernelBuilder::isub(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISUB, d, a, b.v); }
+Pc KernelBuilder::imul(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::IMUL, d, a, b); }
+Pc KernelBuilder::imul(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::IMUL, d, a, b.v); }
+
+Pc
+KernelBuilder::imad(Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction i;
+    i.op = Opcode::IMAD;
+    i.dst = d.idx;
+    i.sa = a.idx;
+    i.sb = b.idx;
+    i.sc = c.idx;
+    return emit(i);
+}
+
+Pc KernelBuilder::imin(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::IMIN, d, a, b); }
+Pc KernelBuilder::imax(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::IMAX, d, a, b); }
+Pc KernelBuilder::iabs(Reg d, Reg a)
+{ return emit1(Opcode::IABS, d, a); }
+Pc KernelBuilder::and_(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::AND, d, a, b); }
+Pc KernelBuilder::and_(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::AND, d, a, b.v); }
+Pc KernelBuilder::or_(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::OR, d, a, b); }
+Pc KernelBuilder::or_(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::OR, d, a, b.v); }
+Pc KernelBuilder::xor_(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::XOR, d, a, b); }
+Pc KernelBuilder::xor_(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::XOR, d, a, b.v); }
+Pc KernelBuilder::not_(Reg d, Reg a)
+{ return emit1(Opcode::NOT, d, a); }
+Pc KernelBuilder::shl(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::SHL, d, a, b.v); }
+Pc KernelBuilder::shl(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::SHL, d, a, b); }
+Pc KernelBuilder::shr(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::SHR, d, a, b.v); }
+Pc KernelBuilder::sra(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::SRA, d, a, b.v); }
+
+Pc KernelBuilder::isetlt(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETLT, d, a, b); }
+Pc KernelBuilder::isetlt(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETLT, d, a, b.v); }
+Pc KernelBuilder::isetle(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETLE, d, a, b); }
+Pc KernelBuilder::isetle(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETLE, d, a, b.v); }
+Pc KernelBuilder::iseteq(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETEQ, d, a, b); }
+Pc KernelBuilder::iseteq(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETEQ, d, a, b.v); }
+Pc KernelBuilder::isetne(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETNE, d, a, b); }
+Pc KernelBuilder::isetne(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETNE, d, a, b.v); }
+Pc KernelBuilder::isetge(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETGE, d, a, b); }
+Pc KernelBuilder::isetge(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETGE, d, a, b.v); }
+Pc KernelBuilder::isetgt(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::ISETGT, d, a, b); }
+Pc KernelBuilder::isetgt(Reg d, Reg a, Imm b)
+{ return emit2i(Opcode::ISETGT, d, a, b.v); }
+
+Pc
+KernelBuilder::sel(Reg d, Reg cond, Reg t, Reg f)
+{
+    Instruction i;
+    i.op = Opcode::SEL;
+    i.dst = d.idx;
+    i.sa = cond.idx;
+    i.sb = t.idx;
+    i.sc = f.idx;
+    return emit(i);
+}
+
+Pc KernelBuilder::fadd(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FADD, d, a, b); }
+Pc KernelBuilder::fsub(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSUB, d, a, b); }
+Pc KernelBuilder::fmul(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FMUL, d, a, b); }
+
+Pc
+KernelBuilder::fmad(Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction i;
+    i.op = Opcode::FMAD;
+    i.dst = d.idx;
+    i.sa = a.idx;
+    i.sb = b.idx;
+    i.sc = c.idx;
+    return emit(i);
+}
+
+Pc KernelBuilder::fmin(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FMIN, d, a, b); }
+Pc KernelBuilder::fmax(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FMAX, d, a, b); }
+Pc KernelBuilder::fabs_(Reg d, Reg a)
+{ return emit1(Opcode::FABS, d, a); }
+Pc KernelBuilder::fneg(Reg d, Reg a)
+{ return emit1(Opcode::FNEG, d, a); }
+Pc KernelBuilder::fsetlt(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSETLT, d, a, b); }
+Pc KernelBuilder::fsetle(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSETLE, d, a, b); }
+Pc KernelBuilder::fseteq(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSETEQ, d, a, b); }
+Pc KernelBuilder::fsetgt(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSETGT, d, a, b); }
+Pc KernelBuilder::fsetge(Reg d, Reg a, Reg b)
+{ return emit2(Opcode::FSETGE, d, a, b); }
+Pc KernelBuilder::i2f(Reg d, Reg a)
+{ return emit1(Opcode::I2F, d, a); }
+Pc KernelBuilder::f2i(Reg d, Reg a)
+{ return emit1(Opcode::F2I, d, a); }
+
+Pc KernelBuilder::rcp(Reg d, Reg a) { return emit1(Opcode::RCP, d, a); }
+Pc KernelBuilder::rsq(Reg d, Reg a) { return emit1(Opcode::RSQ, d, a); }
+Pc KernelBuilder::sqrt_(Reg d, Reg a)
+{ return emit1(Opcode::SQRT, d, a); }
+Pc KernelBuilder::sin_(Reg d, Reg a) { return emit1(Opcode::SIN, d, a); }
+Pc KernelBuilder::cos_(Reg d, Reg a) { return emit1(Opcode::COS, d, a); }
+Pc KernelBuilder::exp2_(Reg d, Reg a)
+{ return emit1(Opcode::EXP2, d, a); }
+Pc KernelBuilder::log2_(Reg d, Reg a)
+{ return emit1(Opcode::LOG2, d, a); }
+
+Pc
+KernelBuilder::ld(Reg d, Reg addr, i32 offset)
+{
+    Instruction i;
+    i.op = Opcode::LD;
+    i.dst = d.idx;
+    i.sa = addr.idx;
+    i.imm = offset;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::st(Reg addr, i32 offset, Reg value)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.sa = addr.idx;
+    i.sb = value.idx;
+    i.imm = offset;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::bar()
+{
+    Instruction i;
+    i.op = Opcode::BAR;
+    return emit(i);
+}
+
+Pc
+KernelBuilder::exit_()
+{
+    Instruction i;
+    i.op = Opcode::EXIT;
+    return emit(i);
+}
+
+Label
+KernelBuilder::label()
+{
+    labels_.push_back(LabelInfo{});
+    return Label{u32(labels_.size() - 1)};
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    siwi_assert(l.id < labels_.size(), "unknown label");
+    siwi_assert(labels_[l.id].bound == invalid_pc,
+                "label bound twice");
+    labels_[l.id].bound = here();
+}
+
+Pc
+KernelBuilder::branchTo(Opcode op, Reg cond, Label l)
+{
+    siwi_assert(l.id < labels_.size(), "unknown label");
+    Instruction i;
+    i.op = op;
+    i.sa = cond.idx;
+    i.target = invalid_pc;
+    Pc pc = emit(i);
+    labels_[l.id].uses.push_back(pc);
+    return pc;
+}
+
+Pc
+KernelBuilder::bra(Label l)
+{
+    return branchTo(Opcode::BRA, Reg{0}, l);
+}
+
+Pc
+KernelBuilder::bnz(Reg cond, Label l)
+{
+    return branchTo(Opcode::BNZ, cond, l);
+}
+
+Pc
+KernelBuilder::bz(Reg cond, Label l)
+{
+    return branchTo(Opcode::BZ, cond, l);
+}
+
+void
+KernelBuilder::if_(Reg cond)
+{
+    Frame f;
+    f.kind = FrameKind::If;
+    f.a = label();
+    f.b = label();
+    // Skip the then-block when the condition is false.
+    bz(cond, f.a);
+    frames_.push_back(f);
+}
+
+void
+KernelBuilder::ifz(Reg cond)
+{
+    Frame f;
+    f.kind = FrameKind::If;
+    f.a = label();
+    f.b = label();
+    bnz(cond, f.a);
+    frames_.push_back(f);
+}
+
+void
+KernelBuilder::else_()
+{
+    siwi_assert(!frames_.empty() &&
+                frames_.back().kind == FrameKind::If,
+                "else_ without if_");
+    Frame &f = frames_.back();
+    bra(f.b);
+    bind(f.a);
+    f.kind = FrameKind::IfElse;
+}
+
+void
+KernelBuilder::endIf()
+{
+    siwi_assert(!frames_.empty(), "endIf without if_");
+    Frame f = frames_.back();
+    frames_.pop_back();
+    if (f.kind == FrameKind::If) {
+        // No else block: both the else-label and the end-label land
+        // here.
+        bind(f.a);
+        bind(f.b);
+    } else {
+        siwi_assert(f.kind == FrameKind::IfElse, "endIf inside loop");
+        bind(f.b);
+    }
+}
+
+void
+KernelBuilder::loop()
+{
+    Frame f;
+    f.kind = FrameKind::Loop;
+    f.a = label(); // loop start
+    f.b = label(); // loop end (break target)
+    bind(f.a);
+    frames_.push_back(f);
+}
+
+void
+KernelBuilder::endLoopIf(Reg cond)
+{
+    siwi_assert(!frames_.empty() &&
+                frames_.back().kind == FrameKind::Loop,
+                "endLoopIf without loop");
+    Frame f = frames_.back();
+    frames_.pop_back();
+    bnz(cond, f.a);
+    bind(f.b);
+}
+
+void
+KernelBuilder::endLoopIfz(Reg cond)
+{
+    siwi_assert(!frames_.empty() &&
+                frames_.back().kind == FrameKind::Loop,
+                "endLoopIfz without loop");
+    Frame f = frames_.back();
+    frames_.pop_back();
+    bz(cond, f.a);
+    bind(f.b);
+}
+
+void
+KernelBuilder::breakIf(Reg cond)
+{
+    siwi_assert(!frames_.empty(), "breakIf outside loop");
+    // Find innermost loop frame.
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (it->kind == FrameKind::Loop) {
+            bnz(cond, it->b);
+            return;
+        }
+    }
+    panic("breakIf outside loop");
+}
+
+void
+KernelBuilder::breakIfz(Reg cond)
+{
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (it->kind == FrameKind::Loop) {
+            bz(cond, it->b);
+            return;
+        }
+    }
+    panic("breakIfz outside loop");
+}
+
+void
+KernelBuilder::continueIf(Reg cond)
+{
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (it->kind == FrameKind::Loop) {
+            bnz(cond, it->a);
+            return;
+        }
+    }
+    panic("continueIf outside loop");
+}
+
+Program
+KernelBuilder::build()
+{
+    siwi_assert(!built_, "build() called twice");
+    siwi_assert(frames_.empty(), "unclosed control-flow construct");
+
+    if (prog_.empty() || prog_.code().back().op != Opcode::EXIT)
+        exit_();
+
+    for (const LabelInfo &li : labels_) {
+        if (li.uses.empty())
+            continue;
+        siwi_assert(li.bound != invalid_pc, "unbound label used");
+        for (Pc use : li.uses)
+            prog_.at(use).target = li.bound;
+    }
+
+    std::string err = prog_.validate();
+    siwi_assert(err.empty(), "invalid program '", prog_.name(),
+                "': ", err);
+    built_ = true;
+    return std::move(prog_);
+}
+
+} // namespace siwi::isa

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * KernelBuilder: a fluent, structured-control API for authoring
+ * kernels in the SIMT ISA.
+ *
+ * Workloads build their kernels through this class; the result is a
+ * raw Program that cfg::compileKernel post-processes (layout + SYNC
+ * insertion + branch reconvergence annotation).
+ */
+
+#ifndef SIWI_ISA_BUILDER_HH
+#define SIWI_ISA_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace siwi::isa {
+
+/** Strongly-typed register handle handed out by KernelBuilder. */
+struct Reg
+{
+    RegIdx idx = 0;
+};
+
+/** Strongly-typed immediate operand (avoids int->Reg confusion). */
+struct Imm
+{
+    i32 v = 0;
+    constexpr explicit Imm(i32 value) : v(value) {}
+};
+
+/** Handle to a (possibly not yet bound) code label. */
+struct Label
+{
+    u32 id = 0;
+};
+
+/**
+ * Fluent kernel authoring interface.
+ *
+ * Supports both structured control flow (if_/else_/endIf,
+ * loop/endLoopIf, with break/continue) and raw labels + branches for
+ * unstructured code such as the TMD kernels. Structured constructs
+ * are validated for proper nesting at build() time.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Allocate a fresh register. */
+    Reg reg();
+
+    /** Number of registers allocated so far. */
+    unsigned regsAllocated() const { return next_reg_; }
+
+    // --- moves / special registers ---
+    Pc nop();
+    Pc mov(Reg d, Reg a);
+    Pc movi(Reg d, i32 imm);
+    Pc s2r(Reg d, SpecialReg sr);
+
+    // --- integer ALU ---
+    Pc iadd(Reg d, Reg a, Reg b);
+    Pc iadd(Reg d, Reg a, Imm b);
+    Pc isub(Reg d, Reg a, Reg b);
+    Pc isub(Reg d, Reg a, Imm b);
+    Pc imul(Reg d, Reg a, Reg b);
+    Pc imul(Reg d, Reg a, Imm b);
+    Pc imad(Reg d, Reg a, Reg b, Reg c);
+    Pc imin(Reg d, Reg a, Reg b);
+    Pc imax(Reg d, Reg a, Reg b);
+    Pc iabs(Reg d, Reg a);
+    Pc and_(Reg d, Reg a, Reg b);
+    Pc and_(Reg d, Reg a, Imm b);
+    Pc or_(Reg d, Reg a, Reg b);
+    Pc or_(Reg d, Reg a, Imm b);
+    Pc xor_(Reg d, Reg a, Reg b);
+    Pc xor_(Reg d, Reg a, Imm b);
+    Pc not_(Reg d, Reg a);
+    Pc shl(Reg d, Reg a, Imm b);
+    Pc shl(Reg d, Reg a, Reg b);
+    Pc shr(Reg d, Reg a, Imm b);
+    Pc sra(Reg d, Reg a, Imm b);
+
+    // --- integer compares (result: 0 / 1) ---
+    Pc isetlt(Reg d, Reg a, Reg b);
+    Pc isetlt(Reg d, Reg a, Imm b);
+    Pc isetle(Reg d, Reg a, Reg b);
+    Pc isetle(Reg d, Reg a, Imm b);
+    Pc iseteq(Reg d, Reg a, Reg b);
+    Pc iseteq(Reg d, Reg a, Imm b);
+    Pc isetne(Reg d, Reg a, Reg b);
+    Pc isetne(Reg d, Reg a, Imm b);
+    Pc isetge(Reg d, Reg a, Reg b);
+    Pc isetge(Reg d, Reg a, Imm b);
+    Pc isetgt(Reg d, Reg a, Reg b);
+    Pc isetgt(Reg d, Reg a, Imm b);
+    Pc sel(Reg d, Reg cond, Reg t, Reg f);
+
+    // --- float ALU ---
+    Pc fadd(Reg d, Reg a, Reg b);
+    Pc fsub(Reg d, Reg a, Reg b);
+    Pc fmul(Reg d, Reg a, Reg b);
+    Pc fmad(Reg d, Reg a, Reg b, Reg c);
+    Pc fmin(Reg d, Reg a, Reg b);
+    Pc fmax(Reg d, Reg a, Reg b);
+    Pc fabs_(Reg d, Reg a);
+    Pc fneg(Reg d, Reg a);
+    Pc fsetlt(Reg d, Reg a, Reg b);
+    Pc fsetle(Reg d, Reg a, Reg b);
+    Pc fseteq(Reg d, Reg a, Reg b);
+    Pc fsetgt(Reg d, Reg a, Reg b);
+    Pc fsetge(Reg d, Reg a, Reg b);
+    Pc i2f(Reg d, Reg a);
+    Pc f2i(Reg d, Reg a);
+    /** Load a float constant (bit pattern as immediate). */
+    Pc fmovi(Reg d, float value);
+
+    // --- SFU ---
+    Pc rcp(Reg d, Reg a);
+    Pc rsq(Reg d, Reg a);
+    Pc sqrt_(Reg d, Reg a);
+    Pc sin_(Reg d, Reg a);
+    Pc cos_(Reg d, Reg a);
+    Pc exp2_(Reg d, Reg a);
+    Pc log2_(Reg d, Reg a);
+
+    // --- memory ---
+    Pc ld(Reg d, Reg addr, i32 offset = 0);
+    Pc st(Reg addr, i32 offset, Reg value);
+
+    // --- barriers / termination ---
+    Pc bar();
+    Pc exit_();
+
+    // --- raw labels & branches (unstructured control flow) ---
+    Label label();
+    void bind(Label l);
+    Pc bra(Label l);
+    Pc bnz(Reg cond, Label l);
+    Pc bz(Reg cond, Label l);
+
+    // --- structured control flow ---
+    /** Open a block executed when @p cond != 0. */
+    void if_(Reg cond);
+    /** Open a block executed when @p cond == 0. */
+    void ifz(Reg cond);
+    void else_();
+    void endIf();
+
+    /** Open a do { } while loop; body starts here. */
+    void loop();
+    /** Close loop: repeat while @p cond != 0. */
+    void endLoopIf(Reg cond);
+    /** Close loop: repeat while @p cond == 0. */
+    void endLoopIfz(Reg cond);
+    /** Branch past endLoopIf when @p cond != 0. */
+    void breakIf(Reg cond);
+    /** Branch past endLoopIf when @p cond == 0. */
+    void breakIfz(Reg cond);
+    /** Branch back to loop start when @p cond != 0. */
+    void continueIf(Reg cond);
+
+    /** Current emission PC (next instruction's address). */
+    Pc here() const { return prog_.size(); }
+
+    /**
+     * Finalize: patch all label references, append a terminal EXIT if
+     * the program does not end with one, and validate.
+     */
+    Program build();
+
+  private:
+    struct LabelInfo
+    {
+        Pc bound = invalid_pc;
+        std::vector<Pc> uses; //!< instructions whose target awaits this
+    };
+
+    enum class FrameKind { If, IfElse, Loop };
+
+    struct Frame
+    {
+        FrameKind kind;
+        Label a; //!< If: else/end label. Loop: start label.
+        Label b; //!< If: end label.     Loop: break/end label.
+    };
+
+    Pc emit(const Instruction &inst);
+    Pc emit2(Opcode op, Reg d, Reg a, Reg b);
+    Pc emit2i(Opcode op, Reg d, Reg a, i32 imm);
+    Pc emit1(Opcode op, Reg d, Reg a);
+    Pc branchTo(Opcode op, Reg cond, Label l);
+
+    Program prog_;
+    std::vector<LabelInfo> labels_;
+    std::vector<Frame> frames_;
+    unsigned next_reg_ = 0;
+    bool built_ = false;
+};
+
+} // namespace siwi::isa
+
+#endif // SIWI_ISA_BUILDER_HH

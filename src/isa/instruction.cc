@@ -1,0 +1,104 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace siwi::isa {
+
+std::vector<RegIdx>
+Instruction::srcRegs() const
+{
+    std::vector<RegIdx> regs;
+    switch (opInfo(op).form) {
+      case OperandForm::None:
+      case OperandForm::DstImm:
+      case OperandForm::DstSreg:
+      case OperandForm::Bra:
+      case OperandForm::Sync:
+        break;
+      case OperandForm::DstSa:
+        regs.push_back(sa);
+        break;
+      case OperandForm::DstSaSb:
+        regs.push_back(sa);
+        if (!b_is_imm)
+            regs.push_back(sb);
+        break;
+      case OperandForm::DstSaSbSc:
+        regs.push_back(sa);
+        if (!b_is_imm)
+            regs.push_back(sb);
+        regs.push_back(sc);
+        break;
+      case OperandForm::Load:
+        regs.push_back(sa);
+        break;
+      case OperandForm::Store:
+        regs.push_back(sa);
+        regs.push_back(sb);
+        break;
+      case OperandForm::CondBra:
+        regs.push_back(sa);
+        break;
+    }
+    return regs;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    const auto &info = opInfo(op);
+    switch (info.form) {
+      case OperandForm::None:
+        break;
+      case OperandForm::DstSa:
+        os << " r" << unsigned(dst) << ", r" << unsigned(sa);
+        break;
+      case OperandForm::DstSaSb:
+        os << " r" << unsigned(dst) << ", r" << unsigned(sa) << ", ";
+        if (b_is_imm)
+            os << "#" << imm;
+        else
+            os << "r" << unsigned(sb);
+        break;
+      case OperandForm::DstSaSbSc:
+        os << " r" << unsigned(dst) << ", r" << unsigned(sa) << ", ";
+        if (b_is_imm)
+            os << "#" << imm;
+        else
+            os << "r" << unsigned(sb);
+        os << ", r" << unsigned(sc);
+        break;
+      case OperandForm::DstImm:
+        os << " r" << unsigned(dst) << ", #" << imm;
+        break;
+      case OperandForm::DstSreg:
+        os << " r" << unsigned(dst) << ", %" << sregName(sreg);
+        break;
+      case OperandForm::Load:
+        os << " r" << unsigned(dst) << ", [r" << unsigned(sa)
+           << "+" << imm << "]";
+        break;
+      case OperandForm::Store:
+        os << " [r" << unsigned(sa) << "+" << imm << "], r"
+           << unsigned(sb);
+        break;
+      case OperandForm::Bra:
+        os << " L" << target;
+        break;
+      case OperandForm::CondBra:
+        os << " r" << unsigned(sa) << ", L" << target;
+        if (reconv != invalid_pc)
+            os << ", !L" << reconv;
+        break;
+      case OperandForm::Sync:
+        os << " @L" << div;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace siwi::isa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A single decoded instruction of the SIMT ISA.
+ */
+
+#ifndef SIWI_ISA_INSTRUCTION_HH
+#define SIWI_ISA_INSTRUCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace siwi::isa {
+
+/**
+ * One decoded instruction.
+ *
+ * A flat POD covering every operand form. Branches carry two PC
+ * annotations filled by the compiler passes:
+ *  - @ref reconv : the reconvergence point (immediate post-dominator),
+ *    consumed by the baseline divergence stack exactly like Tesla's
+ *    SSY marker;
+ *  - SYNC instructions carry @ref div : the divergence point PCdiv
+ *    (last instruction of the immediate dominator of the
+ *    reconvergence point), the payload of the paper's selective
+ *    synchronization barrier (section 3.3).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+
+    RegIdx dst = 0; //!< destination register
+    RegIdx sa = 0;  //!< first source register (also address base / cond)
+    RegIdx sb = 0;  //!< second source register (also store value)
+    RegIdx sc = 0;  //!< third source register (mad addend, sel false-val)
+
+    i32 imm = 0;          //!< immediate operand / memory offset
+    bool b_is_imm = false;//!< second operand is @ref imm, not @ref sb
+
+    SpecialReg sreg = SpecialReg::TID; //!< S2R source
+
+    Pc target = invalid_pc; //!< branch target
+    Pc reconv = invalid_pc; //!< reconvergence point (cond branches)
+    Pc div = invalid_pc;    //!< SYNC payload: divergence point PCdiv
+
+    /** Unit class this instruction is issued to. */
+    UnitClass unit() const { return opInfo(op).unit; }
+
+    /** True when a destination register is written. */
+    bool writesDst() const { return opInfo(op).writes_dst; }
+
+    /** Source registers actually read, for scoreboard comparison. */
+    std::vector<RegIdx> srcRegs() const;
+
+    /** Render in the assembler syntax (without label prefix). */
+    std::string toString() const;
+};
+
+} // namespace siwi::isa
+
+#endif // SIWI_ISA_INSTRUCTION_HH

@@ -1,0 +1,137 @@
+#include "isa/opcode.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace siwi::isa {
+
+namespace {
+
+using UC = UnitClass;
+using OF = OperandForm;
+
+constexpr std::array<OpInfo, num_opcodes> op_table = {{
+    {"nop",    UC::MAD,  OF::None,      false}, // NOP
+    {"mov",    UC::MAD,  OF::DstSa,     true},  // MOV
+    {"movi",   UC::MAD,  OF::DstImm,    true},  // MOVI
+    {"s2r",    UC::MAD,  OF::DstSreg,   true},  // S2R
+    {"iadd",   UC::MAD,  OF::DstSaSb,   true},  // IADD
+    {"isub",   UC::MAD,  OF::DstSaSb,   true},  // ISUB
+    {"imul",   UC::MAD,  OF::DstSaSb,   true},  // IMUL
+    {"imad",   UC::MAD,  OF::DstSaSbSc, true},  // IMAD
+    {"imin",   UC::MAD,  OF::DstSaSb,   true},  // IMIN
+    {"imax",   UC::MAD,  OF::DstSaSb,   true},  // IMAX
+    {"iabs",   UC::MAD,  OF::DstSa,     true},  // IABS
+    {"and",    UC::MAD,  OF::DstSaSb,   true},  // AND
+    {"or",     UC::MAD,  OF::DstSaSb,   true},  // OR
+    {"xor",    UC::MAD,  OF::DstSaSb,   true},  // XOR
+    {"not",    UC::MAD,  OF::DstSa,     true},  // NOT
+    {"shl",    UC::MAD,  OF::DstSaSb,   true},  // SHL
+    {"shr",    UC::MAD,  OF::DstSaSb,   true},  // SHR
+    {"sra",    UC::MAD,  OF::DstSaSb,   true},  // SRA
+    {"isetlt", UC::MAD,  OF::DstSaSb,   true},  // ISETLT
+    {"isetle", UC::MAD,  OF::DstSaSb,   true},  // ISETLE
+    {"iseteq", UC::MAD,  OF::DstSaSb,   true},  // ISETEQ
+    {"isetne", UC::MAD,  OF::DstSaSb,   true},  // ISETNE
+    {"isetge", UC::MAD,  OF::DstSaSb,   true},  // ISETGE
+    {"isetgt", UC::MAD,  OF::DstSaSb,   true},  // ISETGT
+    {"sel",    UC::MAD,  OF::DstSaSbSc, true},  // SEL
+    {"fadd",   UC::MAD,  OF::DstSaSb,   true},  // FADD
+    {"fsub",   UC::MAD,  OF::DstSaSb,   true},  // FSUB
+    {"fmul",   UC::MAD,  OF::DstSaSb,   true},  // FMUL
+    {"fmad",   UC::MAD,  OF::DstSaSbSc, true},  // FMAD
+    {"fmin",   UC::MAD,  OF::DstSaSb,   true},  // FMIN
+    {"fmax",   UC::MAD,  OF::DstSaSb,   true},  // FMAX
+    {"fabs",   UC::MAD,  OF::DstSa,     true},  // FABS
+    {"fneg",   UC::MAD,  OF::DstSa,     true},  // FNEG
+    {"fsetlt", UC::MAD,  OF::DstSaSb,   true},  // FSETLT
+    {"fsetle", UC::MAD,  OF::DstSaSb,   true},  // FSETLE
+    {"fseteq", UC::MAD,  OF::DstSaSb,   true},  // FSETEQ
+    {"fsetne", UC::MAD,  OF::DstSaSb,   true},  // FSETNE
+    {"fsetge", UC::MAD,  OF::DstSaSb,   true},  // FSETGE
+    {"fsetgt", UC::MAD,  OF::DstSaSb,   true},  // FSETGT
+    {"i2f",    UC::MAD,  OF::DstSa,     true},  // I2F
+    {"f2i",    UC::MAD,  OF::DstSa,     true},  // F2I
+    {"rcp",    UC::SFU,  OF::DstSa,     true},  // RCP
+    {"rsq",    UC::SFU,  OF::DstSa,     true},  // RSQ
+    {"sqrt",   UC::SFU,  OF::DstSa,     true},  // SQRT
+    {"sin",    UC::SFU,  OF::DstSa,     true},  // SIN
+    {"cos",    UC::SFU,  OF::DstSa,     true},  // COS
+    {"exp2",   UC::SFU,  OF::DstSa,     true},  // EXP2
+    {"log2",   UC::SFU,  OF::DstSa,     true},  // LOG2
+    {"ld",     UC::LSU,  OF::Load,      true},  // LD
+    {"st",     UC::LSU,  OF::Store,     false}, // ST
+    {"bra",    UC::CTRL, OF::Bra,       false}, // BRA
+    {"bnz",    UC::CTRL, OF::CondBra,   false}, // BNZ
+    {"bz",     UC::CTRL, OF::CondBra,   false}, // BZ
+    {"sync",   UC::CTRL, OF::Sync,      false}, // SYNC
+    {"bar",    UC::CTRL, OF::None,      false}, // BAR
+    {"exit",   UC::CTRL, OF::None,      false}, // EXIT
+}};
+
+constexpr std::array<std::string_view, num_special_regs> sreg_names = {
+    "tid", "ntid", "ctaid", "nctaid", "gtid", "lane", "wid",
+};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    siwi_assert(op < Opcode::NumOpcodes, "bad opcode");
+    return op_table[static_cast<unsigned>(op)];
+}
+
+std::string_view
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+Opcode
+opFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < num_opcodes; ++i) {
+        if (op_table[i].name == name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+std::string_view
+sregName(SpecialReg sr)
+{
+    siwi_assert(sr < SpecialReg::NumSpecialRegs, "bad sreg");
+    return sreg_names[static_cast<unsigned>(sr)];
+}
+
+SpecialReg
+sregFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < num_special_regs; ++i) {
+        if (sreg_names[i] == name)
+            return static_cast<SpecialReg>(i);
+    }
+    return SpecialReg::NumSpecialRegs;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::BRA || op == Opcode::BNZ || op == Opcode::BZ;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BNZ || op == Opcode::BZ;
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::ST;
+}
+
+} // namespace siwi::isa

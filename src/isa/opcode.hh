@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Opcode set of the SASS-like SIMT ISA executed by the simulator.
+ *
+ * The ISA stands in for NVIDIA Tesla SASS that the paper's Barra-based
+ * simulator executed (see DESIGN.md, substitution table). Opcodes are
+ * grouped by the execution-unit class that runs them on the SM
+ * back-end: MAD (multiply-add / integer / control), SFU
+ * (transcendental) and LSU (memory), matching Figure 1 of the paper.
+ */
+
+#ifndef SIWI_ISA_OPCODE_HH
+#define SIWI_ISA_OPCODE_HH
+
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace siwi::isa {
+
+/** Execution-unit class an instruction is issued to. */
+enum class UnitClass : u8 {
+    MAD, //!< multiply-add array; also integer, compare, select
+    SFU, //!< special function unit (transcendentals)
+    LSU, //!< load-store unit, single 128-byte L1 port
+    CTRL //!< control flow; occupies the MAD issue path
+};
+
+/** Assembly operand shape, used by the (dis)assembler and validator. */
+enum class OperandForm : u8 {
+    None,     //!< no operands (NOP, BAR, EXIT)
+    DstSaSb,  //!< rd, ra, rb|#imm
+    DstSaSbSc,//!< rd, ra, rb, rc   (mad, sel)
+    DstSa,    //!< rd, ra           (unary)
+    DstImm,   //!< rd, #imm         (movi)
+    DstSreg,  //!< rd, %sreg        (s2r)
+    Load,     //!< rd, [ra+imm]
+    Store,    //!< [ra+imm], rb
+    Bra,      //!< L<target>
+    CondBra,  //!< ra, L<target>
+    Sync      //!< @L<divergence point>
+};
+
+/**
+ * Instruction opcodes.
+ *
+ * Integer ops interpret registers as two's-complement i32; float ops
+ * as IEEE binary32. Shifts use the low 5 bits of the shift amount.
+ */
+enum class Opcode : u8 {
+    NOP,
+    // --- MAD class: moves and integer arithmetic ---
+    MOV, MOVI, S2R,
+    IADD, ISUB, IMUL, IMAD, IMIN, IMAX, IABS,
+    AND, OR, XOR, NOT, SHL, SHR, SRA,
+    ISETLT, ISETLE, ISETEQ, ISETNE, ISETGE, ISETGT,
+    SEL,
+    // --- MAD class: float arithmetic ---
+    FADD, FSUB, FMUL, FMAD, FMIN, FMAX, FABS, FNEG,
+    FSETLT, FSETLE, FSETEQ, FSETNE, FSETGE, FSETGT,
+    I2F, F2I,
+    // --- SFU class ---
+    RCP, RSQ, SQRT, SIN, COS, EXP2, LOG2,
+    // --- LSU class ---
+    LD, ST,
+    // --- control ---
+    BRA, BNZ, BZ, SYNC, BAR, EXIT,
+    NumOpcodes
+};
+
+/** Number of opcodes, for table sizing and parameterized tests. */
+constexpr unsigned num_opcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Special (read-only) registers exposed through S2R. */
+enum class SpecialReg : u8 {
+    TID,    //!< thread index within the thread block
+    NTID,   //!< threads per block
+    CTAID,  //!< block index within the grid
+    NCTAID, //!< blocks in the grid
+    GTID,   //!< global thread index (ctaid * ntid + tid)
+    LANE,   //!< physical lane within the warp (after lane shuffling)
+    WID,    //!< hardware warp slot index
+    NumSpecialRegs
+};
+
+constexpr unsigned num_special_regs =
+    static_cast<unsigned>(SpecialReg::NumSpecialRegs);
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view name;  //!< lower-case mnemonic
+    UnitClass unit;         //!< back-end unit class
+    OperandForm form;       //!< assembly operand shape
+    bool writes_dst;        //!< produces a destination register
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for @p op. */
+std::string_view opName(Opcode op);
+
+/** Parse a mnemonic; returns NumOpcodes when unknown. */
+Opcode opFromName(std::string_view name);
+
+/** Name of a special register (without the leading %). */
+std::string_view sregName(SpecialReg sr);
+
+/** Parse a special-register name; returns NumSpecialRegs if unknown. */
+SpecialReg sregFromName(std::string_view name);
+
+/** True for BRA/BNZ/BZ (PC-changing, potentially divergent for BNZ/BZ). */
+bool isBranch(Opcode op);
+
+/** True for BNZ/BZ: data-dependent, so potentially divergent. */
+bool isCondBranch(Opcode op);
+
+/** True for LD/ST. */
+bool isMemory(Opcode op);
+
+} // namespace siwi::isa
+
+#endif // SIWI_ISA_OPCODE_HH

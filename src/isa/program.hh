@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Program: the executable unit loaded onto the simulated SM.
+ */
+
+#ifndef SIWI_ISA_PROGRAM_HH
+#define SIWI_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace siwi::isa {
+
+/**
+ * A kernel binary: a linear sequence of instructions, entry at PC 0.
+ *
+ * PCs are instruction indices (the paper numbers instructions the
+ * same way in Figure 2). Programs produced by the KernelBuilder are
+ * normally post-processed by cfg::compileKernel, which lays blocks
+ * out in thread-frontier order and inserts SYNC reconvergence
+ * markers.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Number of instructions. */
+    Pc size() const { return Pc(code_.size()); }
+    bool empty() const { return code_.empty(); }
+
+    const Instruction &at(Pc pc) const;
+    Instruction &at(Pc pc);
+
+    /** Append an instruction; returns its PC. */
+    Pc push(const Instruction &inst);
+
+    const std::vector<Instruction> &code() const { return code_; }
+    std::vector<Instruction> &code() { return code_; }
+
+    /** Highest register index referenced, plus one. */
+    unsigned regsUsed() const;
+
+    /**
+     * Structural validation: branch targets in range, terminating
+     * EXIT reachable, operand registers in range.
+     * @return empty string if valid, else a diagnostic.
+     */
+    std::string validate() const;
+
+    /** Disassemble to re-assemblable text (with Lpc: labels). */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+};
+
+} // namespace siwi::isa
+
+#endif // SIWI_ISA_PROGRAM_HH

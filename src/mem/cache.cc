@@ -1,0 +1,94 @@
+#include "mem/cache.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace siwi::mem {
+
+L1Cache::L1Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    siwi_assert(isPow2(cfg.block_bytes), "block size not pow2");
+    u32 num_blocks = cfg.size_bytes / cfg.block_bytes;
+    siwi_assert(num_blocks % cfg.ways == 0,
+                "cache size not divisible by ways");
+    num_sets_ = num_blocks / cfg.ways;
+    lines_.resize(num_blocks);
+}
+
+u32
+L1Cache::setIndex(Addr block) const
+{
+    return u32((block / cfg_.block_bytes) % num_sets_);
+}
+
+Addr
+L1Cache::tagOf(Addr block) const
+{
+    return block / cfg_.block_bytes / num_sets_;
+}
+
+bool
+L1Cache::access(Addr block)
+{
+    u32 set = setIndex(block);
+    Addr tag = tagOf(block);
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        Line &line = lines_[size_t(set) * cfg_.ways + w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++use_counter_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+L1Cache::probe(Addr block) const
+{
+    u32 set = setIndex(block);
+    Addr tag = tagOf(block);
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        const Line &line = lines_[size_t(set) * cfg_.ways + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+L1Cache::fill(Addr block)
+{
+    u32 set = setIndex(block);
+    Addr tag = tagOf(block);
+    Line *victim = nullptr;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        Line &line = lines_[size_t(set) * cfg_.ways + w];
+        if (line.valid && line.tag == tag) {
+            // Already filled by a racing request; refresh LRU.
+            line.lru = ++use_counter_;
+            return;
+        }
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++use_counter_;
+}
+
+void
+L1Cache::invalidateAll()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+} // namespace siwi::mem

@@ -1,0 +1,25 @@
+#include "mem/dram.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace siwi::mem {
+
+Cycle
+Dram::serve(Cycle now, u32 bytes)
+{
+    siwi_assert(cfg_.bytes_per_cycle_x10 > 0, "zero dram bandwidth");
+    u64 now_tenths = now * 10;
+    u64 start = std::max(now_tenths, next_free_tenths_);
+    stats_.stall_tenths += start - now_tenths;
+    // duration = bytes / (bw/10) cycles = bytes*100/bw tenths.
+    u64 duration = divCeil(u64(bytes) * 100, cfg_.bytes_per_cycle_x10);
+    next_free_tenths_ = start + duration;
+
+    ++stats_.transactions;
+    stats_.bytes += bytes;
+
+    return divCeil(start + duration, 10) + cfg_.latency_cycles;
+}
+
+} // namespace siwi::mem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Throughput-limited, constant-latency memory model.
+ *
+ * Follows the paper's methodology (section 5.1, after Gebhart et
+ * al.): a single-SM memory system with 10 GB/s of bandwidth and
+ * 330 ns latency at 1 GHz, i.e. 10 bytes per cycle and 330 cycles.
+ */
+
+#ifndef SIWI_MEM_DRAM_HH
+#define SIWI_MEM_DRAM_HH
+
+#include "common/types.hh"
+
+namespace siwi::mem {
+
+/** DRAM bandwidth/latency parameters. */
+struct DramConfig
+{
+    u32 bytes_per_cycle_x10 = 100; //!< bandwidth in 0.1 B/cyc units
+    u32 latency_cycles = 330;      //!< flat access latency
+};
+
+/** DRAM statistics. */
+struct DramStats
+{
+    u64 transactions = 0;
+    u64 bytes = 0;
+    u64 stall_tenths = 0; //!< queueing delay accumulated (0.1 cyc)
+};
+
+/**
+ * Bandwidth-throttled pipe with flat latency.
+ *
+ * Transfer time is tracked in tenths of a cycle so the paper's
+ * 10 GB/s (12.8 cycles per 128-byte block) is modeled exactly.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Enqueue a @p bytes transfer at time @p now.
+     * @return the cycle the data is available.
+     */
+    Cycle serve(Cycle now, u32 bytes);
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return cfg_; }
+
+  private:
+    DramConfig cfg_;
+    u64 next_free_tenths_ = 0;
+    DramStats stats_;
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_DRAM_HH

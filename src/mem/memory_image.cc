@@ -1,0 +1,78 @@
+#include "mem/memory_image.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace siwi::mem {
+
+namespace {
+
+Addr
+wordIndex(Addr addr)
+{
+    siwi_assert((addr & 3) == 0,
+                "unaligned 32-bit access at 0x", std::hex, addr);
+    return addr >> 2;
+}
+
+} // namespace
+
+u32
+MemoryImage::read32(Addr addr) const
+{
+    auto it = words_.find(wordIndex(addr));
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+MemoryImage::write32(Addr addr, u32 value)
+{
+    words_[wordIndex(addr)] = value;
+}
+
+float
+MemoryImage::readF32(Addr addr) const
+{
+    return std::bit_cast<float>(read32(addr));
+}
+
+void
+MemoryImage::writeF32(Addr addr, float value)
+{
+    write32(addr, std::bit_cast<u32>(value));
+}
+
+void
+MemoryImage::writeWords(Addr base, const std::vector<u32> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        write32(base + Addr(i) * 4, words[i]);
+}
+
+void
+MemoryImage::writeFloats(Addr base, const std::vector<float> &floats)
+{
+    for (size_t i = 0; i < floats.size(); ++i)
+        writeF32(base + Addr(i) * 4, floats[i]);
+}
+
+std::vector<u32>
+MemoryImage::readWords(Addr base, size_t count) const
+{
+    std::vector<u32> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = read32(base + Addr(i) * 4);
+    return out;
+}
+
+std::vector<float>
+MemoryImage::readFloats(Addr base, size_t count) const
+{
+    std::vector<float> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = readF32(base + Addr(i) * 4);
+    return out;
+}
+
+} // namespace siwi::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional backing store for the simulated global memory.
+ */
+
+#ifndef SIWI_MEM_MEMORY_IMAGE_HH
+#define SIWI_MEM_MEMORY_IMAGE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace siwi::mem {
+
+/**
+ * Sparse, word-granular memory image.
+ *
+ * The ISA only issues naturally-aligned 4-byte accesses, so the
+ * image stores 32-bit words keyed by word index. Unwritten memory
+ * reads as zero, which workloads rely on for output buffers.
+ */
+class MemoryImage
+{
+  public:
+    /** Read a 32-bit word at 4-byte-aligned address @p addr. */
+    u32 read32(Addr addr) const;
+
+    /** Write a 32-bit word at 4-byte-aligned address @p addr. */
+    void write32(Addr addr, u32 value);
+
+    float readF32(Addr addr) const;
+    void writeF32(Addr addr, float value);
+
+    /** Bulk-write a span of words starting at @p base. */
+    void writeWords(Addr base, const std::vector<u32> &words);
+    void writeFloats(Addr base, const std::vector<float> &floats);
+
+    /** Bulk-read @p count words starting at @p base. */
+    std::vector<u32> readWords(Addr base, size_t count) const;
+    std::vector<float> readFloats(Addr base, size_t count) const;
+
+    /** Number of words ever written (for tests). */
+    size_t wordsWritten() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<Addr, u32> words_;
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_MEMORY_IMAGE_HH

@@ -1,0 +1,114 @@
+#include "mem/memory_system.hh"
+
+#include "common/log.hh"
+
+namespace siwi::mem {
+
+MemorySystem::MemorySystem(const MemConfig &cfg)
+    : cfg_(cfg), l1_(cfg.l1), dram_(cfg.dram),
+      wbuf_(cfg.write_buffer_entries)
+{
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    // Fill lines whose DRAM response has arrived.
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second <= now) {
+            l1_.fill(it->first);
+            it = inflight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+Cycle
+MemorySystem::load(Cycle now, Addr block)
+{
+    ++stats_.load_transactions;
+
+    if (l1_.access(block))
+        return now + l1_.config().hit_latency;
+
+    // Merge with an in-flight miss to the same block.
+    auto it = inflight_.find(block);
+    if (it != inflight_.end()) {
+        ++stats_.mshr_merges;
+        return it->second + l1_.config().hit_latency;
+    }
+
+    Cycle start = now;
+    if (inflight_.size() >= cfg_.mshrs) {
+        // All MSHRs busy: queue behind the earliest completing miss.
+        ++stats_.mshr_stalls;
+        Cycle earliest = ~Cycle(0);
+        for (const auto &[blk, done] : inflight_)
+            earliest = std::min(earliest, done);
+        start = std::max(start, earliest);
+    }
+
+    Cycle fill = dram_.serve(start, l1_.config().block_bytes);
+    inflight_[block] = fill;
+    return fill + l1_.config().hit_latency;
+}
+
+void
+MemorySystem::drainWriteBuf(Cycle now, WriteBufEntry &e)
+{
+    if (!e.valid)
+        return;
+    dram_.serve(now, e.bytes);
+    e.valid = false;
+}
+
+Cycle
+MemorySystem::store(Cycle now, Addr block, u32 bytes)
+{
+    ++stats_.store_transactions;
+
+    if (wbuf_.empty()) {
+        // No write buffer: plain write-through.
+        dram_.serve(now, bytes);
+        return now + 1;
+    }
+
+    // Merge into a resident write-combining entry.
+    for (WriteBufEntry &e : wbuf_) {
+        if (e.valid && e.block == block) {
+            e.bytes = std::min(l1_.config().block_bytes,
+                               e.bytes + bytes);
+            e.last_use = ++wbuf_use_;
+            ++stats_.write_combines;
+            return now + 1;
+        }
+    }
+    // Allocate: free entry if any, else evict the LRU one.
+    WriteBufEntry *victim = &wbuf_[0];
+    for (WriteBufEntry &e : wbuf_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.last_use < victim->last_use)
+            victim = &e;
+    }
+    drainWriteBuf(now, *victim);
+    victim->valid = true;
+    victim->block = block;
+    victim->bytes = bytes;
+    victim->last_use = ++wbuf_use_;
+    return now + 1;
+}
+
+void
+MemorySystem::invalidate()
+{
+    for (WriteBufEntry &e : wbuf_)
+        drainWriteBuf(0, e);
+    l1_.invalidateAll();
+    inflight_.clear();
+}
+
+} // namespace siwi::mem

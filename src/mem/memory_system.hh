@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Timing glue between the LSU and the L1 / DRAM models.
+ */
+
+#ifndef SIWI_MEM_MEMORY_SYSTEM_HH
+#define SIWI_MEM_MEMORY_SYSTEM_HH
+
+#include <map>
+#include <optional>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace siwi::mem {
+
+/** Combined memory-system parameters (Table 2 of the paper). */
+struct MemConfig
+{
+    CacheConfig l1;
+    DramConfig dram;
+    u32 mshrs = 64; //!< max in-flight missed blocks
+    /**
+     * Write-combining buffer entries for the write-through store
+     * path: repeated stores to a resident block merge and drain to
+     * DRAM once on eviction (stands in for the shared/local-memory
+     * traffic the paper's benchmarks kept on chip).
+     */
+    u32 write_buffer_entries = 8;
+};
+
+/** Memory-system statistics. */
+struct MemStats
+{
+    u64 load_transactions = 0;
+    u64 store_transactions = 0;
+    u64 write_combines = 0;
+    u64 mshr_merges = 0;
+    u64 mshr_stalls = 0;
+};
+
+/**
+ * Timing-only memory hierarchy below the LSU.
+ *
+ * One call = one coalesced 128-byte transaction through the LSU's
+ * single L1 port. Loads probe the L1; misses allocate an MSHR and go
+ * to DRAM, with same-block misses merged. Stores are write-through
+ * no-allocate and only consume DRAM bandwidth.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &cfg);
+
+    /**
+     * Issue a load transaction for @p block at @p now.
+     * @return the data-ready cycle. When all MSHRs are busy the
+     *         request queues behind the earliest completing miss
+     *         (counted in stats as an MSHR stall).
+     */
+    Cycle load(Cycle now, Addr block);
+
+    /**
+     * Issue a store transaction of @p bytes payload at @p now.
+     * Fire-and-forget: returns the cycle the LSU may consider the
+     * store retired (next cycle).
+     */
+    Cycle store(Cycle now, Addr block, u32 bytes);
+
+    /** Retire completed fills; called once per cycle. */
+    void tick(Cycle now);
+
+    /** Reset cache/tags between kernels (stats persist). */
+    void invalidate();
+
+    const MemStats &stats() const { return stats_; }
+    const CacheStats &cacheStats() const { return l1_.stats(); }
+    const DramStats &dramStats() const { return dram_.stats(); }
+    const MemConfig &config() const { return cfg_; }
+
+  private:
+    struct WriteBufEntry
+    {
+        bool valid = false;
+        Addr block = 0;
+        u32 bytes = 0;
+        u64 last_use = 0;
+    };
+
+    void drainWriteBuf(Cycle now, WriteBufEntry &e);
+
+    MemConfig cfg_;
+    L1Cache l1_;
+    Dram dram_;
+    /** In-flight missed blocks -> fill-completion cycle. */
+    std::map<Addr, Cycle> inflight_;
+    std::vector<WriteBufEntry> wbuf_;
+    u64 wbuf_use_ = 0;
+    MemStats stats_;
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,166 @@
+#include "pipeline/config.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace siwi::pipeline {
+
+const char *
+pipelineModeName(PipelineMode m)
+{
+    switch (m) {
+      case PipelineMode::Baseline: return "Baseline";
+      case PipelineMode::Warp64: return "Warp64";
+      case PipelineMode::SBI: return "SBI";
+      case PipelineMode::SWI: return "SWI";
+      case PipelineMode::SBISWI: return "SBI+SWI";
+    }
+    return "?";
+}
+
+const char *
+laneShuffleName(LaneShufflePolicy p)
+{
+    switch (p) {
+      case LaneShufflePolicy::Identity: return "Identity";
+      case LaneShufflePolicy::MirrorOdd: return "MirrorOdd";
+      case LaneShufflePolicy::MirrorHalf: return "MirrorHalf";
+      case LaneShufflePolicy::Xor: return "Xor";
+      case LaneShufflePolicy::XorRev: return "XorRev";
+    }
+    return "?";
+}
+
+SMConfig
+SMConfig::make(PipelineMode mode)
+{
+    SMConfig c;
+    c.mode = mode;
+    switch (mode) {
+      case PipelineMode::Baseline:
+        // Figure 1: two 32-wide pools, stack reconvergence.
+        c.warp_width = 32;
+        c.num_warps = 32;
+        c.num_pools = 2;
+        c.mad_groups = 2;
+        c.mad_width = 32;
+        c.reconv = ReconvMode::Stack;
+        c.scheduler_latency = 1;
+        c.delivery_latency = 0;
+        c.split_on_memory_divergence = false; // stack cannot split
+        break;
+      case PipelineMode::Warp64:
+        c.warp_width = 64;
+        c.num_warps = 16;
+        c.num_pools = 2;
+        c.mad_groups = 1;
+        c.mad_width = 64;
+        c.reconv = ReconvMode::ThreadFrontier;
+        c.scheduler_latency = 1;
+        c.delivery_latency = 1;
+        break;
+      case PipelineMode::SBI:
+        c.warp_width = 64;
+        c.num_warps = 16;
+        c.num_pools = 1;
+        c.mad_groups = 1;
+        c.mad_width = 64;
+        c.reconv = ReconvMode::ThreadFrontier;
+        c.sbi = true;
+        c.scheduler_latency = 1;
+        c.delivery_latency = 1;
+        break;
+      case PipelineMode::SWI:
+        c.warp_width = 64;
+        c.num_warps = 16;
+        c.num_pools = 1;
+        c.mad_groups = 1;
+        c.mad_width = 64;
+        c.reconv = ReconvMode::ThreadFrontier;
+        c.swi = true;
+        c.scheduler_latency = 2;
+        c.delivery_latency = 1;
+        c.shuffle = LaneShufflePolicy::XorRev;
+        break;
+      case PipelineMode::SBISWI:
+        c.warp_width = 64;
+        c.num_warps = 16;
+        c.num_pools = 1;
+        c.mad_groups = 1;
+        c.mad_width = 64;
+        c.reconv = ReconvMode::ThreadFrontier;
+        c.sbi = true;
+        c.swi = true;
+        c.scheduler_latency = 2;
+        c.delivery_latency = 1;
+        c.shuffle = LaneShufflePolicy::XorRev;
+        break;
+    }
+    c.validate();
+    return c;
+}
+
+void
+SMConfig::validate() const
+{
+    siwi_assert(warp_width >= 1 && warp_width <= max_warp_width,
+                "warp width out of range");
+    siwi_assert(isPow2(warp_width), "warp width must be pow2");
+    siwi_assert(num_warps >= 1, "need at least one warp");
+    siwi_assert(num_pools == 1 || num_pools == 2, "1 or 2 pools");
+    siwi_assert(num_warps % num_pools == 0,
+                "warps must split evenly across pools");
+    siwi_assert(mad_groups >= 1, "need a MAD group");
+    siwi_assert(warp_width % sfu_width == 0 &&
+                warp_width % std::min(lsu_width, warp_width) == 0,
+                "unit widths must divide warp width");
+    siwi_assert(!(sbi && reconv == ReconvMode::Stack),
+                "SBI requires thread-frontier reconvergence");
+    siwi_assert(!(split_on_memory_divergence &&
+                  reconv == ReconvMode::Stack),
+                "memory splits require the heap");
+    siwi_assert(!swi || cascaded(),
+                "SWI requires cascaded (2-cycle) scheduling");
+    siwi_assert(lookup_sets >= 1 && lookup_sets <= num_warps,
+                "lookup_sets out of range");
+    siwi_assert(scoreboard_entries >= 1, "scoreboard too small");
+}
+
+std::string
+SMConfig::summary() const
+{
+    std::ostringstream os;
+    os << "mode:               " << pipelineModeName(mode) << "\n"
+       << "warps x width:      " << num_warps << " x " << warp_width
+       << "\n"
+       << "scheduler pools:    " << num_pools << "\n"
+       << "reconvergence:      "
+       << (reconv == ReconvMode::Stack ? "stack" : "thread frontier")
+       << "\n"
+       << "scheduler latency:  " << scheduler_latency << " cycle(s)\n"
+       << "delivery latency:   " << delivery_latency << " cycle(s)\n"
+       << "execution latency:  " << exec_latency << " cycles\n"
+       << "scoreboard:         " << scoreboard_entries
+       << " entries/warp\n"
+       << "exec units:         " << mad_groups << "x MAD(x"
+       << mad_width << "), SFU(x" << sfu_width << "), LSU(x"
+       << lsu_width << ")\n"
+       << "L1 cache:           " << mem.l1.size_bytes / 1024 << "K, "
+       << mem.l1.ways << "-way, " << mem.l1.block_bytes
+       << "B blocks, " << mem.l1.hit_latency << " cycles\n"
+       << "memory:             "
+       << double(mem.dram.bytes_per_cycle_x10) / 10.0
+       << " B/cycle, " << mem.dram.latency_cycles << " cycles\n"
+       << "SBI:                " << (sbi ? "on" : "off")
+       << (sbi && sbi_constraints ? " (constraints)" : "") << "\n"
+       << "SWI:                " << (swi ? "on" : "off")
+       << ", lookup sets " << lookup_sets << "\n"
+       << "lane shuffle:       " << laneShuffleName(shuffle) << "\n"
+       << "memory splits:      "
+       << (split_on_memory_divergence ? "on" : "off") << "\n";
+    return os.str();
+}
+
+} // namespace siwi::pipeline

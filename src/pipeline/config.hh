@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SM configuration (the paper's Table 2 plus mode switches).
+ */
+
+#ifndef SIWI_PIPELINE_CONFIG_HH
+#define SIWI_PIPELINE_CONFIG_HH
+
+#include <string>
+
+#include "divergence/split_heap.hh"
+#include "mem/memory_system.hh"
+
+namespace siwi::pipeline {
+
+/** The five simulated machines of the evaluation (Figure 7). */
+enum class PipelineMode {
+    Baseline, //!< 32x32 warps, stack reconvergence (Fermi-like)
+    Warp64,   //!< 16x64, thread-frontier heap, sequential splits
+    SBI,      //!< 16x64, + dual front-end over CPC1/CPC2
+    SWI,      //!< 16x64, + cascaded mask-fit secondary scheduler
+    SBISWI,   //!< both techniques combined
+};
+
+/** Divergence-tracking substrate. */
+enum class ReconvMode { Stack, ThreadFrontier };
+
+/** Static lane-shuffle policies (paper Table 1). */
+enum class LaneShufflePolicy {
+    Identity,
+    MirrorOdd,
+    MirrorHalf,
+    Xor,
+    XorRev,
+};
+
+const char *pipelineModeName(PipelineMode m);
+const char *laneShuffleName(LaneShufflePolicy p);
+
+/** Full SM parameter set. */
+struct SMConfig
+{
+    PipelineMode mode = PipelineMode::Baseline;
+
+    // --- machine geometry ---
+    unsigned warp_width = 32;
+    unsigned num_warps = 32;
+    unsigned num_pools = 2;   //!< independent scheduler pools
+    unsigned mad_groups = 2;  //!< number of MAD SIMD groups
+    unsigned mad_width = 32;
+    unsigned sfu_width = 8;
+    unsigned lsu_width = 32;
+
+    // --- divergence handling ---
+    ReconvMode reconv = ReconvMode::Stack;
+    bool sbi = false; //!< secondary front-end over CPC2 contexts
+    bool swi = false; //!< cascaded mask-fit secondary scheduler
+    /** Honor SYNC selective synchronization barriers (paper 3.3). */
+    bool sbi_constraints = true;
+    /**
+     * Let the SBI secondary front-end issue another warp's primary
+     * context to a different SIMD group when no secondary warp-split
+     * is ready (interpretation note in DESIGN.md).
+     */
+    bool sbi_secondary_fallback = true;
+    /** DWS-style warp-splits on memory address divergence (3.4). */
+    bool split_on_memory_divergence = true;
+    divergence::SplitHeapConfig heap;
+
+    // --- SWI scheduler ---
+    LaneShufflePolicy shuffle = LaneShufflePolicy::Identity;
+    /**
+     * Set count of the mask-inclusion lookup; 1 = fully associative
+     * (a CAM), num_warps = direct mapped (Figure 9).
+     */
+    unsigned lookup_sets = 1;
+
+    // --- timing (Table 2) ---
+    unsigned scheduler_latency = 1;  //!< 2 = cascaded secondary
+    unsigned delivery_latency = 0;   //!< instruction delivery stage
+    unsigned exec_latency = 8;
+    unsigned scoreboard_entries = 6; //!< per warp
+
+    // --- memory ---
+    mem::MemConfig mem;
+
+    // --- occupancy ---
+    unsigned max_blocks_resident = 8;
+
+    /** Threads resident at full occupancy. */
+    unsigned maxThreads() const { return warp_width * num_warps; }
+
+    /** True for cascaded-secondary (SWI-style) scheduling. */
+    bool cascaded() const { return scheduler_latency >= 2; }
+
+    /** Build the canonical configuration of a pipeline mode. */
+    static SMConfig make(PipelineMode mode);
+
+    /** Table 2-style multi-line summary. */
+    std::string summary() const;
+
+    /** Sanity-check invariants; panics on nonsense. */
+    void validate() const;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_CONFIG_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dependency-matrix scoreboard (paper §3.4, Figure 6).
+ *
+ * Instead of storing the execution mask of every in-flight
+ * instruction, the paper tracks, per scoreboard entry, a 3x3 boolean
+ * matrix D(t-k, t): D[i][j] is set when some thread that executed in
+ * slot i (I1 = primary, I2 = secondary, I3 = all inactive heap
+ * entries) at issue cycle t-k is now in slot j. Dependencies are the
+ * register-ID match ANDed with the matrix bit; matrices are updated
+ * each scheduling cycle by a boolean product with the one-step
+ * matrix D(t, t+1) derived from the warp-split masks.
+ *
+ * The approximation is conservative: tracking thread movement
+ * through the aggregated I3 slot can only add dependencies, never
+ * lose one. The property test in tests/pipeline/dep_matrix_test.cc
+ * checks this against the exact-mask Scoreboard.
+ */
+
+#ifndef SIWI_PIPELINE_DEP_MATRIX_HH
+#define SIWI_PIPELINE_DEP_MATRIX_HH
+
+#include <array>
+#include <vector>
+
+#include "common/lane_mask.hh"
+#include "isa/instruction.hh"
+
+namespace siwi::pipeline {
+
+/** 3x3 boolean matrix packed into a u16. */
+class DepMatrix
+{
+  public:
+    static constexpr unsigned dim = 3;
+
+    /** Zero matrix. */
+    constexpr DepMatrix() : bits_(0) {}
+
+    /** Identity matrix (threads stay in their slots). */
+    static DepMatrix identity();
+
+    /**
+     * One-step matrix from the slot masks at cycle t to the masks at
+     * cycle t+1: D[i][j] = (at_t[i] & at_t1[j]) != 0.
+     */
+    static DepMatrix fromMasks(const std::array<LaneMask, dim> &at_t,
+                               const std::array<LaneMask, dim> &at_t1);
+
+    bool get(unsigned r, unsigned c) const;
+    void set(unsigned r, unsigned c);
+
+    /** Boolean matrix product: this * rhs. */
+    DepMatrix multiply(const DepMatrix &rhs) const;
+
+    bool operator==(const DepMatrix &) const = default;
+
+    u16 raw() const { return bits_; }
+
+  private:
+    u16 bits_;
+};
+
+/**
+ * Per-warp scoreboard built on dependency matrices.
+ *
+ * Entries store (dst register, issue slot, matrix); each scheduling
+ * step multiplies every live matrix by the one-step matrix. Slot
+ * indices: 0 = primary warp-split, 1 = secondary, 2 = I3 (all other
+ * contexts).
+ */
+class DepMatrixScoreboard
+{
+  public:
+    explicit DepMatrixScoreboard(unsigned entries);
+
+    bool hasFreeEntry() const;
+    unsigned used() const;
+
+    /** Record an issue from @p slot writing @p dst. */
+    unsigned allocate(RegIdx dst, unsigned slot);
+
+    void release(unsigned idx);
+
+    /**
+     * Advance one scheduling step: current slot masks @p at_t became
+     * @p at_t1; all live matrices are multiplied by the one-step
+     * matrix.
+     */
+    void step(const std::array<LaneMask, DepMatrix::dim> &at_t,
+              const std::array<LaneMask, DepMatrix::dim> &at_t1);
+
+    /**
+     * Does an instruction now in @p slot reading @p srcs / writing
+     * @p dst depend on any in-flight entry?
+     */
+    bool conflicts(const isa::Instruction &inst, unsigned slot) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        RegIdx dst = 0;
+        unsigned slot = 0;
+        DepMatrix matrix;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_DEP_MATRIX_HH

@@ -1,0 +1,39 @@
+#include "pipeline/exec_unit.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace siwi::pipeline {
+
+ExecGroup::ExecGroup(std::string name, isa::UnitClass cls,
+                     unsigned width)
+    : name_(std::move(name)), cls_(cls), width_(width)
+{
+    siwi_assert(width >= 1, "zero-width exec group");
+}
+
+void
+ExecGroup::occupy(Cycle now, unsigned cycles, unsigned threads)
+{
+    siwi_assert(canAccept(now), "group busy at occupy");
+    siwi_assert(cycles >= 1, "zero occupancy");
+    busy_until_ = now + cycles;
+    ++stats_.issues;
+    stats_.busy_cycles += cycles;
+    stats_.thread_instructions += threads;
+}
+
+void
+ExecGroup::shareRow(unsigned threads)
+{
+    ++stats_.issues;
+    stats_.thread_instructions += threads;
+}
+
+unsigned
+ExecGroup::wavesFor(unsigned warp_width) const
+{
+    return unsigned(divCeil(warp_width, width_));
+}
+
+} // namespace siwi::pipeline

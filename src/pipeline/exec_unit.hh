@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SIMD execution groups (MAD / SFU / LSU) with wave decomposition.
+ *
+ * A group narrower than the warp breaks an instruction into waves;
+ * the group stays occupied one cycle per wave (paper section 2:
+ * "the warp is broken down into several waves sent through the
+ * pipeline"). The LSU additionally serializes one 128-byte
+ * transaction per cycle, so divergent memory instructions occupy it
+ * for one cycle per replayed transaction.
+ */
+
+#ifndef SIWI_PIPELINE_EXEC_UNIT_HH
+#define SIWI_PIPELINE_EXEC_UNIT_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace siwi::pipeline {
+
+/** Occupancy statistics of one group. */
+struct ExecGroupStats
+{
+    u64 issues = 0;
+    u64 busy_cycles = 0;
+    u64 thread_instructions = 0;
+};
+
+/**
+ * One SIMD execution group.
+ */
+class ExecGroup
+{
+  public:
+    ExecGroup(std::string name, isa::UnitClass cls, unsigned width);
+
+    const std::string &name() const { return name_; }
+    isa::UnitClass unitClass() const { return cls_; }
+    unsigned width() const { return width_; }
+
+    /** Can a new instruction start at @p now? */
+    bool canAccept(Cycle now) const { return now >= busy_until_; }
+
+    /**
+     * Occupy the group for @p cycles starting at @p now, executing
+     * @p threads thread-instructions.
+     */
+    void occupy(Cycle now, unsigned cycles, unsigned threads);
+
+    /**
+     * Account a second instruction sharing the row this cycle (SBI /
+     * SWI co-issue): no extra occupancy, more thread-instructions.
+     */
+    void shareRow(unsigned threads);
+
+    /** Waves needed for a @p warp_width-wide instruction. */
+    unsigned wavesFor(unsigned warp_width) const;
+
+    const ExecGroupStats &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    isa::UnitClass cls_;
+    unsigned width_;
+    Cycle busy_until_ = 0;
+    ExecGroupStats stats_;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_EXEC_UNIT_HH

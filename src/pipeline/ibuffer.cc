@@ -1,0 +1,45 @@
+#include "pipeline/ibuffer.hh"
+
+#include "common/log.hh"
+
+namespace siwi::pipeline {
+
+IBuffer::IBuffer(unsigned num_warps, unsigned slots_per_warp)
+    : slots_(slots_per_warp),
+      entries_(size_t(num_warps) * slots_per_warp)
+{
+}
+
+IBufEntry &
+IBuffer::entry(WarpId w, unsigned slot)
+{
+    siwi_assert(slot < slots_, "bad ibuffer slot");
+    return entries_[size_t(w) * slots_ + slot];
+}
+
+const IBufEntry &
+IBuffer::entry(WarpId w, unsigned slot) const
+{
+    siwi_assert(slot < slots_, "bad ibuffer slot");
+    return entries_[size_t(w) * slots_ + slot];
+}
+
+IBufEntry *
+IBuffer::findCtx(WarpId w, u32 ctx_id)
+{
+    for (unsigned s = 0; s < slots_; ++s) {
+        IBufEntry &e = entry(w, s);
+        if (e.valid && e.ctx_id == ctx_id)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+IBuffer::flushWarp(WarpId w)
+{
+    for (unsigned s = 0; s < slots_; ++s)
+        entry(w, s) = IBufEntry{};
+}
+
+} // namespace siwi::pipeline

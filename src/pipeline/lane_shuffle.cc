@@ -1,0 +1,38 @@
+#include "pipeline/lane_shuffle.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace siwi::pipeline {
+
+unsigned
+laneOf(LaneShufflePolicy policy, unsigned tid, unsigned wid,
+       unsigned width, unsigned num_warps)
+{
+    siwi_assert(tid < width && isPow2(width), "bad laneOf input");
+    switch (policy) {
+      case LaneShufflePolicy::Identity:
+        return tid;
+      case LaneShufflePolicy::MirrorOdd:
+        return (wid & 1) ? width - 1 - tid : tid;
+      case LaneShufflePolicy::MirrorHalf:
+        return (wid >= num_warps / 2) ? width - 1 - tid : tid;
+      case LaneShufflePolicy::Xor:
+        return tid ^ (wid & (width - 1));
+      case LaneShufflePolicy::XorRev:
+        return tid ^ unsigned(bitReverse(wid, log2Ceil(width)) &
+                              (width - 1));
+    }
+    panic("bad shuffle policy");
+}
+
+unsigned
+threadOfLane(LaneShufflePolicy policy, unsigned lane, unsigned wid,
+             unsigned width, unsigned num_warps)
+{
+    // Every policy is an involution: mirror and xor-with-constant
+    // are self-inverse.
+    return laneOf(policy, lane, wid, width, num_warps);
+}
+
+} // namespace siwi::pipeline

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Static lane-shuffle functions (paper Table 1, section 4).
+ *
+ * SWI benefits when activity masks of different warps are
+ * decorrelated; these bijective thread-to-lane mappings break the
+ * correlation of regular per-warp imbalance patterns while keeping
+ * threads of a warp together (preserving memory coalescing, which
+ * depends on addresses, not lanes).
+ */
+
+#ifndef SIWI_PIPELINE_LANE_SHUFFLE_HH
+#define SIWI_PIPELINE_LANE_SHUFFLE_HH
+
+#include "pipeline/config.hh"
+
+namespace siwi::pipeline {
+
+/**
+ * Physical lane of thread-in-warp @p tid for warp @p wid.
+ *
+ * @param tid thread position within the warp [0, width)
+ * @param wid warp identifier
+ * @param width warp width (power of two)
+ * @param num_warps warps per SM (for MirrorHalf)
+ */
+unsigned laneOf(LaneShufflePolicy policy, unsigned tid, unsigned wid,
+                unsigned width, unsigned num_warps);
+
+/**
+ * Inverse mapping: which thread-in-warp occupies @p lane. All five
+ * policies are involutions, so this equals laneOf, but callers
+ * should use this name for intent.
+ */
+unsigned threadOfLane(LaneShufflePolicy policy, unsigned lane,
+                      unsigned wid, unsigned width,
+                      unsigned num_warps);
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_LANE_SHUFFLE_HH

@@ -1,0 +1,52 @@
+#include "pipeline/mask_lookup.hh"
+
+#include "common/log.hh"
+
+namespace siwi::pipeline {
+
+MaskLookup::MaskLookup(unsigned num_warps, unsigned sets, u64 seed)
+    : num_warps_(num_warps), sets_(sets), rng_(seed)
+{
+    siwi_assert(sets >= 1 && sets <= num_warps,
+                "bad lookup set count");
+}
+
+bool
+MaskLookup::eligible(WarpId prim, WarpId cand) const
+{
+    return setOf(prim) == setOf(cand);
+}
+
+std::optional<size_t>
+MaskLookup::pick(WarpId primary_warp, LaneMask free_lanes,
+                 const std::vector<LookupCandidate> &cands)
+{
+    ++searches_;
+    std::optional<size_t> best;
+    unsigned best_count = 0;
+    unsigned ties = 0;
+
+    for (size_t i = 0; i < cands.size(); ++i) {
+        const LookupCandidate &c = cands[i];
+        if (!eligible(primary_warp, c.warp))
+            continue;
+        ++examined_;
+        bool fits_row = c.same_unit && c.mask.subsetOf(free_lanes);
+        if (!fits_row && !c.other_unit_free)
+            continue;
+        unsigned count = c.mask.count();
+        if (!best || count > best_count) {
+            best = i;
+            best_count = count;
+            ties = 1;
+        } else if (count == best_count) {
+            // Reservoir-style pseudo-random tie-breaking.
+            ++ties;
+            if (rng_.below(ties) == 0)
+                best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace siwi::pipeline

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Mask-inclusion lookup for the SWI secondary scheduler (paper §4).
+ *
+ * The secondary scheduler searches the instruction buffer for a
+ * ready instruction whose activity mask fits in the lanes left free
+ * by the primary instruction. A CAM would search every entry; the
+ * set-associative variant partitions warps into sets indexed by the
+ * low-order bits of the primary warp identifier and only searches
+ * the primary's set (Figure 9 sweeps the associativity).
+ */
+
+#ifndef SIWI_PIPELINE_MASK_LOOKUP_HH
+#define SIWI_PIPELINE_MASK_LOOKUP_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/lane_mask.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace siwi::pipeline {
+
+/** One instruction-buffer entry visible to the secondary scheduler. */
+struct LookupCandidate
+{
+    u32 key = 0;     //!< caller-defined identifier
+    WarpId warp = 0; //!< owning warp (for set filtering)
+    LaneMask mask;   //!< activity mask
+    /** True when the entry may share the primary's SIMD row. */
+    bool same_unit = false;
+    /** True when the entry could issue to another free unit group. */
+    bool other_unit_free = false;
+};
+
+/**
+ * Set-associative mask-inclusion lookup with best-fit selection.
+ */
+class MaskLookup
+{
+  public:
+    /**
+     * @param num_warps warps per pool
+     * @param sets set count; 1 = fully associative CAM
+     * @param seed pseudo-random tie-breaking seed
+     */
+    MaskLookup(unsigned num_warps, unsigned sets, u64 seed = 1);
+
+    unsigned sets() const { return sets_; }
+
+    /** Set index of a warp (low-order bits of the identifier). */
+    unsigned setOf(WarpId w) const { return w % sets_; }
+
+    /** May the secondary consider @p cand for primary @p prim? */
+    bool eligible(WarpId prim, WarpId cand) const;
+
+    /**
+     * Best-fit selection: among candidates in the primary's set that
+     * either fit in @p free_lanes on the same unit or can use a free
+     * other unit, pick the one maximizing occupancy (mask
+     * population), breaking ties pseudo-randomly (section 4,
+     * "scheduler conflict avoidance").
+     *
+     * @return index into @p cands, or nullopt.
+     */
+    std::optional<size_t> pick(WarpId primary_warp,
+                               LaneMask free_lanes,
+                               const std::vector<LookupCandidate>
+                                   &cands);
+
+    u64 searchesPerformed() const { return searches_; }
+    u64 entriesExamined() const { return examined_; }
+
+  private:
+    unsigned num_warps_;
+    unsigned sets_;
+    Rng rng_;
+    u64 searches_ = 0;
+    u64 examined_ = 0;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_MASK_LOOKUP_HH

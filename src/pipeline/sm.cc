@@ -1,0 +1,1185 @@
+#include "pipeline/sm.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "exec/functional.hh"
+#include "mem/coalescer.hh"
+#include "pipeline/lane_shuffle.hh"
+
+namespace siwi::pipeline {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::UnitClass;
+
+namespace {
+
+/** Execution-group class an opcode is routed to (CTRL -> MAD). */
+UnitClass
+effectiveClass(UnitClass cls)
+{
+    return cls == UnitClass::CTRL ? UnitClass::MAD : cls;
+}
+
+} // namespace
+
+SM::SM(const SMConfig &cfg, mem::MemoryImage &memory)
+    : cfg_(cfg),
+      memory_(memory),
+      memsys_(cfg.mem),
+      warps_(cfg.num_warps),
+      blocks_(cfg.max_blocks_resident),
+      ibuf_(cfg.num_warps, 2),
+      sb_(cfg.num_warps, cfg.scoreboard_entries),
+      lookup_(cfg.num_warps, cfg.lookup_sets, 0xdecaf),
+      rng_(0xc0ffee),
+      fe_rr_(2, 0)
+{
+    cfg_.validate();
+    for (unsigned g = 0; g < cfg_.mad_groups; ++g) {
+        groups_.emplace_back("MAD" + std::to_string(g),
+                             UnitClass::MAD, cfg_.mad_width);
+    }
+    groups_.emplace_back("SFU", UnitClass::SFU, cfg_.sfu_width);
+    groups_.emplace_back("LSU", UnitClass::LSU, cfg_.lsu_width);
+
+    for (WarpSlot &ws : warps_)
+        ws.state = std::make_unique<exec::WarpState>(cfg_.warp_width);
+}
+
+void
+SM::launch(const isa::Program &prog, unsigned grid_blocks,
+           unsigned block_threads)
+{
+    siwi_assert(!prog.empty(), "launching empty program");
+    siwi_assert(grid_blocks >= 1 && block_threads >= 1,
+                "empty grid");
+    siwi_assert(block_threads <= cfg_.maxThreads(),
+                "block larger than the SM");
+    siwi_assert(prog.regsUsed() <= num_arch_regs,
+                "program uses too many registers");
+
+    prog_ = prog;
+    grid_blocks_ = grid_blocks;
+    block_threads_ = block_threads;
+    next_cta_ = 0;
+    launchBlocks();
+}
+
+bool
+SM::done() const
+{
+    if (next_cta_ < grid_blocks_)
+        return false;
+    for (const BlockSlot &b : blocks_) {
+        if (b.active)
+            return false;
+    }
+    return true;
+}
+
+core::SimStats
+SM::run(Cycle max_cycles)
+{
+    while (!done()) {
+        if (now_ >= max_cycles) {
+            warn("SM cycle limit hit at ", now_);
+            stats_.hit_cycle_limit = true;
+            break;
+        }
+        step();
+    }
+    finalizeStats();
+    return stats_;
+}
+
+void
+SM::step()
+{
+    memsys_.tick(now_);
+    processEvents();
+    heapMaintenance();
+    if (cfg_.cascaded())
+        issueStageCascaded();
+    else
+        issueStageSimple();
+    fetchStage();
+    ++now_;
+}
+
+// ----------------------------------------------------------------
+// block / warp management
+// ----------------------------------------------------------------
+
+void
+SM::launchBlocks()
+{
+    unsigned warps_per_block =
+        unsigned(divCeil(block_threads_, cfg_.warp_width));
+
+    while (next_cta_ < grid_blocks_) {
+        // Find a free block slot.
+        int bslot = -1;
+        for (unsigned i = 0; i < blocks_.size(); ++i) {
+            if (!blocks_[i].active) {
+                bslot = int(i);
+                break;
+            }
+        }
+        if (bslot < 0)
+            return;
+
+        // Find enough free warp slots.
+        std::vector<WarpId> free_warps;
+        for (WarpId w = 0; w < warps_.size(); ++w) {
+            if (!warps_[w].active)
+                free_warps.push_back(w);
+            if (free_warps.size() == warps_per_block)
+                break;
+        }
+        if (free_warps.size() < warps_per_block)
+            return;
+
+        BlockSlot &blk = blocks_[unsigned(bslot)];
+        blk.active = true;
+        blk.cta = int(next_cta_);
+        blk.live_threads = block_threads_;
+        blk.barrier_arrived = 0;
+        blk.warps = free_warps;
+
+        for (unsigned i = 0; i < warps_per_block; ++i) {
+            unsigned first = i * cfg_.warp_width;
+            unsigned count = std::min(cfg_.warp_width,
+                                      block_threads_ - first);
+            initWarp(free_warps[i], bslot, first, count);
+        }
+        stats_.blocks_launched += 1;
+        stats_.threads_launched += block_threads_;
+        ++next_cta_;
+    }
+}
+
+void
+SM::initWarp(WarpId w, int block_slot, unsigned first_tid,
+             unsigned thread_count)
+{
+    WarpSlot &ws = warps_[w];
+    ws.active = true;
+    ws.block = block_slot;
+    ws.stack_branch_pending = false;
+    ws.stack_barrier_blocked = false;
+    ws.last_divergence = ~Cycle(0);
+    ws.state->clear();
+
+    const BlockSlot &blk = blocks_[unsigned(block_slot)];
+    LaneMask mask;
+    for (unsigned t = 0; t < thread_count; ++t) {
+        unsigned lane = laneOf(cfg_.shuffle, t, w, cfg_.warp_width,
+                               cfg_.num_warps);
+        exec::ThreadInfo &ti = ws.state->info(lane);
+        ti.valid = true;
+        ti.tid = i32(first_tid + t);
+        ti.ntid = i32(block_threads_);
+        ti.ctaid = blk.cta;
+        ti.nctaid = i32(grid_blocks_);
+        ti.gtid = i32(u32(blk.cta) * block_threads_ + first_tid + t);
+        ti.lane = i32(lane);
+        ti.wid = i32(w);
+        mask.set(lane);
+    }
+
+    if (cfg_.reconv == ReconvMode::Stack) {
+        ws.stack =
+            std::make_unique<divergence::ReconvStack>(mask, Pc(0));
+        ws.heap.reset();
+    } else {
+        ws.heap = std::make_unique<divergence::SplitHeap>(
+            cfg_.heap, mask, Pc(0));
+        ws.stack.reset();
+    }
+    ibuf_.flushWarp(w);
+    sb_.flushWarp(w);
+}
+
+void
+SM::accumulateWarpStats(WarpSlot &ws)
+{
+    if (ws.stack) {
+        stats_.max_stack_depth =
+            std::max(stats_.max_stack_depth, ws.stack->maxDepth());
+        stats_.merges += ws.stack->reconvergences();
+    }
+    if (ws.heap) {
+        const auto &hs = ws.heap->stats();
+        stats_.warp_splits += hs.splits;
+        stats_.merges += hs.merges;
+        stats_.promotions += hs.promotions;
+        stats_.max_live_contexts = std::max(
+            stats_.max_live_contexts, hs.max_live_contexts);
+        stats_.cct_degraded_inserts +=
+            ws.heap->cctStats().degraded_inserts;
+    }
+}
+
+void
+SM::retireWarpIfDone(WarpId w)
+{
+    WarpSlot &ws = warps_[w];
+    if (!ws.active)
+        return;
+    bool finished = ws.stack ? ws.stack->done() : ws.heap->done();
+    if (!finished)
+        return;
+
+    accumulateWarpStats(ws);
+    ws.active = false;
+    ibuf_.flushWarp(w);
+
+    BlockSlot &blk = blocks_[unsigned(ws.block)];
+    bool block_done = true;
+    for (WarpId bw : blk.warps) {
+        if (warps_[bw].active)
+            block_done = false;
+    }
+    if (block_done) {
+        blk.active = false;
+        blk.warps.clear();
+        launchBlocks();
+    }
+}
+
+// ----------------------------------------------------------------
+// context views
+// ----------------------------------------------------------------
+
+SM::CtxView
+SM::ctxView(WarpId w, unsigned slot) const
+{
+    CtxView cv;
+    const WarpSlot &ws = warps_[w];
+    if (!ws.active)
+        return cv;
+
+    if (ws.stack) {
+        if (slot != 0 || ws.stack->done() ||
+            ws.stack_branch_pending || ws.stack_barrier_blocked) {
+            return cv;
+        }
+        cv.valid = true;
+        cv.id = 0;
+        cv.pc = ws.stack->pc();
+        cv.mask = ws.stack->mask();
+        cv.version = ws.stack->version();
+        return cv;
+    }
+
+    // Heap: slot 1 is only schedulable with the SBI second front-end.
+    if (slot >= divergence::SplitHeap::num_hot)
+        return cv;
+    if (slot == 1 && !cfg_.sbi)
+        return cv;
+    u32 id = ws.heap->hotId(slot);
+    if (id == divergence::no_ctx)
+        return cv;
+    const divergence::SplitContext &c = ws.heap->ctx(id);
+    if (!c.valid || c.branch_pending || c.barrier_blocked)
+        return cv;
+    cv.valid = true;
+    cv.id = id;
+    cv.pc = c.pc;
+    cv.mask = c.mask;
+    cv.version = c.version;
+    return cv;
+}
+
+const IBufEntry *
+SM::entryFor(WarpId w, unsigned slot) const
+{
+    return const_cast<SM *>(this)->entryFor(w, slot);
+}
+
+IBufEntry *
+SM::entryFor(WarpId w, unsigned slot)
+{
+    CtxView cv = ctxView(w, slot);
+    if (!cv.valid)
+        return nullptr;
+    IBufEntry *e = ibuf_.findCtx(w, cv.id);
+    if (!e || e->ctx_version != cv.version)
+        return nullptr;
+    return e;
+}
+
+bool
+SM::syncGated(WarpId w, const IBufEntry &e) const
+{
+    if (e.inst.op != Opcode::SYNC || !cfg_.sbi_constraints)
+        return false;
+    if (cfg_.reconv != ReconvMode::ThreadFrontier)
+        return false;
+    if (e.inst.div == invalid_pc)
+        return false;
+    // Selective synchronization barrier (paper 3.3): the warp-split
+    // at PCrec is suspended while CPC1 lies in [PCdiv, PCrec).
+    Pc cpc1 = warps_[w].heap->cpc1();
+    return cpc1 >= e.inst.div && cpc1 < e.pc;
+}
+
+bool
+SM::ready(WarpId w, unsigned slot, bool check_group) const
+{
+    const IBufEntry *e = entryFor(w, slot);
+    if (!e || e->claimed)
+        return false;
+    if (syncGated(w, *e)) {
+        // Count suspension attempts (statistics only).
+        const_cast<SM *>(this)->stats_.sync_suspensions += 1;
+        return false;
+    }
+    if (e->inst.writesDst() && !sb_.hasFreeEntry(w))
+        return false;
+    if (sb_.conflicts(w, e->inst, e->mask))
+        return false;
+    if (check_group) {
+        UnitClass cls = effectiveClass(e->inst.unit());
+        for (const ExecGroup &g : groups_) {
+            if (g.unitClass() == cls && g.canAccept(now_))
+                return true;
+        }
+        return false;
+    }
+    return true;
+}
+
+ExecGroup *
+SM::freeGroup(UnitClass cls)
+{
+    cls = effectiveClass(cls);
+    for (ExecGroup &g : groups_) {
+        if (g.unitClass() == cls && g.canAccept(now_))
+            return &g;
+    }
+    return nullptr;
+}
+
+std::vector<SM::Cand>
+SM::primaryDomain(unsigned pool) const
+{
+    std::vector<Cand> out;
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        if (cfg_.num_pools == 2 && (w % 2) != pool)
+            continue;
+        out.push_back({w, 0});
+    }
+    return out;
+}
+
+std::optional<SM::Cand>
+SM::selectOldest(const std::vector<Cand> &cands,
+                 bool check_group) const
+{
+    std::optional<Cand> best;
+    u64 best_seq = ~u64(0);
+    for (const Cand &c : cands) {
+        if (!ready(c.w, c.slot, check_group))
+            continue;
+        const IBufEntry *e = entryFor(c.w, c.slot);
+        if (e->seq < best_seq) {
+            best_seq = e->seq;
+            best = c;
+        }
+    }
+    return best;
+}
+
+// ----------------------------------------------------------------
+// issue
+// ----------------------------------------------------------------
+
+void
+SM::advanceCtx(WarpId w, u32 ctx_id, Pc next)
+{
+    WarpSlot &ws = warps_[w];
+    if (ws.stack)
+        ws.stack->advance(next);
+    else
+        ws.heap->advance(ctx_id, next, now_);
+}
+
+bool
+SM::issueMemory(WarpId w, const IBufEntry &e, const CtxView &cv,
+                ExecGroup *group, bool row_share, Cycle when,
+                unsigned *occupancy, LaneMask *issued_mask)
+{
+    siwi_assert(!row_share, "memory ops never share a row");
+    WarpSlot &ws = warps_[w];
+    const Instruction &inst = e.inst;
+
+    auto reqs = exec::memAddresses(inst, *ws.state, cv.mask);
+    std::vector<mem::LaneAccess> accesses;
+    accesses.reserve(reqs.size());
+    for (const auto &r : reqs)
+        accesses.push_back({r.lane, r.addr});
+    auto txns = mem::coalesce(accesses, cfg_.mem.l1.block_bytes);
+    siwi_assert(!txns.empty(), "memory op with no transactions");
+
+    Cycle base = when + cfg_.delivery_latency;
+
+    bool do_split = cfg_.split_on_memory_divergence && ws.heap &&
+                    txns.size() > 1 && ws.heap->canSplit() &&
+                    ws.last_divergence != now_;
+
+    if (do_split) {
+        // Serve the first transaction; its lanes advance as a new
+        // warp-split, the remaining lanes replay the instruction
+        // (section 2 replay + section 3.4 memory divergence).
+        const mem::Transaction &t = txns[0];
+        exec::executeMem(inst, *ws.state, t.lanes, memory_);
+        if (inst.op == Opcode::LD) {
+            Cycle data = memsys_.load(base, t.block);
+            unsigned idx = sb_.allocate(w, inst.dst, t.lanes);
+            Event ev;
+            ev.kind = Event::Kind::Writeback;
+            ev.warp = w;
+            ev.sb_entry = int(idx);
+            events_.insert({data, ev});
+        } else {
+            memsys_.store(base, t.block, t.lanes.count() * 4);
+        }
+        ws.heap->memorySplit(cv.id, t.lanes, e.pc + 1, now_);
+        ws.last_divergence = now_;
+        stats_.memory_splits += 1;
+        *occupancy = 1;
+        // Only the first transaction's lanes execute this issue;
+        // the rest replay as their own issues later.
+        *issued_mask = t.lanes;
+        return true;
+    }
+
+    // Replay all transactions back-to-back through the single L1
+    // port; the LSU stays occupied one cycle per transaction.
+    exec::executeMem(inst, *ws.state, cv.mask, memory_);
+    Cycle last_data = 0;
+    for (size_t i = 0; i < txns.size(); ++i) {
+        Cycle t_when = base + Cycle(i);
+        if (inst.op == Opcode::LD) {
+            last_data =
+                std::max(last_data, memsys_.load(t_when,
+                                                 txns[i].block));
+        } else {
+            memsys_.store(t_when, txns[i].block,
+                          txns[i].lanes.count() * 4);
+        }
+    }
+    if (inst.op == Opcode::LD) {
+        unsigned idx = sb_.allocate(w, inst.dst, cv.mask);
+        Event ev;
+        ev.kind = Event::Kind::Writeback;
+        ev.warp = w;
+        ev.sb_entry = int(idx);
+        events_.insert({last_data, ev});
+    }
+    advanceCtx(w, cv.id, e.pc + 1);
+    *occupancy = unsigned(txns.size());
+    *issued_mask = cv.mask;
+    (void)group;
+    return true;
+}
+
+bool
+SM::issueCand(WarpId w, unsigned slot, bool secondary,
+              PrimaryIssueInfo *primary, bool row_share)
+{
+    IBufEntry *ep = entryFor(w, slot);
+    siwi_assert(ep != nullptr, "issuing stale entry");
+    IBufEntry &e = *ep;
+    WarpSlot &ws = warps_[w];
+    CtxView cv = ctxView(w, slot);
+
+    const Instruction inst = e.inst;
+    UnitClass cls = effectiveClass(inst.unit());
+
+    ExecGroup *group;
+    if (row_share) {
+        siwi_assert(primary && primary->valid, "row share w/o primary");
+        group = primary->group;
+    } else {
+        group = freeGroup(cls);
+        if (!group)
+            return false;
+    }
+
+    unsigned occupancy = group->wavesFor(cfg_.warp_width);
+    Cycle when = now_;
+    LaneMask issued_mask = cv.mask;
+
+    switch (inst.op) {
+      case Opcode::LD:
+      case Opcode::ST:
+        if (!issueMemory(w, e, cv, group, row_share, when,
+                         &occupancy, &issued_mask)) {
+            return false;
+        }
+        break;
+
+      case Opcode::BRA:
+      case Opcode::BNZ:
+      case Opcode::BZ: {
+        LaneMask taken = exec::evalBranch(inst, *ws.state, cv.mask);
+        if (ws.stack)
+            ws.stack_branch_pending = true;
+        else
+            ws.heap->ctxMut(cv.id).branch_pending = true;
+        Event ev;
+        ev.kind = Event::Kind::Branch;
+        ev.warp = w;
+        ev.ctx_id = cv.id;
+        ev.inst = inst;
+        ev.mask = cv.mask;
+        ev.taken = taken;
+        ev.pc = e.pc;
+        events_.insert(
+            {when + cfg_.delivery_latency + cfg_.exec_latency, ev});
+        break;
+      }
+
+      case Opcode::EXIT: {
+        if (ws.stack)
+            ws.stack_branch_pending = true;
+        else
+            ws.heap->ctxMut(cv.id).branch_pending = true;
+        Event ev;
+        ev.kind = Event::Kind::Exit;
+        ev.warp = w;
+        ev.ctx_id = cv.id;
+        ev.mask = cv.mask;
+        events_.insert(
+            {when + cfg_.delivery_latency + cfg_.exec_latency, ev});
+        break;
+      }
+
+      case Opcode::BAR:
+        arriveBarrier(w, cv.id, cv.mask);
+        break;
+
+      case Opcode::SYNC:
+      case Opcode::NOP:
+        advanceCtx(w, cv.id, e.pc + 1);
+        break;
+
+      default: {
+        // ALU / SFU
+        exec::executeAlu(inst, *ws.state, cv.mask);
+        advanceCtx(w, cv.id, e.pc + 1);
+        if (inst.writesDst()) {
+            unsigned idx = sb_.allocate(w, inst.dst, cv.mask);
+            Event ev;
+            ev.kind = Event::Kind::Writeback;
+            ev.warp = w;
+            ev.sb_entry = int(idx);
+            events_.insert({when + cfg_.delivery_latency +
+                                cfg_.exec_latency + (occupancy - 1),
+                            ev});
+        }
+        break;
+      }
+    }
+
+    // Unit occupancy and statistics.
+    unsigned threads = issued_mask.count();
+    if (row_share) {
+        group->shareRow(threads);
+        stats_.row_share_issues += 1;
+    } else {
+        group->occupy(when, occupancy, threads);
+    }
+    stats_.instructions += 1;
+    stats_.thread_instructions += threads;
+    if (secondary)
+        stats_.secondary_issues += 1;
+    else
+        stats_.primary_issues += 1;
+
+    if (!secondary) {
+        last_primary_.valid = true;
+        last_primary_.w = w;
+        last_primary_.ctx_id = cv.id;
+        last_primary_.group = group;
+        last_primary_.mask = issued_mask;
+        last_primary_.unit = cls;
+    }
+
+    if (trace_) {
+        IssueEvent tev;
+        tev.cycle = when;
+        tev.warp = w;
+        tev.pc = e.pc;
+        tev.mask = issued_mask;
+        tev.unit = group->name();
+        tev.secondary = secondary;
+        tev.occupancy = row_share ? 0 : occupancy;
+        trace_(tev);
+    }
+
+    e.valid = false;
+    e.claimed = false;
+    return true;
+}
+
+void
+SM::issueStageSimple()
+{
+    last_primary_ = PrimaryIssueInfo{};
+
+    if (cfg_.num_pools == 2) {
+        // Two symmetric schedulers; alternate arbitration priority
+        // for the shared SFU/LSU groups.
+        unsigned first = unsigned(now_ & 1);
+        for (unsigned k = 0; k < 2; ++k) {
+            unsigned pool = (first + k) % 2;
+            auto c = selectOldest(primaryDomain(pool), true);
+            if (c)
+                issueCand(c->w, c->slot, false, nullptr, false);
+        }
+        return;
+    }
+
+    // SBI: primary over CPC1 entries, secondary over CPC2 entries.
+    auto c = selectOldest(primaryDomain(0), true);
+    if (c)
+        issueCand(c->w, c->slot, false, nullptr, false);
+    issueSecondarySimple(last_primary_);
+}
+
+void
+SM::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
+{
+    // Secondary front-end: oldest ready CPC2 (hot slot 1) entry.
+    // Same warp as the primary may share the primary's row (their
+    // masks are disjoint by construction); any other candidate needs
+    // a free execution group.
+    std::optional<Cand> best;
+    bool best_row = false;
+    u64 best_seq = ~u64(0);
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        if (!ready(w, 1, false))
+            continue;
+        const IBufEntry *e = entryFor(w, 1);
+        UnitClass cls = effectiveClass(e->inst.unit());
+        bool row = pinfo.valid && w == pinfo.w &&
+                   cls == pinfo.unit && cls != UnitClass::LSU;
+        if (!row && !freeGroup(cls))
+            continue;
+        if (e->seq < best_seq) {
+            best_seq = e->seq;
+            best = Cand{w, 1};
+            best_row = row;
+        }
+    }
+    if (best) {
+        PrimaryIssueInfo pcopy = pinfo;
+        issueCand(best->w, best->slot, true, &pcopy, best_row);
+        return;
+    }
+
+    if (!cfg_.sbi_secondary_fallback)
+        return;
+
+    // Fallback: issue another warp's primary-context instruction to
+    // a different SIMD group (DESIGN.md interpretation note).
+    best.reset();
+    best_seq = ~u64(0);
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        if (pinfo.valid && w == pinfo.w)
+            continue;
+        if (!ready(w, 0, true))
+            continue;
+        const IBufEntry *e = entryFor(w, 0);
+        if (e->seq < best_seq) {
+            best_seq = e->seq;
+            best = Cand{w, 0};
+        }
+    }
+    if (best) {
+        if (issueCand(best->w, best->slot, true, nullptr, false))
+            stats_.fallback_issues += 1;
+    }
+}
+
+std::optional<SM::Cand>
+SM::pickSubstitute()
+{
+    // The secondary scheduler substituting for an absent primary
+    // (section 4). Its policy must stay decorrelated from the
+    // primary's oldest-first selection -- best-fit with
+    // pseudo-random tie-breaking -- or the two would keep picking
+    // the same instruction and squash each other forever.
+    std::vector<Cand> cands = primaryDomain(0);
+    if (cfg_.sbi) {
+        for (WarpId w = 0; w < warps_.size(); ++w)
+            cands.push_back({w, 1});
+    }
+    std::optional<Cand> best;
+    unsigned best_count = 0;
+    unsigned ties = 0;
+    for (const Cand &c : cands) {
+        if (!ready(c.w, c.slot, true))
+            continue;
+        unsigned count = entryFor(c.w, c.slot)->mask.count();
+        if (!best || count > best_count) {
+            best = c;
+            best_count = count;
+            ties = 1;
+        } else if (count == best_count) {
+            ++ties;
+            if (rng_.below(ties) == 0)
+                best = c;
+        }
+    }
+    return best;
+}
+
+std::optional<SM::Cand>
+SM::pickSecondaryCascaded(const PrimaryIssueInfo &pinfo,
+                          bool *row_share_out)
+{
+    *row_share_out = false;
+
+    if (!pinfo.valid)
+        return pickSubstitute();
+
+    // Mask-inclusion lookup (section 4): candidates either fit the
+    // free lanes of the primary's row or can go to a free group.
+    LaneMask free_lanes = ~pinfo.mask;
+    bool primary_row_shareable = pinfo.unit != UnitClass::LSU;
+
+    std::vector<LookupCandidate> lc;
+    std::vector<Cand> cands;
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        for (unsigned slot = 0; slot < 2; ++slot) {
+            if (slot == 1 && !cfg_.sbi)
+                continue;
+            if (slot == 0 && w == pinfo.w)
+                continue; // primary context just issued
+            if (!ready(w, slot, false))
+                continue;
+            const IBufEntry *e = entryFor(w, slot);
+            UnitClass cls = effectiveClass(e->inst.unit());
+            LookupCandidate c;
+            c.key = u32(cands.size());
+            c.warp = w;
+            c.mask = e->mask;
+            c.same_unit = primary_row_shareable && cls == pinfo.unit;
+            c.other_unit_free = freeGroup(cls) != nullptr;
+            // Same-warp CPC2 co-issue is the SBI path: structural,
+            // not set-restricted (mask disjointness is guaranteed).
+            if (w == pinfo.w || lookup_.eligible(pinfo.w, w)) {
+                lc.push_back(c);
+                cands.push_back({w, slot});
+            }
+        }
+    }
+    auto picked = lookup_.pick(pinfo.w, free_lanes, lc);
+    if (!picked)
+        return std::nullopt;
+    const LookupCandidate &sel = lc[*picked];
+    *row_share_out =
+        sel.same_unit && sel.mask.subsetOf(free_lanes);
+    return cands[*picked];
+}
+
+void
+SM::issueStageCascaded()
+{
+    last_primary_ = PrimaryIssueInfo{};
+
+    // Phase B snapshot: the primary scheduler selects its next pick
+    // in parallel with this cycle's issue (cascaded scheduling,
+    // section 4). Claimed entries (the parked pick) are skipped.
+    std::optional<Cand> next_pick =
+        selectOldest(primaryDomain(0), false);
+    u32 next_pick_ctx = 0;
+    if (next_pick)
+        next_pick_ctx = entryFor(next_pick->w, next_pick->slot)
+                            ->ctx_id;
+
+    // Phase A: issue the parked primary pick.
+    bool held = false;
+    if (cascade_.valid) {
+        // Re-locate the parked context (the sorter may have moved
+        // it between hot slots).
+        IBufEntry *e = ibuf_.findCtx(cascade_.w, cascade_.ctx_id);
+        int slot = -1;
+        for (unsigned s = 0; s < 2; ++s) {
+            CtxView cv = ctxView(cascade_.w, s);
+            if (cv.valid && cv.id == cascade_.ctx_id &&
+                cv.version == cascade_.ctx_version) {
+                slot = int(s);
+            }
+        }
+        if (!e || slot < 0 ||
+            e->ctx_version != cascade_.ctx_version) {
+            // The warp-split branched, merged or was demoted under
+            // the parked pick: drop it.
+            stats_.cascade_stale += 1;
+            if (e && e->claimed)
+                e->claimed = false;
+            cascade_.valid = false;
+        } else {
+            e->claimed = false; // allow ready() to see it
+            if (ready(cascade_.w, unsigned(slot), true)) {
+                issueCand(cascade_.w, unsigned(slot), false,
+                          nullptr, false);
+                cascade_.valid = false;
+            } else {
+                // Structural stall: hold the pick, retry next cycle.
+                e->claimed = true;
+                held = true;
+            }
+        }
+    }
+
+    // Secondary scheduler (one pipeline stage behind the primary).
+    bool row_share = false;
+    std::optional<u32> sec_issued_ctx;
+    WarpId sec_issued_warp = 0;
+    auto sec = pickSecondaryCascaded(last_primary_, &row_share);
+    if (sec) {
+        u32 ctx = entryFor(sec->w, sec->slot)->ctx_id;
+        PrimaryIssueInfo pcopy = last_primary_;
+        if (issueCand(sec->w, sec->slot, true,
+                      pcopy.valid ? &pcopy : nullptr, row_share)) {
+            sec_issued_ctx = ctx;
+            sec_issued_warp = sec->w;
+        }
+    }
+
+    // Phase B: park the next primary pick; detect the a-posteriori
+    // conflict where the secondary issued the same instruction this
+    // cycle (the primary's copy is discarded, section 4).
+    if (held)
+        return;
+    if (!next_pick)
+        return;
+    if (sec_issued_ctx && sec_issued_warp == next_pick->w &&
+        *sec_issued_ctx == next_pick_ctx) {
+        stats_.conflicts_squashed += 1;
+        return;
+    }
+    IBufEntry *e = entryFor(next_pick->w, next_pick->slot);
+    if (!e)
+        return; // consumed or invalidated this cycle
+    cascade_.valid = true;
+    cascade_.w = next_pick->w;
+    cascade_.ctx_id = e->ctx_id;
+    cascade_.ctx_version = e->ctx_version;
+    e->claimed = true;
+}
+
+// ----------------------------------------------------------------
+// events
+// ----------------------------------------------------------------
+
+void
+SM::processEvents()
+{
+    while (!events_.empty() && events_.begin()->first <= now_) {
+        Event ev = events_.begin()->second;
+        events_.erase(events_.begin());
+        switch (ev.kind) {
+          case Event::Kind::Writeback:
+            sb_.release(ev.warp, unsigned(ev.sb_entry));
+            break;
+          case Event::Kind::Branch:
+            resolveBranch(ev);
+            break;
+          case Event::Kind::Exit:
+            resolveExit(ev);
+            break;
+        }
+    }
+}
+
+void
+SM::resolveBranch(const Event &ev)
+{
+    WarpSlot &ws = warps_[ev.warp];
+    LaneMask taken = ev.taken;
+    LaneMask fall = ev.mask & ~taken;
+    bool divergent = taken.any() && fall.any();
+
+    if (divergent && ws.heap) {
+        // One divergence (branch or memory) per warp per cycle, and
+        // the heap must have room for the new warp-split.
+        if (ws.last_divergence == now_ || !ws.heap->canSplit()) {
+            if (!ws.heap->canSplit())
+                stats_.heap_full_stalls += 1;
+            Event retry = ev;
+            events_.insert({now_ + 1, retry});
+            return;
+        }
+    }
+
+    if (ws.stack) {
+        ws.stack_branch_pending = false;
+        bool d = ws.stack->branch(ev.inst.target, ev.pc + 1,
+                                  ev.inst.reconv, taken);
+        if (d)
+            stats_.branch_divergences += 1;
+    } else {
+        if (taken.none()) {
+            ws.heap->branchResolve(ev.ctx_id, ev.pc + 1, fall, 0,
+                                   LaneMask{}, now_);
+        } else if (fall.none()) {
+            ws.heap->branchResolve(ev.ctx_id, ev.inst.target, taken,
+                                   0, LaneMask{}, now_);
+        } else {
+            ws.heap->branchResolve(ev.ctx_id, ev.inst.target, taken,
+                                   ev.pc + 1, fall, now_);
+            stats_.branch_divergences += 1;
+            ws.last_divergence = now_;
+        }
+    }
+}
+
+void
+SM::resolveExit(const Event &ev)
+{
+    WarpSlot &ws = warps_[ev.warp];
+    if (ws.stack) {
+        ws.stack_branch_pending = false;
+        ws.stack->exitThreads(ev.mask);
+    } else {
+        ws.heap->exitResolve(ev.ctx_id, now_);
+    }
+
+    BlockSlot &blk = blocks_[unsigned(ws.block)];
+    siwi_assert(blk.live_threads >= ev.mask.count(),
+                "exit underflow");
+    blk.live_threads -= ev.mask.count();
+    checkBarrierRelease(ws.block);
+    retireWarpIfDone(ev.warp);
+}
+
+void
+SM::arriveBarrier(WarpId w, u32 ctx_id, LaneMask mask)
+{
+    WarpSlot &ws = warps_[w];
+    if (ws.stack)
+        ws.stack_barrier_blocked = true;
+    else
+        ws.heap->ctxMut(ctx_id).barrier_blocked = true;
+
+    BlockSlot &blk = blocks_[unsigned(ws.block)];
+    blk.barrier_arrived += mask.count();
+    checkBarrierRelease(ws.block);
+}
+
+void
+SM::checkBarrierRelease(int block_slot)
+{
+    BlockSlot &blk = blocks_[unsigned(block_slot)];
+    if (blk.barrier_arrived == 0 ||
+        blk.barrier_arrived < blk.live_threads) {
+        return;
+    }
+    for (WarpId w : blk.warps) {
+        WarpSlot &ws = warps_[w];
+        if (!ws.active)
+            continue;
+        if (ws.stack) {
+            if (ws.stack_barrier_blocked) {
+                ws.stack_barrier_blocked = false;
+                ws.stack->advance(ws.stack->pc() + 1);
+            }
+        } else {
+            ws.heap->barrierRelease(now_);
+        }
+    }
+    blk.barrier_arrived = 0;
+    stats_.barrier_releases += 1;
+}
+
+// ----------------------------------------------------------------
+// heap upkeep + fetch
+// ----------------------------------------------------------------
+
+void
+SM::heapMaintenance()
+{
+    for (WarpSlot &ws : warps_) {
+        if (ws.active && ws.heap)
+            ws.heap->tick(now_);
+    }
+}
+
+void
+SM::fetchStage()
+{
+    struct FetchCand
+    {
+        WarpId w;
+        unsigned ctx_slot;
+        unsigned ibuf_slot;
+    };
+
+    for (unsigned fe = 0; fe < 2; ++fe) {
+        std::vector<FetchCand> cands;
+        unsigned nw = unsigned(warps_.size());
+        for (unsigned i = 0; i < nw; ++i) {
+            WarpId w = WarpId((fe_rr_[fe] + i) % nw);
+            if (cfg_.num_pools == 2) {
+                if ((w % 2) != fe)
+                    continue;
+                cands.push_back({w, 0, 0});
+            } else if (cfg_.sbi) {
+                if (fe == 0)
+                    cands.push_back({w, 0, 0});
+                else
+                    cands.push_back({w, 1, 1});
+            } else {
+                cands.push_back({w, 0, 0});
+            }
+        }
+        if (cfg_.num_pools == 1 && cfg_.sbi && fe == 1 &&
+            cfg_.sbi_secondary_fallback) {
+            // Secondary front-end helps fetch primary contexts when
+            // it has nothing of its own to do.
+            for (unsigned i = 0; i < nw; ++i) {
+                WarpId w = WarpId((fe_rr_[fe] + i) % nw);
+                cands.push_back({w, 0, 0});
+            }
+        }
+
+        // An entry is live while it matches a current context (by
+        // id and version) or is parked in the cascade register.
+        auto entryLive = [&](WarpId w, const IBufEntry &e) {
+            if (!e.valid)
+                return false;
+            if (e.claimed)
+                return true;
+            for (unsigned s = 0; s < 2; ++s) {
+                CtxView cv = ctxView(w, s);
+                if (cv.valid && cv.id == e.ctx_id)
+                    return cv.version == e.ctx_version;
+            }
+            return false;
+        };
+
+        for (const FetchCand &fc : cands) {
+            CtxView cv = ctxView(fc.w, fc.ctx_slot);
+            if (!cv.valid)
+                continue;
+            IBufEntry *have = ibuf_.findCtx(fc.w, cv.id);
+            if (have &&
+                (have->claimed || have->ctx_version == cv.version))
+                continue; // already buffered (possibly claimed)
+            // Pick a victim slot: reuse this context's stale entry,
+            // else any dead slot.
+            IBufEntry *target = have;
+            if (!target) {
+                for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
+                    IBufEntry &e = ibuf_.entry(fc.w, s);
+                    if (!entryLive(fc.w, e)) {
+                        target = &e;
+                        break;
+                    }
+                }
+            }
+            if (!target)
+                continue; // buffer full of live work
+            siwi_assert(cv.pc < prog_.size(), "fetch past program");
+            target->valid = true;
+            target->claimed = false;
+            target->ctx_id = cv.id;
+            target->ctx_version = cv.version;
+            target->inst = prog_.at(cv.pc);
+            target->pc = cv.pc;
+            target->mask = cv.mask;
+            target->seq = fetch_seq_++;
+            stats_.fetches += 1;
+            fe_rr_[fe] = WarpId((fc.w + 1) % nw);
+            break;
+        }
+    }
+}
+
+std::string
+SM::debugState() const
+{
+    std::ostringstream os;
+    os << "cycle " << now_ << ", events " << events_.size() << "\n";
+    for (unsigned bi = 0; bi < blocks_.size(); ++bi) {
+        const BlockSlot &blk = blocks_[bi];
+        if (!blk.active)
+            continue;
+        os << "block " << bi << " cta=" << blk.cta << " live="
+           << blk.live_threads << " arrived="
+           << blk.barrier_arrived << "\n";
+    }
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        const WarpSlot &ws = warps_[w];
+        if (!ws.active)
+            continue;
+        os << " warp " << w << ":";
+        if (ws.stack) {
+            os << " stack depth=" << ws.stack->depth();
+            if (!ws.stack->done()) {
+                os << " pc=" << ws.stack->pc() << " mask="
+                   << ws.stack->mask().count();
+            }
+            os << (ws.stack_branch_pending ? " PEND" : "")
+               << (ws.stack_barrier_blocked ? " BAR" : "");
+        } else {
+            for (unsigned s = 0; s < divergence::SplitHeap::num_hot;
+                 ++s) {
+                u32 id = ws.heap->hotId(s);
+                if (id == divergence::no_ctx) {
+                    os << " hot" << s << "=-";
+                    continue;
+                }
+                const auto &c = ws.heap->ctx(id);
+                os << " hot" << s << "={pc=" << c.pc << " n="
+                   << c.mask.count()
+                   << (c.branch_pending ? " PEND" : "")
+                   << (c.barrier_blocked ? " BAR" : "") << "}";
+            }
+            os << " live=" << ws.heap->liveContexts();
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+SM::finalizeStats()
+{
+    stats_.cycles = now_;
+    for (WarpSlot &ws : warps_) {
+        if (ws.active)
+            accumulateWarpStats(ws);
+    }
+    stats_.l1_hits = memsys_.cacheStats().hits;
+    stats_.l1_misses = memsys_.cacheStats().misses;
+    stats_.l1_evictions = memsys_.cacheStats().evictions;
+    stats_.load_transactions = memsys_.stats().load_transactions;
+    stats_.store_transactions = memsys_.stats().store_transactions;
+    stats_.mshr_merges = memsys_.stats().mshr_merges;
+    stats_.mshr_stalls = memsys_.stats().mshr_stalls;
+    stats_.dram_transactions = memsys_.dramStats().transactions;
+    stats_.dram_bytes = memsys_.dramStats().bytes;
+
+    stats_.units.clear();
+    for (const ExecGroup &g : groups_) {
+        core::UnitStats us;
+        us.name = g.name();
+        us.issues = g.stats().issues;
+        us.busy_cycles = g.stats().busy_cycles;
+        us.thread_instructions = g.stats().thread_instructions;
+        stats_.units.push_back(us);
+    }
+}
+
+} // namespace siwi::pipeline

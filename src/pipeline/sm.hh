@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The streaming-multiprocessor cycle-level model.
+ *
+ * One SM object simulates one kernel grid on one SM, in any of the
+ * five pipeline configurations of the paper's evaluation (Figure 7):
+ * the Fermi-like stack baseline, the 64-wide thread-frontier
+ * reference, SBI, SWI, and SBI+SWI. See DESIGN.md for the pipeline
+ * structure and the interpretation notes.
+ */
+
+#ifndef SIWI_PIPELINE_SM_HH
+#define SIWI_PIPELINE_SM_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/stats.hh"
+#include "divergence/reconv_stack.hh"
+#include "divergence/split_heap.hh"
+#include "exec/warp_state.hh"
+#include "isa/program.hh"
+#include "mem/memory_image.hh"
+#include "mem/memory_system.hh"
+#include "pipeline/config.hh"
+#include "pipeline/exec_unit.hh"
+#include "pipeline/ibuffer.hh"
+#include "pipeline/mask_lookup.hh"
+#include "pipeline/scoreboard.hh"
+
+namespace siwi::pipeline {
+
+/** One issue, for pipeline-diagram tracing (Figure 2). */
+struct IssueEvent
+{
+    Cycle cycle;
+    WarpId warp;
+    Pc pc;
+    LaneMask mask;
+    std::string unit;    //!< execution group name
+    bool secondary;      //!< issued by the secondary scheduler
+    unsigned occupancy;  //!< group cycles (waves / transactions)
+};
+
+/**
+ * Cycle-level SM simulator.
+ */
+class SM
+{
+  public:
+    SM(const SMConfig &cfg, mem::MemoryImage &memory);
+
+    /** Start a grid of @p grid_blocks x @p block_threads threads. */
+    void launch(const isa::Program &prog, unsigned grid_blocks,
+                unsigned block_threads);
+
+    /** All blocks retired? */
+    bool done() const;
+
+    /** Advance one cycle. */
+    void step();
+
+    /**
+     * Run to completion (or @p max_cycles) and return statistics.
+     */
+    core::SimStats run(Cycle max_cycles = 50'000'000);
+
+    Cycle now() const { return now_; }
+    const SMConfig &config() const { return cfg_; }
+
+    using TraceHook = std::function<void(const IssueEvent &)>;
+    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+
+    /** Statistics snapshot (finalized by run()). */
+    core::SimStats &stats() { return stats_; }
+
+    /** Multi-line dump of warp/context/barrier state (debugging). */
+    std::string debugState() const;
+
+  private:
+    // ------------------------------------------------------------
+    // internal structures
+    // ------------------------------------------------------------
+    struct WarpSlot
+    {
+        bool active = false;
+        int block = -1;
+        std::unique_ptr<exec::WarpState> state;
+        std::unique_ptr<divergence::ReconvStack> stack;
+        std::unique_ptr<divergence::SplitHeap> heap;
+        bool stack_branch_pending = false;
+        bool stack_barrier_blocked = false;
+        Cycle last_divergence = ~Cycle(0);
+    };
+
+    struct BlockSlot
+    {
+        bool active = false;
+        int cta = -1;
+        unsigned live_threads = 0;
+        unsigned barrier_arrived = 0;
+        std::vector<WarpId> warps;
+    };
+
+    /** Scheduling view of one warp context slot. */
+    struct CtxView
+    {
+        bool valid = false; //!< exists and is schedulable
+        u32 id = 0;
+        Pc pc = invalid_pc;
+        LaneMask mask;
+        u32 version = 0;
+    };
+
+    /** Deferred completion / resolution event. */
+    struct Event
+    {
+        enum class Kind { Writeback, Branch, Exit };
+        Kind kind;
+        WarpId warp;
+        u32 ctx_id = 0;
+        int sb_entry = -1;
+        isa::Instruction inst;
+        LaneMask mask;
+        LaneMask taken;
+        Pc pc = invalid_pc;
+    };
+
+    /**
+     * A scheduling candidate: warp + context slot (0 = primary /
+     * CPC1, 1 = secondary / CPC2). The instruction-buffer entry is
+     * resolved through the context id, so HCT re-sorting does not
+     * orphan buffered instructions.
+     */
+    struct Cand
+    {
+        WarpId w;
+        unsigned slot;
+    };
+
+    /** Primary pick parked between select and issue (SWI cascade). */
+    struct CascadeReg
+    {
+        bool valid = false;
+        WarpId w = 0;
+        u32 ctx_id = 0;
+        u32 ctx_version = 0;
+    };
+
+    /** Row occupancy info of the primary issue this cycle. */
+    struct PrimaryIssueInfo
+    {
+        bool valid = false;
+        WarpId w = 0;
+        u32 ctx_id = 0;
+        ExecGroup *group = nullptr;
+        LaneMask mask;
+        isa::UnitClass unit = isa::UnitClass::MAD;
+    };
+
+    // ------------------------------------------------------------
+    // pipeline stages
+    // ------------------------------------------------------------
+    void processEvents();
+    void heapMaintenance();
+    void issueStageSimple();
+    void issueStageCascaded();
+    void fetchStage();
+
+    // --- scheduling helpers ---
+    CtxView ctxView(WarpId w, unsigned slot) const;
+    /** Fresh buffered entry of the context in (w, slot), or null. */
+    const IBufEntry *entryFor(WarpId w, unsigned slot) const;
+    IBufEntry *entryFor(WarpId w, unsigned slot);
+    bool syncGated(WarpId w, const IBufEntry &e) const;
+    bool ready(WarpId w, unsigned slot, bool check_group) const;
+    std::optional<Cand> selectOldest(const std::vector<Cand> &cands,
+                                     bool check_group) const;
+    std::vector<Cand> primaryDomain(unsigned pool) const;
+    ExecGroup *freeGroup(isa::UnitClass cls);
+
+    /**
+     * Issue the instruction buffered for context slot (w, slot).
+     * @param primary row-sharing context, null for primary issues
+     * @param row_share issue onto the primary's row
+     * @return true on success
+     */
+    bool issueCand(WarpId w, unsigned slot, bool secondary,
+                   PrimaryIssueInfo *primary, bool row_share);
+
+    void issueSecondarySimple(const PrimaryIssueInfo &pinfo);
+    std::optional<Cand> pickSecondaryCascaded(
+        const PrimaryIssueInfo &pinfo, bool *row_share_out);
+    std::optional<Cand> pickSubstitute();
+
+    // --- semantics helpers ---
+    void advanceCtx(WarpId w, u32 ctx_id, Pc next);
+    void resolveBranch(const Event &ev);
+    void resolveExit(const Event &ev);
+    void arriveBarrier(WarpId w, u32 ctx_id, LaneMask mask);
+    void checkBarrierRelease(int block_slot);
+    void retireWarpIfDone(WarpId w);
+    void accumulateWarpStats(WarpSlot &ws);
+    bool issueMemory(WarpId w, const IBufEntry &e, const CtxView &cv,
+                     ExecGroup *group, bool row_share, Cycle when,
+                     unsigned *occupancy, LaneMask *issued_mask);
+
+    // --- block management ---
+    void launchBlocks();
+    void initWarp(WarpId w, int block_slot, unsigned first_tid,
+                  unsigned thread_count);
+
+    void finalizeStats();
+
+    // ------------------------------------------------------------
+    // state
+    // ------------------------------------------------------------
+    SMConfig cfg_;
+    mem::MemoryImage &memory_;
+    mem::MemorySystem memsys_;
+
+    isa::Program prog_;
+    unsigned grid_blocks_ = 0;
+    unsigned block_threads_ = 0;
+    unsigned next_cta_ = 0;
+
+    std::vector<WarpSlot> warps_;
+    std::vector<BlockSlot> blocks_;
+
+    IBuffer ibuf_;
+    Scoreboard sb_;
+    std::vector<ExecGroup> groups_;
+    MaskLookup lookup_;
+    Rng rng_;
+
+    std::multimap<Cycle, Event> events_;
+    CascadeReg cascade_;
+    PrimaryIssueInfo last_primary_; //!< issued this cycle
+
+    Cycle now_ = 0;
+    u64 fetch_seq_ = 1;
+    std::vector<WarpId> fe_rr_; //!< per-front-end round-robin cursor
+
+    core::SimStats stats_;
+    TraceHook trace_;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_SM_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Internal: per-suite workload factories feeding the registry.
+ */
+
+#ifndef SIWI_WORKLOADS_SUITE_HH
+#define SIWI_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace siwi::workloads {
+
+/** The ten regular workloads (Figure 7a). */
+std::vector<const Workload *> regularSuite();
+
+/** The nine non-TMD irregular workloads (Figure 7b). */
+std::vector<const Workload *> irregularSuite();
+
+/** TMD1 and TMD2 (Figure 7b, excluded from means). */
+std::vector<const Workload *> tmdSuite();
+
+} // namespace siwi::workloads
+
+#endif // SIWI_WORKLOADS_SUITE_HH

@@ -1,0 +1,78 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/suite.hh"
+
+namespace siwi::workloads {
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<const Workload *> all = [] {
+        std::vector<const Workload *> v;
+        for (const Workload *w : regularSuite())
+            v.push_back(w);
+        for (const Workload *w : irregularSuite())
+            v.push_back(w);
+        for (const Workload *w : tmdSuite())
+            v.push_back(w);
+        return v;
+    }();
+    return all;
+}
+
+const Workload *
+findWorkload(std::string_view name)
+{
+    for (const Workload *w : allWorkloads()) {
+        if (name == w->name())
+            return w;
+    }
+    return nullptr;
+}
+
+std::vector<const Workload *>
+regularWorkloads()
+{
+    std::vector<const Workload *> v;
+    for (const Workload *w : allWorkloads()) {
+        if (w->regular())
+            v.push_back(w);
+    }
+    return v;
+}
+
+std::vector<const Workload *>
+irregularWorkloads()
+{
+    std::vector<const Workload *> v;
+    for (const Workload *w : allWorkloads()) {
+        if (!w->regular())
+            v.push_back(w);
+    }
+    return v;
+}
+
+RunResult
+runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
+            SizeClass sc)
+{
+    Instance inst = wl.instance(sc);
+    core::Kernel kernel = core::Kernel::compile(inst.raw,
+                                                inst.compile);
+
+    core::Gpu gpu(cfg);
+    wl.init(gpu.memory(), sc);
+
+    core::LaunchConfig lc;
+    lc.grid_blocks = inst.grid_blocks;
+    lc.block_threads = inst.block_threads;
+
+    RunResult res;
+    res.stats = gpu.launch(kernel, lc);
+    res.layout_violations = kernel.layoutViolations();
+    res.verified = wl.verify(gpu.memory(), sc, &res.verify_msg);
+    return res;
+}
+
+} // namespace siwi::workloads

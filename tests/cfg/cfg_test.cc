@@ -1,0 +1,137 @@
+/**
+ * @file
+ * CFG construction and linearization tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "isa/builder.hh"
+
+namespace siwi::cfg {
+namespace {
+
+using isa::Imm;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Reg;
+
+isa::Program
+ifElseProgram()
+{
+    KernelBuilder b("ifelse");
+    Reg c = b.reg(), v = b.reg();
+    b.movi(c, 1);
+    b.if_(c);
+    b.movi(v, 1);
+    b.else_();
+    b.movi(v, 2);
+    b.endIf();
+    b.movi(v, 3);
+    return b.build();
+}
+
+TEST(Cfg, StraightLineSingleBlock)
+{
+    KernelBuilder b("line");
+    Reg r = b.reg();
+    b.movi(r, 1);
+    b.iadd(r, r, Imm(2));
+    Cfg cfg = Cfg::fromProgram(b.build());
+    EXPECT_EQ(cfg.numBlocks(), 1u);
+    EXPECT_TRUE(cfg.block(0).isExit());
+    EXPECT_EQ(cfg.block(0).insts.size(), 3u);
+}
+
+TEST(Cfg, IfElseBlockStructure)
+{
+    Cfg cfg = Cfg::fromProgram(ifElseProgram());
+    // entry(movi,bz) / then(movi,bra) / else(movi) / join(movi,exit)
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+    const BasicBlock &entry = cfg.block(0);
+    EXPECT_EQ(entry.taken, 2u);
+    EXPECT_EQ(entry.fall, 1u);
+    const BasicBlock &then_b = cfg.block(1);
+    EXPECT_EQ(then_b.taken, 3u);
+    EXPECT_EQ(then_b.fall, no_block);
+    const BasicBlock &else_b = cfg.block(2);
+    EXPECT_EQ(else_b.fall, 3u);
+    EXPECT_TRUE(cfg.block(3).isExit());
+}
+
+TEST(Cfg, PredsComputed)
+{
+    Cfg cfg = Cfg::fromProgram(ifElseProgram());
+    const BasicBlock &join = cfg.block(3);
+    ASSERT_EQ(join.preds.size(), 2u);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    KernelBuilder b("loop");
+    Reg i = b.reg(), c = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.iadd(i, i, Imm(1));
+    b.isetlt(c, i, Imm(4));
+    b.endLoopIf(c);
+    Cfg cfg = Cfg::fromProgram(b.build());
+    // entry(movi) / body(iadd,isetlt,bnz) / exit(exit)
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+    EXPECT_EQ(cfg.block(1).taken, 1u); // self loop
+    EXPECT_EQ(cfg.block(1).fall, 2u);
+}
+
+TEST(Cfg, LinearizeIdentityRoundTrip)
+{
+    isa::Program p = ifElseProgram();
+    Cfg cfg = Cfg::fromProgram(p);
+    std::vector<u32> order;
+    for (u32 i = 0; i < cfg.numBlocks(); ++i)
+        order.push_back(i);
+    isa::Program out = cfg.linearize(order);
+    ASSERT_EQ(out.size(), p.size());
+    for (Pc pc = 0; pc < p.size(); ++pc)
+        EXPECT_EQ(out.at(pc).toString(), p.at(pc).toString());
+}
+
+TEST(Cfg, LinearizeReorderInsertsBra)
+{
+    isa::Program p = ifElseProgram();
+    Cfg cfg = Cfg::fromProgram(p);
+    // Swap then/else blocks: entry, else, then, join.
+    std::vector<u32> order = {0, 2, 1, 3};
+    isa::Program out = cfg.linearize(order);
+    EXPECT_TRUE(out.validate().empty());
+    // Both the entry (its fall-through 'then' moved away) and the
+    // else block (its join moved away) need explicit BRAs.
+    EXPECT_EQ(out.size(), p.size() + 2);
+    EXPECT_EQ(out.at(1).op, Opcode::BZ);
+    EXPECT_EQ(out.at(1).target, 3u);
+    EXPECT_EQ(out.at(2).op, Opcode::BRA); // entry -> then
+}
+
+TEST(Cfg, LinearizedReorderedProgramIsValid)
+{
+    isa::Program p = ifElseProgram();
+    Cfg cfg = Cfg::fromProgram(p);
+    std::vector<u32> order = {0, 2, 1, 3};
+    isa::Program out = cfg.linearize(order);
+    // Every branch target must begin an equivalent block.
+    for (Pc pc = 0; pc < out.size(); ++pc) {
+        const isa::Instruction &inst = out.at(pc);
+        if (isa::isBranch(inst.op))
+            EXPECT_LT(inst.target, out.size());
+    }
+}
+
+TEST(Cfg, ToStringMentionsBlocks)
+{
+    Cfg cfg = Cfg::fromProgram(ifElseProgram());
+    std::string s = cfg.toString();
+    EXPECT_NE(s.find("B0"), std::string::npos);
+    EXPECT_NE(s.find("B3"), std::string::npos);
+}
+
+} // namespace
+} // namespace siwi::cfg

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Dominator / post-dominator tests on known control-flow shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/dominators.hh"
+#include "isa/builder.hh"
+
+namespace siwi::cfg {
+namespace {
+
+using isa::Imm;
+using isa::KernelBuilder;
+using isa::Reg;
+
+/** Diamond: entry -> {then, else} -> join -> exit */
+isa::Program
+diamond()
+{
+    KernelBuilder b("d");
+    Reg c = b.reg(), v = b.reg();
+    b.movi(c, 1);
+    b.if_(c);
+    b.movi(v, 1);
+    b.else_();
+    b.movi(v, 2);
+    b.endIf();
+    b.movi(v, 3);
+    return b.build();
+}
+
+TEST(Dominators, Diamond)
+{
+    Cfg cfg = Cfg::fromProgram(diamond());
+    DominatorTree dom = DominatorTree::dominators(cfg);
+    // entry=0, then=1, else=2, join=3
+    EXPECT_EQ(dom.idom(1), 0u);
+    EXPECT_EQ(dom.idom(2), 0u);
+    EXPECT_EQ(dom.idom(3), 0u);
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(3, 3));
+}
+
+TEST(Dominators, PostDiamond)
+{
+    Cfg cfg = Cfg::fromProgram(diamond());
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+    // join post-dominates everything.
+    EXPECT_EQ(pdom.idom(0), 3u);
+    EXPECT_EQ(pdom.idom(1), 3u);
+    EXPECT_EQ(pdom.idom(2), 3u);
+    EXPECT_TRUE(pdom.dominates(3, 0));
+}
+
+TEST(Dominators, NestedIf)
+{
+    KernelBuilder b("nested");
+    Reg c1 = b.reg(), c2 = b.reg(), v = b.reg();
+    b.if_(c1);
+    {
+        b.if_(c2);
+        b.movi(v, 1);
+        b.else_();
+        b.movi(v, 2);
+        b.endIf();
+        b.movi(v, 3); // inner join
+    }
+    b.else_();
+    b.movi(v, 4);
+    b.endIf();
+    b.movi(v, 5); // outer join
+    isa::Program p = b.build();
+    Cfg cfg = Cfg::fromProgram(p);
+    DominatorTree dom = DominatorTree::dominators(cfg);
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+
+    // Find the two conditional-branch blocks.
+    std::vector<u32> branch_blocks;
+    for (u32 i = 0; i < cfg.numBlocks(); ++i) {
+        const auto &bb = cfg.block(i);
+        if (!bb.insts.empty() &&
+            isa::isCondBranch(bb.insts.back().op)) {
+            branch_blocks.push_back(i);
+        }
+    }
+    ASSERT_EQ(branch_blocks.size(), 2u);
+    u32 outer = branch_blocks[0], inner = branch_blocks[1];
+    u32 inner_join = pdom.idom(inner);
+    u32 outer_join = pdom.idom(outer);
+    ASSERT_NE(inner_join, no_block);
+    ASSERT_NE(outer_join, no_block);
+    EXPECT_NE(inner_join, outer_join);
+    // The inner join's immediate dominator is the inner branch
+    // block (the paper's PCdiv choice).
+    EXPECT_EQ(dom.idom(inner_join), inner);
+    // Outer join post-dominates the inner join.
+    EXPECT_TRUE(pdom.dominates(outer_join, inner_join));
+}
+
+TEST(Dominators, LoopExitPostDominates)
+{
+    KernelBuilder b("loop");
+    Reg i = b.reg(), c = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.iadd(i, i, Imm(1));
+    b.isetlt(c, i, Imm(4));
+    b.endLoopIf(c);
+    b.movi(i, 9);
+    Cfg cfg = Cfg::fromProgram(b.build());
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+    // Body block (1) is post-dominated by exit block (2).
+    EXPECT_EQ(pdom.idom(1), 2u);
+}
+
+TEST(Dominators, BranchWithBothPathsExiting)
+{
+    // if c: exit else: exit -- no common post-dominator block.
+    KernelBuilder b("twoexits");
+    Reg c = b.reg();
+    auto lbl = b.label();
+    b.bnz(c, lbl);
+    b.exit_();
+    b.bind(lbl);
+    b.exit_();
+    Cfg cfg = Cfg::fromProgram(b.build());
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+    EXPECT_EQ(pdom.idom(0), no_block);
+}
+
+TEST(Dominators, UnreachableBlockHandled)
+{
+    KernelBuilder b("unreach");
+    Reg r = b.reg();
+    auto skip = b.label();
+    b.bra(skip);
+    b.movi(r, 1); // unreachable
+    b.bind(skip);
+    b.exit_();
+    Cfg cfg = Cfg::fromProgram(b.build());
+    DominatorTree dom = DominatorTree::dominators(cfg);
+    EXPECT_TRUE(dom.reachable(0));
+    EXPECT_FALSE(dom.reachable(1));
+    EXPECT_TRUE(dom.reachable(2));
+}
+
+TEST(Dominators, SelfLoop)
+{
+    KernelBuilder b("self");
+    Reg c = b.reg();
+    b.loop();
+    b.isetlt(c, c, Imm(1));
+    b.endLoopIfz(c);
+    Cfg cfg = Cfg::fromProgram(b.build());
+    DominatorTree dom = DominatorTree::dominators(cfg);
+    // Loop body dominated by entry... body block is entry here.
+    EXPECT_TRUE(dom.reachable(0));
+    DominatorTree pdom = DominatorTree::postDominators(cfg);
+    EXPECT_NE(pdom.idom(0), no_block);
+}
+
+} // namespace
+} // namespace siwi::cfg

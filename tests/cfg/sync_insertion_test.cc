@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Reconvergence analysis / SYNC insertion tests (paper 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/compiler.hh"
+#include "isa/builder.hh"
+
+namespace siwi::cfg {
+namespace {
+
+using isa::Imm;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Reg;
+
+unsigned
+countSyncs(const isa::Program &p)
+{
+    unsigned n = 0;
+    for (Pc pc = 0; pc < p.size(); ++pc)
+        n += p.at(pc).op == Opcode::SYNC ? 1 : 0;
+    return n;
+}
+
+TEST(SyncInsertion, IfElseGetsOneSync)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.if_(c);
+    b.movi(v, 1);
+    b.else_();
+    b.movi(v, 2);
+    b.endIf();
+    b.movi(v, 3);
+    CompiledKernel ck = compileKernel(b.build());
+    EXPECT_EQ(ck.sync.divergent_branches, 1u);
+    EXPECT_EQ(ck.sync.sync_points, 1u);
+    EXPECT_EQ(countSyncs(ck.program), 1u);
+}
+
+TEST(SyncInsertion, SyncPayloadIsDivergencePoint)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.movi(c, 0);
+    b.if_(c);
+    b.movi(v, 1);
+    b.else_();
+    b.movi(v, 2);
+    b.endIf();
+    b.movi(v, 3);
+    CompiledKernel ck = compileKernel(b.build());
+    const isa::Program &p = ck.program;
+
+    // Locate the SYNC and the conditional branch.
+    Pc sync_pc = invalid_pc, branch_pc = invalid_pc;
+    for (Pc pc = 0; pc < p.size(); ++pc) {
+        if (p.at(pc).op == Opcode::SYNC)
+            sync_pc = pc;
+        if (isa::isCondBranch(p.at(pc).op))
+            branch_pc = pc;
+    }
+    ASSERT_NE(sync_pc, invalid_pc);
+    ASSERT_NE(branch_pc, invalid_pc);
+    // PCdiv = last instruction of the immediate dominator of the
+    // reconvergence point = the branch itself here.
+    EXPECT_EQ(p.at(sync_pc).div, branch_pc);
+    // The branch's reconvergence annotation points at the SYNC.
+    EXPECT_EQ(p.at(branch_pc).reconv, sync_pc);
+    // Thread-frontier property: PCdiv < PCrec.
+    EXPECT_LT(p.at(sync_pc).div, sync_pc);
+}
+
+TEST(SyncInsertion, SharedJoinSingleSync)
+{
+    // Two nested ifs reconverging at the same join still get one
+    // SYNC each at their own reconvergence point.
+    KernelBuilder b("k");
+    Reg c1 = b.reg(), c2 = b.reg(), v = b.reg();
+    b.if_(c1);
+    {
+        b.if_(c2);
+        b.movi(v, 1);
+        b.endIf();
+    }
+    b.endIf();
+    CompiledKernel ck = compileKernel(b.build());
+    EXPECT_EQ(ck.sync.divergent_branches, 2u);
+    // Inner reconv == outer reconv block here (if-without-else
+    // directly nested): insertion deduplicates per block.
+    EXPECT_GE(ck.sync.sync_points, 1u);
+    EXPECT_EQ(countSyncs(ck.program), ck.sync.sync_points);
+}
+
+TEST(SyncInsertion, LoopBranchAnnotated)
+{
+    KernelBuilder b("k");
+    Reg i = b.reg(), c = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.iadd(i, i, Imm(1));
+    b.isetlt(c, i, Imm(4));
+    b.endLoopIf(c);
+    b.movi(i, 9);
+    CompiledKernel ck = compileKernel(b.build());
+    const isa::Program &p = ck.program;
+    for (Pc pc = 0; pc < p.size(); ++pc) {
+        if (isa::isCondBranch(p.at(pc).op)) {
+            // Reconverges at the loop exit (higher address).
+            ASSERT_NE(p.at(pc).reconv, invalid_pc);
+            EXPECT_GT(p.at(pc).reconv, pc);
+        }
+    }
+    EXPECT_EQ(ck.sync.divergent_branches, 1u);
+}
+
+TEST(SyncInsertion, NoSyncWithoutDivergentBranches)
+{
+    KernelBuilder b("k");
+    Reg v = b.reg();
+    b.movi(v, 1);
+    b.iadd(v, v, Imm(1));
+    CompiledKernel ck = compileKernel(b.build());
+    EXPECT_EQ(ck.sync.sync_points, 0u);
+    EXPECT_EQ(countSyncs(ck.program), 0u);
+}
+
+TEST(SyncInsertion, BothPathsExitUnresolved)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg();
+    auto lbl = b.label();
+    b.bnz(c, lbl);
+    b.exit_();
+    b.bind(lbl);
+    b.exit_();
+    CompiledKernel ck = compileKernel(b.build());
+    EXPECT_EQ(ck.sync.unresolved, 1u);
+    EXPECT_EQ(ck.sync.sync_points, 0u);
+}
+
+TEST(SyncInsertion, DisabledByOption)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.if_(c);
+    b.movi(v, 1);
+    b.endIf();
+    CompileOptions opts;
+    opts.insert_sync = false;
+    CompiledKernel ck = compileKernel(b.build(), opts);
+    EXPECT_EQ(countSyncs(ck.program), 0u);
+}
+
+TEST(SyncInsertion, CompiledProgramStaysValid)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg(), i = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.if_(c);
+    b.iadd(v, v, Imm(1));
+    b.else_();
+    b.isub(v, v, Imm(1));
+    b.endIf();
+    b.iadd(i, i, Imm(1));
+    Reg lc = b.reg();
+    b.isetlt(lc, i, Imm(4));
+    b.endLoopIf(lc);
+    CompiledKernel ck = compileKernel(b.build());
+    EXPECT_TRUE(ck.program.validate().empty());
+    EXPECT_EQ(ck.layout_violations, 0u);
+}
+
+} // namespace
+} // namespace siwi::cfg

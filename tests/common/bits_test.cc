@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-utility tests (log2, bit reversal for XorRev shuffling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace siwi {
+namespace {
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(64), 6u);
+    EXPECT_EQ(log2Ceil(65), 7u);
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(64), 6u);
+    EXPECT_EQ(log2Floor(127), 6u);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(96));
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(128, 10), 13u);
+}
+
+TEST(Bits, BitReverseKnown)
+{
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b011, 3), 0b110u);
+    EXPECT_EQ(bitReverse(0b100, 3), 0b001u);
+    EXPECT_EQ(bitReverse(0, 6), 0u);
+    EXPECT_EQ(bitReverse(0b111111, 6), 0b111111u);
+}
+
+TEST(Bits, BitReverseIsInvolution)
+{
+    for (u64 x = 0; x < 64; ++x)
+        EXPECT_EQ(bitReverse(bitReverse(x, 6), 6), x);
+}
+
+TEST(Bits, BitReverseIsBijection)
+{
+    u64 seen = 0;
+    for (u64 x = 0; x < 32; ++x)
+        seen |= u64(1) << bitReverse(x, 5);
+    EXPECT_EQ(seen, 0xffffffffull);
+}
+
+} // namespace
+} // namespace siwi

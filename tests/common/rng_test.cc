@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Determinism and range tests for the xorshift RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace siwi {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        i64 v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.uniform();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(8);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.uniform(2.0f, 4.0f);
+        EXPECT_GE(v, 2.0f);
+        EXPECT_LT(v, 4.0f);
+    }
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+} // namespace
+} // namespace siwi

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Area-model calibration tests against the paper's Table 4.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hh"
+
+namespace siwi::core {
+namespace {
+
+using pipeline::PipelineMode;
+
+double
+componentArea(const AreaReport &r, const std::string &name)
+{
+    for (const AreaItem &it : r.items) {
+        if (it.component == name)
+            return it.area_kum2;
+    }
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+}
+
+/** Paper Table 4 values (x1000 um^2). */
+struct PaperColumn
+{
+    PipelineMode mode;
+    double rf, sb, sched, hct, cct, ib, total, overhead;
+};
+
+const PaperColumn paper[] = {
+    {PipelineMode::Baseline, 0, 87.6, 0, 66.8, 584.4, 52.8, 791.6,
+     0},
+    {PipelineMode::SBI, 570, 65.6, 0, 88.8, 480.8, 52.8, 1258,
+     466.4},
+    {PipelineMode::SWI, 570, 87.6, 27.4, 43.8, 480.8, 33.4, 1243,
+     451.4},
+    {PipelineMode::SBISWI, 570, 131.2, 27.4, 88.8, 480.8, 67.4,
+     1365.6, 574},
+};
+
+class Table4 : public ::testing::TestWithParam<PaperColumn>
+{
+};
+
+TEST_P(Table4, ComponentsWithinOnePercent)
+{
+    AreaModel model;
+    AreaReport r = model.report(GetParam().mode);
+    auto close = [](double got, double want) {
+        if (want == 0.0)
+            return got == 0.0;
+        return std::fabs(got - want) / want < 0.011;
+    };
+    EXPECT_TRUE(close(componentArea(r, "RF"), GetParam().rf));
+    EXPECT_TRUE(close(componentArea(r, "Scoreboard"),
+                      GetParam().sb))
+        << componentArea(r, "Scoreboard") << " vs " << GetParam().sb;
+    EXPECT_TRUE(close(componentArea(r, "Scheduler"),
+                      GetParam().sched));
+    EXPECT_TRUE(close(componentArea(r, "HCT"), GetParam().hct))
+        << componentArea(r, "HCT") << " vs " << GetParam().hct;
+    EXPECT_TRUE(close(componentArea(r, "CCT"), GetParam().cct))
+        << componentArea(r, "CCT") << " vs " << GetParam().cct;
+    EXPECT_TRUE(close(componentArea(r, "Insn. buffer"),
+                      GetParam().ib))
+        << componentArea(r, "Insn. buffer") << " vs "
+        << GetParam().ib;
+    EXPECT_TRUE(close(r.total_kum2, GetParam().total))
+        << r.total_kum2 << " vs " << GetParam().total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Columns, Table4, ::testing::ValuesIn(paper),
+    [](const ::testing::TestParamInfo<PaperColumn> &info) {
+        return std::string(pipelineModeName(info.param.mode)) ==
+                       "SBI+SWI"
+                   ? "SBISWI"
+                   : pipelineModeName(info.param.mode);
+    });
+
+TEST(AreaModel, OverheadPercentagesMatchPaper)
+{
+    // Paper 5.2: "the respective area overheads of SBI, SWI and
+    // both are 3.0%, 2.9% and 3.7%".
+    AreaModel model;
+    EXPECT_NEAR(model.report(PipelineMode::SBI).overhead_percent,
+                3.0, 0.1);
+    EXPECT_NEAR(model.report(PipelineMode::SWI).overhead_percent,
+                2.9, 0.1);
+    EXPECT_NEAR(model.report(PipelineMode::SBISWI).overhead_percent,
+                3.7, 0.1);
+}
+
+TEST(AreaModel, BaselineHasNoOverhead)
+{
+    AreaModel model;
+    AreaReport r = model.report(PipelineMode::Baseline);
+    EXPECT_EQ(r.overhead_kum2, 0.0);
+    EXPECT_EQ(r.overhead_percent, 0.0);
+}
+
+TEST(AreaModel, FormattedTableComplete)
+{
+    AreaModel model;
+    std::string t = model.formatTable();
+    EXPECT_NE(t.find("Scoreboard"), std::string::npos);
+    EXPECT_NE(t.find("Overhead"), std::string::npos);
+    EXPECT_NE(t.find("15.6mm2"), std::string::npos);
+}
+
+TEST(AreaModel, ScalesWithGeometry)
+{
+    // Halving the thread count must shrink storage-driven area.
+    InventoryParams small;
+    small.threads = 768;
+    AreaModel big, little(small);
+    EXPECT_LT(
+        componentArea(little.report(PipelineMode::SBI),
+                      "Scoreboard"),
+        componentArea(big.report(PipelineMode::SBI), "Scoreboard"));
+}
+
+} // namespace
+} // namespace siwi::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Public-API (Gpu / Kernel) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+namespace siwi::core {
+namespace {
+
+using isa::Imm;
+using isa::KernelBuilder;
+using isa::Reg;
+using isa::SpecialReg;
+
+Kernel
+saxpyKernel()
+{
+    KernelBuilder b("saxpy");
+    Reg gtid = b.reg(), xaddr = b.reg(), yaddr = b.reg(),
+        x = b.reg(), y = b.reg(), a = b.reg();
+    b.s2r(gtid, SpecialReg::GTID);
+    b.shl(xaddr, gtid, Imm(2));
+    b.iadd(yaddr, xaddr, Imm(0x2000));
+    b.iadd(xaddr, xaddr, Imm(0x1000));
+    b.ld(x, xaddr);
+    b.ld(y, yaddr);
+    b.fmovi(a, 2.0f);
+    b.fmad(y, a, x, y);
+    b.st(yaddr, 0, y);
+    return Kernel::compile(b.build());
+}
+
+TEST(Gpu, LaunchRunsToCompletion)
+{
+    Gpu gpu(pipeline::SMConfig::make(pipeline::PipelineMode::SBI));
+    for (unsigned i = 0; i < 64; ++i) {
+        gpu.memory().writeF32(0x1000 + Addr(i) * 4, float(i));
+        gpu.memory().writeF32(0x2000 + Addr(i) * 4, 1.0f);
+    }
+    LaunchConfig lc;
+    lc.grid_blocks = 1;
+    lc.block_threads = 64;
+    SimStats st = gpu.launch(saxpyKernel(), lc);
+    EXPECT_FALSE(st.hit_cycle_limit);
+    EXPECT_GT(st.ipc(), 0.0);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_FLOAT_EQ(gpu.memory().readF32(0x2000 + Addr(i) * 4),
+                        2.0f * float(i) + 1.0f);
+    }
+}
+
+TEST(Gpu, MemoryPersistsAcrossLaunches)
+{
+    Gpu gpu(
+        pipeline::SMConfig::make(pipeline::PipelineMode::Baseline));
+    for (unsigned i = 0; i < 32; ++i) {
+        gpu.memory().writeF32(0x1000 + Addr(i) * 4, 1.0f);
+        gpu.memory().writeF32(0x2000 + Addr(i) * 4, 0.0f);
+    }
+    LaunchConfig lc;
+    lc.block_threads = 32;
+    gpu.launch(saxpyKernel(), lc);
+    gpu.launch(saxpyKernel(), lc); // y += 2x twice
+    EXPECT_FLOAT_EQ(gpu.memory().readF32(0x2000), 4.0f);
+}
+
+TEST(Gpu, TracedLaunchDeliversEvents)
+{
+    Gpu gpu(
+        pipeline::SMConfig::make(pipeline::PipelineMode::Baseline));
+    LaunchConfig lc;
+    lc.block_threads = 32;
+    unsigned events = 0;
+    gpu.launchTraced(saxpyKernel(), lc,
+                     [&](const pipeline::IssueEvent &) {
+                         ++events;
+                     });
+    EXPECT_GT(events, 5u);
+}
+
+TEST(Kernel, CompileReportsSyncStats)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.if_(c);
+    b.movi(v, 1);
+    b.else_();
+    b.movi(v, 2);
+    b.endIf();
+    Kernel k = Kernel::compile(b.build());
+    EXPECT_EQ(k.syncStats().divergent_branches, 1u);
+    EXPECT_EQ(k.layoutViolations(), 0u);
+    EXPECT_EQ(k.name(), "k");
+}
+
+TEST(Kernel, FromProgramSkipsCompilation)
+{
+    auto res = isa::assemble("movi r0, #5\nexit\n");
+    ASSERT_TRUE(res.ok());
+    Kernel k = Kernel::fromProgram(res.program);
+    EXPECT_EQ(k.program().size(), 2u);
+}
+
+TEST(Gpu, AssembledKernelRuns)
+{
+    const char *src = R"(
+.kernel store_tid
+    s2r r0, %gtid
+    shl r1, r0, #2
+    iadd r1, r1, #0x4000
+    st [r1+0], r0
+    exit
+)";
+    auto res = isa::assemble(src);
+    ASSERT_TRUE(res.ok()) << res.error;
+    Kernel k = Kernel::compile(res.program);
+    Gpu gpu(
+        pipeline::SMConfig::make(pipeline::PipelineMode::SBISWI));
+    LaunchConfig lc;
+    lc.grid_blocks = 2;
+    lc.block_threads = 128;
+    gpu.launch(k, lc);
+    for (u32 t = 0; t < 256; ++t)
+        ASSERT_EQ(gpu.memory().read32(0x4000 + Addr(t) * 4), t);
+}
+
+} // namespace
+} // namespace siwi::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hardware inventory tests against the paper's Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hardware_inventory.hh"
+
+namespace siwi::core {
+namespace {
+
+using pipeline::PipelineMode;
+
+const StorageItem &
+item(const std::vector<StorageItem> &inv, const std::string &name)
+{
+    for (const StorageItem &it : inv) {
+        if (it.component == name)
+            return it;
+    }
+    ADD_FAILURE() << "missing component " << name;
+    static StorageItem dummy;
+    return dummy;
+}
+
+TEST(Inventory, BaselineMatchesTable3)
+{
+    auto inv = hardwareInventory(PipelineMode::Baseline);
+    EXPECT_EQ(item(inv, "Scoreboard").geometry, "2x 24x 48-bit");
+    EXPECT_EQ(item(inv, "Scoreboard").bits, 2u * 24 * 48);
+    EXPECT_EQ(item(inv, "Warp pool/HCT").geometry, "2x 24x 64-bit");
+    EXPECT_EQ(item(inv, "Stack/CCT").geometry, "144x 256-bit");
+    EXPECT_EQ(item(inv, "Insn. buffer").geometry, "48x 64-bit");
+    EXPECT_EQ(item(inv, "RF").geometry, "single-decoder");
+}
+
+TEST(Inventory, SbiMatchesTable3)
+{
+    auto inv = hardwareInventory(PipelineMode::SBI);
+    EXPECT_EQ(item(inv, "Scoreboard").geometry, "24x 144-bit");
+    EXPECT_EQ(item(inv, "Warp pool/HCT").geometry, "24x 201-bit");
+    EXPECT_EQ(item(inv, "Stack/CCT").geometry, "128x 104-bit");
+    EXPECT_EQ(item(inv, "Insn. buffer").geometry, "48x 64-bit");
+    EXPECT_EQ(item(inv, "RF").geometry, "segmented");
+}
+
+TEST(Inventory, SwiMatchesTable3)
+{
+    auto inv = hardwareInventory(PipelineMode::SWI);
+    EXPECT_EQ(item(inv, "Scoreboard").geometry, "2x 24x 48-bit");
+    EXPECT_EQ(item(inv, "Warp pool/HCT").geometry, "24x 104-bit");
+    EXPECT_EQ(item(inv, "Insn. buffer").geometry, "24x 64-bit");
+    EXPECT_EQ(item(inv, "Insn. buffer").note, "dual-ported");
+    EXPECT_EQ(item(inv, "Scheduler").geometry,
+              "associative lookup");
+}
+
+TEST(Inventory, SbiSwiMatchesTable3)
+{
+    auto inv = hardwareInventory(PipelineMode::SBISWI);
+    EXPECT_EQ(item(inv, "Scoreboard").geometry, "24x 288-bit");
+    EXPECT_EQ(item(inv, "Warp pool/HCT").geometry, "24x 201-bit");
+    EXPECT_EQ(item(inv, "Warp pool/HCT").note, "banked");
+    EXPECT_EQ(item(inv, "Insn. buffer").geometry, "48x 64-bit");
+}
+
+TEST(Inventory, Warp64SharesBaselineFrontEnd)
+{
+    EXPECT_EQ(inventoryTotalBits(PipelineMode::Warp64),
+              inventoryTotalBits(PipelineMode::Baseline));
+}
+
+TEST(Inventory, HeapDesignsShrinkDivergenceStorage)
+{
+    // The paper's point: CCT (128x104) is much smaller than the
+    // baseline's fully provisioned stacks (144x256).
+    auto base = hardwareInventory(PipelineMode::Baseline);
+    auto sbi = hardwareInventory(PipelineMode::SBI);
+    EXPECT_LT(item(sbi, "Stack/CCT").bits,
+              item(base, "Stack/CCT").bits);
+}
+
+TEST(Inventory, ScalesWithThreadCount)
+{
+    InventoryParams small;
+    small.threads = 768;
+    auto inv = hardwareInventory(PipelineMode::Baseline, small);
+    EXPECT_EQ(item(inv, "Scoreboard").geometry, "2x 12x 48-bit");
+}
+
+TEST(Inventory, FormattedTableContainsAllColumns)
+{
+    std::string t = formatInventoryTable();
+    EXPECT_NE(t.find("Baseline"), std::string::npos);
+    EXPECT_NE(t.find("SBI+SWI"), std::string::npos);
+    EXPECT_NE(t.find("24x 288-bit"), std::string::npos);
+    EXPECT_NE(t.find("Total bits"), std::string::npos);
+}
+
+} // namespace
+} // namespace siwi::core

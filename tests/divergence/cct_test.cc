@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cold Context Table tests: sideband sorter timing and the degraded
+ * stack mode (paper 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "divergence/cct.hh"
+
+namespace siwi::divergence {
+namespace {
+
+TEST(Cct, StartsEmpty)
+{
+    Cct c(8, 1);
+    EXPECT_TRUE(c.empty());
+    EXPECT_FALSE(c.full());
+    EXPECT_FALSE(c.pop(0).has_value());
+    EXPECT_FALSE(c.minPc().has_value());
+}
+
+TEST(Cct, InsertTakesWalkTime)
+{
+    Cct c(8, 1);
+    c.insert(1, 10, 0);
+    // Parked in the sorter: counted in size, poppable as fallback.
+    EXPECT_EQ(c.size(), 1u);
+    c.tick(0);
+    // Walk of 1 step completes at cycle 1.
+    c.tick(1);
+    auto e = c.pop(1);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->id, 1u);
+}
+
+TEST(Cct, SortedOrderWhenSorterKeepsUp)
+{
+    Cct c(8, 4);
+    Cycle t = 0;
+    for (Pc pc : {30u, 10u, 20u}) {
+        c.insert(pc, pc, t);
+        t += 4; // let each walk finish
+        c.tick(t);
+    }
+    EXPECT_EQ(c.pop(t)->pc, 10u);
+    EXPECT_EQ(c.pop(t)->pc, 20u);
+    EXPECT_EQ(c.pop(t)->pc, 30u);
+}
+
+TEST(Cct, DegradedModePushesHead)
+{
+    Cct c(8, 1);
+    // First insert parks in the sorter; the second arrives while
+    // busy and degrades to a head push (stack behavior).
+    c.insert(1, 50, 0);
+    c.insert(2, 10, 0);
+    EXPECT_EQ(c.stats().degraded_inserts, 1u);
+    // Pop returns the degraded head first (the "last inserted").
+    auto e = c.pop(0);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->id, 2u);
+}
+
+TEST(Cct, PopFallsBackToParkedEntry)
+{
+    Cct c(8, 1);
+    c.insert(7, 42, 0);
+    auto e = c.pop(0); // before the walk finishes
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->id, 7u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Cct, MinPcScansEverything)
+{
+    Cct c(8, 1);
+    c.insert(1, 50, 0);
+    c.tick(5);
+    c.insert(2, 10, 5); // parked
+    auto min = c.minPc();
+    ASSERT_TRUE(min.has_value());
+    EXPECT_EQ(*min, 10u);
+}
+
+TEST(Cct, PopMinRemovesLowest)
+{
+    Cct c(8, 8);
+    c.insert(1, 30, 0);
+    c.tick(1);
+    c.insert(2, 10, 1);
+    c.tick(2);
+    c.insert(3, 20, 2);
+    c.tick(10);
+    auto e = c.popMin(10);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->pc, 10u);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cct, CapacityTracked)
+{
+    Cct c(2, 1);
+    c.insert(1, 1, 0);
+    c.insert(2, 2, 0);
+    EXPECT_TRUE(c.full());
+    EXPECT_EQ(c.stats().max_size, 2u);
+}
+
+TEST(Cct, StatsCountInsertsAndPops)
+{
+    Cct c(8, 1);
+    c.insert(1, 1, 0);
+    c.tick(2);
+    c.insert(2, 2, 2);
+    c.pop(3);
+    c.pop(3);
+    EXPECT_EQ(c.stats().inserts, 2u);
+    EXPECT_EQ(c.stats().pops, 2u);
+}
+
+TEST(Cct, HeapOrderRestoredAfterDegradedBurst)
+{
+    // After a degraded burst, popMin still finds the true minimum
+    // (the promotion rule in the SplitHeap relies on this).
+    Cct c(8, 1);
+    c.insert(1, 40, 0);
+    c.insert(2, 30, 0); // degraded
+    c.insert(3, 20, 0); // degraded
+    c.insert(4, 10, 0); // degraded
+    c.tick(10);
+    EXPECT_EQ(c.popMin(10)->pc, 10u);
+    EXPECT_EQ(c.popMin(10)->pc, 20u);
+    EXPECT_EQ(c.popMin(10)->pc, 30u);
+    EXPECT_EQ(c.popMin(10)->pc, 40u);
+}
+
+} // namespace
+} // namespace siwi::divergence

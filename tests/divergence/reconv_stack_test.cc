@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Baseline reconvergence-stack tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "divergence/reconv_stack.hh"
+
+namespace siwi::divergence {
+namespace {
+
+TEST(ReconvStack, StartsWithInitialMask)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.mask().bits(), 0xfu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(ReconvStack, EmptyInitialMaskIsDone)
+{
+    ReconvStack s(LaneMask{}, 0);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(ReconvStack, AdvanceMovesTop)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    s.advance(1);
+    EXPECT_EQ(s.pc(), 1u);
+}
+
+TEST(ReconvStack, UniformBranchNoDivergence)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    EXPECT_FALSE(s.branch(10, 1, 20, LaneMask(0xf)));
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_FALSE(s.branch(5, 11, 20, LaneMask{}));
+    EXPECT_EQ(s.pc(), 11u);
+}
+
+TEST(ReconvStack, DivergentIfElseReconverges)
+{
+    // Branch at 1: taken {lanes 0,1} -> 10, fall {2,3} -> 2,
+    // reconvergence at 20.
+    ReconvStack s(LaneMask(0xf), 1);
+    EXPECT_TRUE(s.branch(10, 2, 20, LaneMask(0b0011)));
+    EXPECT_EQ(s.depth(), 3u);
+    // Taken path runs first.
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.mask().bits(), 0b0011u);
+    s.advance(20); // reaches reconvergence -> pop
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.mask().bits(), 0b1100u);
+    s.advance(20);
+    // Full reconvergence: merged mask at 20.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.mask().bits(), 0xfu);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.reconvergences(), 2u);
+}
+
+TEST(ReconvStack, TakenTargetAtReconvPopsImmediately)
+{
+    // if-without-else: taken target IS the join. The taken path must
+    // wait, not run ahead (regression test for the barrier deadlock).
+    ReconvStack s(LaneMask(0xf), 1);
+    EXPECT_TRUE(s.branch(20, 2, 20, LaneMask(0b0011)));
+    // Fall-through path (the "then" body) executes first.
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.mask().bits(), 0b1100u);
+    s.advance(20);
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.mask().bits(), 0xfu);
+}
+
+TEST(ReconvStack, NestedDivergence)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    // Outer: {0,1} vs {2,3}, reconv 100.
+    s.branch(10, 1, 100, LaneMask(0b0011));
+    EXPECT_EQ(s.pc(), 10u);
+    // Inner divergence on the taken path: {0} vs {1}, reconv 50.
+    s.branch(20, 11, 50, LaneMask(0b0001));
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.mask().bits(), 0b0001u);
+    EXPECT_EQ(s.maxDepth(), 5u);
+    s.advance(50);
+    EXPECT_EQ(s.pc(), 11u);
+    EXPECT_EQ(s.mask().bits(), 0b0010u);
+    s.advance(50);
+    EXPECT_EQ(s.pc(), 50u);
+    EXPECT_EQ(s.mask().bits(), 0b0011u);
+    s.advance(100);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask().bits(), 0b1100u);
+    s.advance(100);
+    EXPECT_EQ(s.pc(), 100u);
+    EXPECT_EQ(s.mask().bits(), 0xfu);
+}
+
+TEST(ReconvStack, LoopDivergence)
+{
+    // Backward branch at 5 -> 2, exit at 6 (= reconv).
+    ReconvStack s(LaneMask(0b11), 5);
+    // Lane 0 loops again, lane 1 exits.
+    EXPECT_TRUE(s.branch(2, 6, 6, LaneMask(0b01)));
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.mask().bits(), 0b01u);
+    // Lane 0 reaches the branch again; now exits too.
+    s.advance(5);
+    EXPECT_FALSE(s.branch(2, 6, 6, LaneMask{}));
+    EXPECT_EQ(s.pc(), 6u);
+    EXPECT_EQ(s.mask().bits(), 0b11u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(ReconvStack, ExitRemovesThreadsEverywhere)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    s.branch(10, 1, 20, LaneMask(0b0011));
+    // Taken path exits entirely.
+    s.exitThreads(LaneMask(0b0011));
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask().bits(), 0b1100u);
+    s.exitThreads(LaneMask(0b1100));
+    EXPECT_TRUE(s.done());
+}
+
+TEST(ReconvStack, DivergenceWithoutReconvPoint)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    EXPECT_TRUE(s.branch(10, 1, invalid_pc, LaneMask(0b0011)));
+    EXPECT_EQ(s.pc(), 10u);
+    // Taken path exits; the fall path surfaces.
+    s.exitThreads(LaneMask(0b0011));
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask().bits(), 0b1100u);
+    s.exitThreads(LaneMask(0b1100));
+    EXPECT_TRUE(s.done());
+}
+
+TEST(ReconvStack, VersionBumpsOnChange)
+{
+    ReconvStack s(LaneMask(0xf), 0);
+    u32 v0 = s.version();
+    s.advance(1);
+    EXPECT_NE(s.version(), v0);
+    u32 v1 = s.version();
+    s.branch(5, 2, 9, LaneMask(0b0011));
+    EXPECT_NE(s.version(), v1);
+}
+
+TEST(ReconvStack, MasksArePartitionedInvariant)
+{
+    // Property: at any time, the masks in the stack cover each lane
+    // at most once *per level transition*; the top mask is a subset
+    // of every deeper reconvergence entry's mask.
+    ReconvStack s(LaneMask(0xff), 0);
+    s.branch(10, 1, 100, LaneMask(0x0f));
+    s.branch(20, 11, 50, LaneMask(0x03));
+    EXPECT_TRUE(s.mask().subsetOf(LaneMask(0x0f)));
+    EXPECT_TRUE(s.mask().subsetOf(LaneMask(0xff)));
+}
+
+} // namespace
+} // namespace siwi::divergence

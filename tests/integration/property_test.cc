@@ -1,0 +1,205 @@
+/**
+ * @file
+ * System-level properties of the paper's mechanisms: performance
+ * orderings, reconvergence guarantees, peak-IPC bounds, and stat
+ * consistency invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/compiler.hh"
+#include "core/gpu.hh"
+#include "isa/builder.hh"
+#include "workloads/workload.hh"
+
+namespace siwi {
+namespace {
+
+using isa::Imm;
+using isa::KernelBuilder;
+using isa::Reg;
+using isa::SpecialReg;
+using pipeline::PipelineMode;
+using workloads::SizeClass;
+
+core::SimStats
+statsFor(const char *workload, PipelineMode mode,
+         std::function<void(pipeline::SMConfig &)> tweak = nullptr,
+         SizeClass sc = SizeClass::Tiny)
+{
+    auto cfg = pipeline::SMConfig::make(mode);
+    if (tweak)
+        tweak(cfg);
+    auto res = workloads::runWorkload(
+        *workloads::findWorkload(workload), cfg, sc);
+    EXPECT_TRUE(res.verified) << workload << ": "
+                              << res.verify_msg;
+    return res.stats;
+}
+
+TEST(Property, IpcNeverExceedsPeak)
+{
+    // Baseline peak 64, interweaving peak 104 (paper 5.1).
+    for (const workloads::Workload *wl :
+         workloads::allWorkloads()) {
+        auto base = statsFor(wl->name(), PipelineMode::Baseline);
+        EXPECT_LE(base.ipc(), 64.001) << wl->name();
+        auto comb = statsFor(wl->name(), PipelineMode::SBISWI);
+        EXPECT_LE(comb.ipc(), 104.001) << wl->name();
+    }
+}
+
+TEST(Property, IssueCountsConsistent)
+{
+    for (PipelineMode m :
+         {PipelineMode::Baseline, PipelineMode::SBI,
+          PipelineMode::SWI, PipelineMode::SBISWI}) {
+        auto st = statsFor("Eigenvalues", m);
+        EXPECT_EQ(st.instructions,
+                  st.primary_issues + st.secondary_issues)
+            << pipeline::pipelineModeName(m);
+        EXPECT_LE(st.row_share_issues, st.secondary_issues);
+        EXPECT_GE(st.fetches, st.instructions);
+    }
+}
+
+TEST(Property, SecondarySchedulerOnlyOnInterweavingModes)
+{
+    auto base = statsFor("Eigenvalues", PipelineMode::Baseline);
+    auto w64 = statsFor("Eigenvalues", PipelineMode::Warp64);
+    // Two-pool machines have two symmetric primaries.
+    EXPECT_EQ(base.secondary_issues, 0u);
+    EXPECT_EQ(w64.secondary_issues, 0u);
+    auto sbi = statsFor("Eigenvalues", PipelineMode::SBI);
+    EXPECT_GT(sbi.secondary_issues, 0u);
+}
+
+TEST(Property, BalancedDivergenceSbiBeatsWarp64)
+{
+    // Eigenvalues: balanced if/else -> branch-level parallelism.
+    // Needs full occupancy (16 warps) for the co-issue bandwidth to
+    // matter, so run the Full size.
+    auto w64 = statsFor("Eigenvalues", PipelineMode::Warp64,
+                        nullptr, SizeClass::Full);
+    auto sbi = statsFor("Eigenvalues", PipelineMode::SBI, nullptr,
+                        SizeClass::Full);
+    EXPECT_LT(sbi.cycles, w64.cycles);
+    EXPECT_GT(sbi.row_share_issues, 1000u);
+}
+
+TEST(Property, ThreadInstructionsConservedAcrossModes)
+{
+    // Without run-ahead effects, regular kernels execute the same
+    // thread-instruction count everywhere.
+    u64 counts[2];
+    int i = 0;
+    for (PipelineMode m :
+         {PipelineMode::Baseline, PipelineMode::SBISWI}) {
+        counts[i++] = statsFor("BlackScholes", m)
+                          .thread_instructions;
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(Property, ConstraintsReduceIssuedInstructions)
+{
+    // Paper 5.1: "constraints reduce the number of instructions
+    // issued" (redundant run-ahead re-execution).
+    auto with = statsFor("Eigenvalues", PipelineMode::SBI);
+    auto without = statsFor("Eigenvalues", PipelineMode::SBI,
+                            [](pipeline::SMConfig &c) {
+                                c.sbi_constraints = false;
+                            });
+    EXPECT_LE(with.instructions, without.instructions);
+}
+
+TEST(Property, AssociativityMonotonicOpportunities)
+{
+    // Fewer sets = more candidates visible = at least as many
+    // row-share opportunities (statistically; use a divergent app).
+    auto full = statsFor("BFS", PipelineMode::SWI,
+                         [](pipeline::SMConfig &c) {
+                             c.lookup_sets = 1;
+                         });
+    auto direct = statsFor("BFS", PipelineMode::SWI,
+                           [](pipeline::SMConfig &c) {
+                               c.lookup_sets = c.num_warps;
+                           });
+    EXPECT_LE(direct.cycles * 85 / 100, full.cycles)
+        << "direct-mapped should stay within reach of full";
+}
+
+TEST(Property, HeapStatsOnlyOnHeapModes)
+{
+    auto base = statsFor("BFS", PipelineMode::Baseline);
+    EXPECT_EQ(base.warp_splits, 0u);
+    EXPECT_GT(base.max_stack_depth, 1u);
+    auto sbi = statsFor("BFS", PipelineMode::SBI);
+    EXPECT_GT(sbi.warp_splits, 0u);
+    EXPECT_EQ(sbi.max_stack_depth, 0u);
+}
+
+TEST(Property, MemorySplitsOnlyWhenEnabled)
+{
+    auto on = statsFor("Histogram", PipelineMode::SBI);
+    auto off = statsFor("Histogram", PipelineMode::SBI,
+                        [](pipeline::SMConfig &c) {
+                            c.split_on_memory_divergence = false;
+                        });
+    EXPECT_GT(on.memory_splits, 0u);
+    EXPECT_EQ(off.memory_splits, 0u);
+}
+
+TEST(Property, BarrierReleaseCountsMatchKernelStructure)
+{
+    // Mandelbrot Tiny: 2 rows -> 2 barrier releases per block.
+    auto st = statsFor("Mandelbrot", PipelineMode::SBISWI);
+    EXPECT_EQ(st.barrier_releases, 2u);
+}
+
+TEST(Property, UnitUtilizationAccounted)
+{
+    auto st = statsFor("BlackScholes", PipelineMode::SBI);
+    u64 unit_insts = 0;
+    bool saw_sfu = false;
+    for (const auto &u : st.units) {
+        unit_insts += u.thread_instructions;
+        if (u.name == "SFU")
+            saw_sfu = u.thread_instructions > 0;
+        EXPECT_LE(u.busy_cycles, st.cycles);
+    }
+    EXPECT_EQ(unit_insts, st.thread_instructions);
+    EXPECT_TRUE(saw_sfu); // BlackScholes uses transcendentals
+}
+
+TEST(Property, CacheStatsSane)
+{
+    auto st = statsFor("MatrixMul", PipelineMode::Baseline);
+    EXPECT_GT(st.l1_hits + st.l1_misses, 0u);
+    EXPECT_EQ(st.l1_hits + st.l1_misses, st.load_transactions);
+    EXPECT_GT(st.l1HitRate(), 0.3); // B matrix reuse
+}
+
+TEST(Property, DramTrafficBoundedByMisses)
+{
+    auto st = statsFor("Transpose", PipelineMode::Baseline);
+    // Load fills plus (write-combined) store drains.
+    EXPECT_LE(st.dram_transactions,
+              st.l1_misses - st.mshr_merges +
+                  st.store_transactions);
+    EXPECT_GE(st.dram_transactions, st.l1_misses - st.mshr_merges);
+}
+
+TEST(Property, Tmd2BeatsTmd1OnThreadFrontierMachines)
+{
+    // The layout anomaly hurts thread-frontier reconvergence; with
+    // the same workload shape, TMD2 (fixed layout) must not be
+    // slower than TMD1 by any significant margin on TF machines,
+    // while the stack baseline is indifferent to layout.
+    auto t1 = statsFor("TMD1", PipelineMode::SBI);
+    auto t2 = statsFor("TMD2", PipelineMode::SBI);
+    EXPECT_LE(double(t2.cycles), double(t1.cycles) * 1.05);
+}
+
+} // namespace
+} // namespace siwi

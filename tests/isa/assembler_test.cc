@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Assembler tests including disassemble/assemble round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+namespace siwi::isa {
+namespace {
+
+TEST(Assembler, MinimalProgram)
+{
+    auto res = assemble(".kernel tiny\n    exit\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.name(), "tiny");
+    EXPECT_EQ(res.program.size(), 1u);
+    EXPECT_EQ(res.program.at(0).op, Opcode::EXIT);
+}
+
+TEST(Assembler, AllOperandForms)
+{
+    const char *src = R"(
+.kernel forms
+    s2r r0, %gtid
+    movi r1, #42
+    iadd r2, r0, r1
+    iadd r2, r0, #-3
+    imad r3, r0, r1, r2
+    mov r4, r3
+    ld r5, [r2+16]
+    ld r6, [r2]
+    st [r2+4], r5
+top:
+    bnz r1, top
+    bra done
+done:
+    exit
+)";
+    auto res = assemble(src);
+    ASSERT_TRUE(res.ok()) << res.error;
+    const Program &p = res.program;
+    EXPECT_EQ(p.at(0).sreg, SpecialReg::GTID);
+    EXPECT_EQ(p.at(1).imm, 42);
+    EXPECT_FALSE(p.at(2).b_is_imm);
+    EXPECT_TRUE(p.at(3).b_is_imm);
+    EXPECT_EQ(p.at(3).imm, -3);
+    EXPECT_EQ(p.at(6).imm, 16);
+    EXPECT_EQ(p.at(7).imm, 0);
+    EXPECT_EQ(p.at(9).target, 9u);
+    EXPECT_EQ(p.at(10).target, 11u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto res = assemble("; leading comment\n\n  exit // trailing\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.size(), 1u);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    auto res = assemble("movi r1, #0x10\nexit\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.at(0).imm, 16);
+}
+
+TEST(Assembler, ReconvAnnotation)
+{
+    auto res = assemble("top:\nbnz r1, top, !j\nj:\nexit\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.at(0).reconv, 1u);
+}
+
+TEST(Assembler, SyncPayload)
+{
+    auto res = assemble("d:\nmovi r0, #1\nsync @d\nexit\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.at(1).op, Opcode::SYNC);
+    EXPECT_EQ(res.program.at(1).div, 0u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    auto res = assemble("frobnicate r1, r2\n");
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("line 1"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUndefinedLabel)
+{
+    auto res = assemble("bra nowhere\nexit\n");
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Assembler, ErrorRedefinedLabel)
+{
+    auto res = assemble("a:\nexit\na:\nexit\n");
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    auto res = assemble("iadd r64, r0, r1\nexit\n");
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Assembler, ErrorTrailingJunk)
+{
+    auto res = assemble("exit garbage\n");
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Assembler, ErrorMissingExit)
+{
+    auto res = assemble("movi r0, #1\n");
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Assembler, DisassembleRoundTrip)
+{
+    KernelBuilder b("roundtrip");
+    Reg c = b.reg(), v = b.reg(), addr = b.reg();
+    b.s2r(c, SpecialReg::TID);
+    b.movi(addr, 0x1000);
+    b.ld(v, addr, 8);
+    b.if_(c);
+    b.iadd(v, v, Imm(1));
+    b.else_();
+    b.isub(v, v, Imm(1));
+    b.endIf();
+    b.st(addr, 8, v);
+    Program p1 = b.build();
+
+    auto res = assemble(p1.disassemble());
+    ASSERT_TRUE(res.ok()) << res.error;
+    const Program &p2 = res.program;
+    ASSERT_EQ(p1.size(), p2.size());
+    for (Pc pc = 0; pc < p1.size(); ++pc)
+        EXPECT_EQ(p1.at(pc).toString(), p2.at(pc).toString())
+            << "pc " << pc;
+}
+
+TEST(Assembler, NumericLabelFallback)
+{
+    // Lnn labels resolve to PC nn even without definition, matching
+    // the disassembler's naming scheme.
+    auto res = assemble("movi r0, #1\nbra L2\nexit\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.program.at(1).target, 2u);
+}
+
+} // namespace
+} // namespace siwi::isa

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * KernelBuilder structured-control and label tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+
+namespace siwi::isa {
+namespace {
+
+TEST(Builder, AppendsExitWhenMissing)
+{
+    KernelBuilder b("k");
+    Reg r = b.reg();
+    b.movi(r, 1);
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).op, Opcode::EXIT);
+}
+
+TEST(Builder, KeepsTrailingExit)
+{
+    KernelBuilder b("k");
+    b.exit_();
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Builder, RegistersAreSequential)
+{
+    KernelBuilder b("k");
+    EXPECT_EQ(b.reg().idx, 0);
+    EXPECT_EQ(b.reg().idx, 1);
+    EXPECT_EQ(b.regsAllocated(), 2u);
+}
+
+TEST(Builder, IfWithoutElseTargetsJoin)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.movi(c, 1);
+    b.if_(c);
+    b.movi(v, 42);
+    b.endIf();
+    b.movi(v, 7);
+    Program p = b.build();
+    // movi c; bz c,L; movi v; (join) movi v; exit
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(1).op, Opcode::BZ);
+    EXPECT_EQ(p.at(1).target, 3u);
+}
+
+TEST(Builder, IfElseShape)
+{
+    KernelBuilder b("k");
+    Reg c = b.reg(), v = b.reg();
+    b.movi(c, 0);
+    b.if_(c);
+    b.movi(v, 1); // then
+    b.else_();
+    b.movi(v, 2); // else
+    b.endIf();
+    Program p = b.build();
+    // 0: movi c; 1: bz c,else(4); 2: movi v,1; 3: bra end(5);
+    // 4: movi v,2; 5: exit
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.at(1).op, Opcode::BZ);
+    EXPECT_EQ(p.at(1).target, 4u);
+    EXPECT_EQ(p.at(3).op, Opcode::BRA);
+    EXPECT_EQ(p.at(3).target, 5u);
+}
+
+TEST(Builder, LoopBranchesBack)
+{
+    KernelBuilder b("k");
+    Reg i = b.reg(), c = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.iadd(i, i, Imm(1));
+    b.isetlt(c, i, Imm(10));
+    b.endLoopIf(c);
+    Program p = b.build();
+    // 0: movi; 1: iadd; 2: isetlt; 3: bnz c,1; 4: exit
+    EXPECT_EQ(p.at(3).op, Opcode::BNZ);
+    EXPECT_EQ(p.at(3).target, 1u);
+}
+
+TEST(Builder, BreakTargetsLoopEnd)
+{
+    KernelBuilder b("k");
+    Reg i = b.reg(), c = b.reg(), brk = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.breakIf(brk);
+    b.iadd(i, i, Imm(1));
+    b.isetlt(c, i, Imm(10));
+    b.endLoopIf(c);
+    b.movi(i, 99);
+    Program p = b.build();
+    // break: bnz brk -> instruction after the backward branch
+    EXPECT_EQ(p.at(1).op, Opcode::BNZ);
+    EXPECT_EQ(p.at(1).target, 5u);
+    EXPECT_EQ(p.at(4).op, Opcode::BNZ);
+    EXPECT_EQ(p.at(4).target, 1u);
+}
+
+TEST(Builder, NestedIfInsideLoop)
+{
+    KernelBuilder b("k");
+    Reg i = b.reg(), c = b.reg(), d = b.reg();
+    b.movi(i, 0);
+    b.loop();
+    b.if_(d);
+    b.iadd(i, i, Imm(2));
+    b.else_();
+    b.iadd(i, i, Imm(1));
+    b.endIf();
+    b.isetlt(c, i, Imm(10));
+    b.endLoopIf(c);
+    Program p = b.build();
+    EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Builder, RawLabelsForwardAndBackward)
+{
+    KernelBuilder b("k");
+    Reg r = b.reg();
+    Label fwd = b.label();
+    Label back = b.label();
+    b.bind(back);
+    b.movi(r, 1);
+    b.bnz(r, fwd);
+    b.bz(r, back);
+    b.bind(fwd);
+    b.movi(r, 2);
+    Program p = b.build();
+    EXPECT_EQ(p.at(1).target, 3u); // forward
+    EXPECT_EQ(p.at(2).target, 0u); // backward
+}
+
+TEST(Builder, FmoviStoresBitPattern)
+{
+    KernelBuilder b("k");
+    Reg r = b.reg();
+    b.fmovi(r, 1.5f);
+    Program p = b.build();
+    EXPECT_EQ(u32(p.at(0).imm), 0x3fc00000u);
+}
+
+TEST(Builder, ValidatesBuiltProgram)
+{
+    KernelBuilder b("k");
+    Reg a = b.reg(), c = b.reg();
+    b.movi(a, 3);
+    b.if_(c);
+    b.iadd(a, a, Imm(1));
+    b.endIf();
+    Program p = b.build();
+    EXPECT_TRUE(p.validate().empty());
+}
+
+} // namespace
+} // namespace siwi::isa

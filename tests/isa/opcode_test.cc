@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Opcode metadata tests, parameterized over the full opcode set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace siwi::isa {
+namespace {
+
+class AllOpcodes : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    Opcode op() const { return static_cast<Opcode>(GetParam()); }
+};
+
+TEST_P(AllOpcodes, NameRoundTrips)
+{
+    EXPECT_EQ(opFromName(opName(op())), op());
+}
+
+TEST_P(AllOpcodes, NameIsLowerCaseNonEmpty)
+{
+    auto name = opName(op());
+    ASSERT_FALSE(name.empty());
+    for (char c : name)
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'));
+}
+
+TEST_P(AllOpcodes, UnitClassConsistent)
+{
+    const OpInfo &info = opInfo(op());
+    if (isBranch(op()) || op() == Opcode::SYNC ||
+        op() == Opcode::BAR || op() == Opcode::EXIT) {
+        EXPECT_EQ(info.unit, UnitClass::CTRL);
+    }
+    if (isMemory(op()))
+        EXPECT_EQ(info.unit, UnitClass::LSU);
+}
+
+TEST_P(AllOpcodes, ControlNeverWritesDst)
+{
+    if (opInfo(op()).unit == UnitClass::CTRL)
+        EXPECT_FALSE(opInfo(op()).writes_dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllOpcodes, ::testing::Range(0u, num_opcodes),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        return std::string(
+            opName(static_cast<Opcode>(info.param)));
+    });
+
+TEST(Opcode, UnknownNameRejected)
+{
+    EXPECT_EQ(opFromName("bogus"), Opcode::NumOpcodes);
+    EXPECT_EQ(opFromName(""), Opcode::NumOpcodes);
+    EXPECT_EQ(opFromName("IADD"), Opcode::NumOpcodes); // case
+}
+
+TEST(Opcode, BranchPredicates)
+{
+    EXPECT_TRUE(isBranch(Opcode::BRA));
+    EXPECT_TRUE(isBranch(Opcode::BNZ));
+    EXPECT_TRUE(isBranch(Opcode::BZ));
+    EXPECT_FALSE(isBranch(Opcode::SYNC));
+    EXPECT_FALSE(isCondBranch(Opcode::BRA));
+    EXPECT_TRUE(isCondBranch(Opcode::BNZ));
+    EXPECT_TRUE(isCondBranch(Opcode::BZ));
+}
+
+TEST(Opcode, SpecialRegNames)
+{
+    for (unsigned i = 0; i < num_special_regs; ++i) {
+        SpecialReg sr = static_cast<SpecialReg>(i);
+        EXPECT_EQ(sregFromName(sregName(sr)), sr);
+    }
+    EXPECT_EQ(sregFromName("nope"), SpecialReg::NumSpecialRegs);
+}
+
+TEST(Opcode, SfuOpsAreSfuClass)
+{
+    for (Opcode op : {Opcode::RCP, Opcode::RSQ, Opcode::SQRT,
+                      Opcode::SIN, Opcode::COS, Opcode::EXP2,
+                      Opcode::LOG2}) {
+        EXPECT_EQ(opInfo(op).unit, UnitClass::SFU);
+    }
+}
+
+} // namespace
+} // namespace siwi::isa

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * L1 cache tag/LRU model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace siwi::mem {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.size_bytes = 4 * 128 * 2; // 2 sets x 4 ways
+    c.ways = 4;
+    c.block_bytes = 128;
+    return c;
+}
+
+TEST(Cache, GeometryFromConfig)
+{
+    L1Cache c(smallCache());
+    EXPECT_EQ(c.numSets(), 2u);
+    // Paper configuration: 48K / 6-way / 128B = 64 sets.
+    L1Cache paper{CacheConfig{}};
+    EXPECT_EQ(paper.numSets(), 64u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    L1Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x0));
+    c.fill(0x0);
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    L1Cache c(smallCache());
+    c.fill(0x0);
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_EQ(c.stats().hits, 0u);
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, LruEviction)
+{
+    L1Cache c(smallCache());
+    // Fill one set (same set index: stride = sets*block = 256).
+    for (Addr i = 0; i < 4; ++i)
+        c.fill(i * 256);
+    // Touch block 0 so block 1*256 is LRU.
+    EXPECT_TRUE(c.access(0));
+    c.fill(4 * 256);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(1 * 256)); // evicted
+    EXPECT_TRUE(c.probe(2 * 256));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    L1Cache c(smallCache());
+    // Fill 4 ways of set 0 and one of set 1; no eviction.
+    for (Addr i = 0; i < 4; ++i)
+        c.fill(i * 256);
+    c.fill(128);
+    EXPECT_EQ(c.stats().evictions, 0u);
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.probe(i * 256));
+    EXPECT_TRUE(c.probe(128));
+}
+
+TEST(Cache, DoubleFillIsIdempotent)
+{
+    L1Cache c(smallCache());
+    c.fill(0);
+    c.fill(0);
+    EXPECT_EQ(c.stats().evictions, 0u);
+    EXPECT_TRUE(c.probe(0));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    L1Cache c(smallCache());
+    c.fill(0);
+    c.fill(256);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_FALSE(c.probe(256));
+}
+
+TEST(Cache, WorkingSetWithinCapacityAllHits)
+{
+    L1Cache c{CacheConfig{}};
+    unsigned blocks = 48 * 1024 / 128;
+    for (Addr i = 0; i < blocks; ++i)
+        c.fill(i * 128);
+    for (Addr i = 0; i < blocks; ++i)
+        EXPECT_TRUE(c.access(i * 128));
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, ThrashingWorkingSet)
+{
+    L1Cache c(smallCache());
+    // 8-block working set in a 4-way set: every access misses when
+    // cycled round-robin (LRU pathological case).
+    for (int round = 0; round < 3; ++round) {
+        for (Addr i = 0; i < 8; ++i) {
+            if (!c.access(i * 256))
+                c.fill(i * 256);
+        }
+    }
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+} // namespace
+} // namespace siwi::mem

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Coalescer tests: the LSU's 128-byte transaction formation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coalescer.hh"
+
+namespace siwi::mem {
+namespace {
+
+std::vector<LaneAccess>
+unitStride(unsigned lanes, Addr base)
+{
+    std::vector<LaneAccess> v;
+    for (unsigned l = 0; l < lanes; ++l)
+        v.push_back({l, base + l * 4});
+    return v;
+}
+
+TEST(Coalescer, FullyCoalescedWarp32)
+{
+    auto txns = coalesce(unitStride(32, 0x1000), 128);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].block, 0x1000u);
+    EXPECT_EQ(txns[0].lanes.count(), 32u);
+}
+
+TEST(Coalescer, Warp64UnitStrideIsTwoTransactions)
+{
+    auto txns = coalesce(unitStride(64, 0x1000), 128);
+    ASSERT_EQ(txns.size(), 2u);
+    EXPECT_EQ(txns[0].block, 0x1000u);
+    EXPECT_EQ(txns[1].block, 0x1080u);
+    EXPECT_EQ(txns[0].lanes.count(), 32u);
+    EXPECT_EQ(txns[1].lanes.count(), 32u);
+}
+
+TEST(Coalescer, MisalignedStraddlesTwoBlocks)
+{
+    auto txns = coalesce(unitStride(32, 0x1040), 128);
+    ASSERT_EQ(txns.size(), 2u);
+    EXPECT_EQ(txns[0].block, 0x1000u);
+    EXPECT_EQ(txns[1].block, 0x1080u);
+}
+
+TEST(Coalescer, BroadcastSingleTransaction)
+{
+    std::vector<LaneAccess> v;
+    for (unsigned l = 0; l < 32; ++l)
+        v.push_back({l, 0x2000});
+    auto txns = coalesce(v, 128);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].lanes.count(), 32u);
+}
+
+TEST(Coalescer, StridedWorstCase)
+{
+    // Stride of one block per lane: fully divergent.
+    std::vector<LaneAccess> v;
+    for (unsigned l = 0; l < 32; ++l)
+        v.push_back({l, Addr(l) * 128});
+    auto txns = coalesce(v, 128);
+    EXPECT_EQ(txns.size(), 32u);
+}
+
+TEST(Coalescer, TransactionsInFirstLaneOrder)
+{
+    std::vector<LaneAccess> v = {
+        {0, 0x3080}, {1, 0x3000}, {2, 0x3080}, {3, 0x3000}};
+    auto txns = coalesce(v, 128);
+    ASSERT_EQ(txns.size(), 2u);
+    EXPECT_EQ(txns[0].block, 0x3080u); // first touched
+    EXPECT_EQ(txns[0].lanes.bits(), 0b0101u);
+    EXPECT_EQ(txns[1].lanes.bits(), 0b1010u);
+}
+
+TEST(Coalescer, EmptyInput)
+{
+    EXPECT_TRUE(coalesce({}, 128).empty());
+}
+
+TEST(Coalescer, LanesPartitionAcrossTransactions)
+{
+    // Property: every lane appears in exactly one transaction.
+    std::vector<LaneAccess> v;
+    for (unsigned l = 0; l < 48; ++l)
+        v.push_back({l, Addr(l % 7) * 64});
+    auto txns = coalesce(v, 128);
+    LaneMask all;
+    unsigned total = 0;
+    for (const auto &t : txns) {
+        EXPECT_FALSE(all.intersects(t.lanes));
+        all |= t.lanes;
+        total += t.lanes.count();
+    }
+    EXPECT_EQ(total, 48u);
+}
+
+class CoalescerStride
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoalescerStride, TransactionCountMatchesStride)
+{
+    // 32 lanes, stride s words: expect ceil(32*s*4 / 128) blocks
+    // when accesses are dense and aligned.
+    unsigned stride_words = GetParam();
+    std::vector<LaneAccess> v;
+    for (unsigned l = 0; l < 32; ++l)
+        v.push_back({l, Addr(l) * stride_words * 4});
+    auto txns = coalesce(v, 128);
+    unsigned span_bytes = 32 * stride_words * 4;
+    unsigned expect = (span_bytes + 127) / 128;
+    EXPECT_EQ(txns.size(), std::max(1u, expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CoalescerStride,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u,
+                                           32u));
+
+} // namespace
+} // namespace siwi::mem

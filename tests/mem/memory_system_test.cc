@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MemorySystem (L1 + MSHR + DRAM glue) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+
+namespace siwi::mem {
+namespace {
+
+TEST(MemorySystem, ColdMissThenHit)
+{
+    MemorySystem ms{MemConfig{}};
+    Cycle miss = ms.load(0, 0x1000);
+    EXPECT_GT(miss, Cycle(330)); // went to DRAM
+    // After the fill retires, the block hits.
+    ms.tick(miss + 1);
+    Cycle hit = ms.load(miss + 1, 0x1000);
+    EXPECT_EQ(hit, miss + 1 + 3);
+    EXPECT_EQ(ms.cacheStats().hits, 1u);
+    EXPECT_EQ(ms.cacheStats().misses, 1u);
+}
+
+TEST(MemorySystem, MshrMergesSameBlock)
+{
+    MemorySystem ms{MemConfig{}};
+    Cycle a = ms.load(0, 0x2000);
+    Cycle b = ms.load(1, 0x2000);
+    // Second request merges: same data-ready time, without a
+    // second DRAM transaction.
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(ms.stats().mshr_merges, 1u);
+    EXPECT_EQ(ms.dramStats().transactions, 1u);
+}
+
+TEST(MemorySystem, DistinctBlocksQueueOnBandwidth)
+{
+    MemorySystem ms{MemConfig{}};
+    Cycle a = ms.load(0, 0x0);
+    Cycle b = ms.load(0, 0x80);
+    EXPECT_GT(b, a);
+}
+
+TEST(MemorySystem, StoreIsFireAndForget)
+{
+    MemorySystem ms{MemConfig{}};
+    Cycle done = ms.store(5, 0x3000, 128);
+    EXPECT_EQ(done, Cycle(6));
+    EXPECT_EQ(ms.stats().store_transactions, 1u);
+    // Parked in the write-combining buffer; drains on eviction.
+    EXPECT_EQ(ms.dramStats().transactions, 0u);
+    ms.invalidate();
+    EXPECT_EQ(ms.dramStats().transactions, 1u);
+}
+
+TEST(MemorySystem, WriteCombiningMergesRepeatedStores)
+{
+    MemorySystem ms{MemConfig{}};
+    for (int i = 0; i < 50; ++i)
+        ms.store(Cycle(i), 0x3000, 4);
+    EXPECT_EQ(ms.stats().write_combines, 49u);
+    ms.invalidate();
+    EXPECT_EQ(ms.dramStats().transactions, 1u);
+    EXPECT_LE(ms.dramStats().bytes, 128u);
+}
+
+TEST(MemorySystem, WriteBufferEvictsLru)
+{
+    MemConfig cfg;
+    cfg.write_buffer_entries = 2;
+    MemorySystem ms(cfg);
+    ms.store(0, 0x000, 4);
+    ms.store(1, 0x080, 4);
+    ms.store(2, 0x100, 4); // evicts 0x000
+    EXPECT_EQ(ms.dramStats().transactions, 1u);
+    ms.store(3, 0x080, 4); // still resident: combines
+    EXPECT_EQ(ms.stats().write_combines, 1u);
+}
+
+TEST(MemorySystem, StoreDoesNotAllocate)
+{
+    MemorySystem ms{MemConfig{}};
+    ms.store(0, 0x3000, 128);
+    ms.tick(1000);
+    Cycle c = ms.load(1000, 0x3000);
+    EXPECT_GT(c, Cycle(1000 + 3)); // still a miss
+}
+
+TEST(MemorySystem, MshrExhaustionQueues)
+{
+    MemConfig cfg;
+    cfg.mshrs = 2;
+    MemorySystem ms(cfg);
+    Cycle a = ms.load(0, 0x000);
+    (void)a;
+    ms.load(0, 0x080);
+    Cycle c = ms.load(0, 0x100); // third miss: queues
+    EXPECT_EQ(ms.stats().mshr_stalls, 1u);
+    EXPECT_GT(c, Cycle(330 + 13));
+}
+
+TEST(MemorySystem, InvalidateDropsResidency)
+{
+    MemorySystem ms{MemConfig{}};
+    Cycle a = ms.load(0, 0x1000);
+    ms.tick(a + 1);
+    ms.invalidate();
+    Cycle b = ms.load(a + 1, 0x1000);
+    EXPECT_GT(b, a + 1 + 3); // miss again
+}
+
+TEST(MemorySystem, BandwidthBoundStreaming)
+{
+    // Property: streaming N distinct blocks takes at least
+    // N * 12.8 cycles of DRAM bandwidth.
+    MemorySystem ms{MemConfig{}};
+    const unsigned n = 50;
+    Cycle last = 0;
+    for (unsigned i = 0; i < n; ++i)
+        last = std::max(last, ms.load(0, Addr(i) * 128));
+    EXPECT_GE(last, Cycle(n * 128 / 10));
+}
+
+} // namespace
+} // namespace siwi::mem

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lane-shuffle policy tests (paper Table 1): bijectivity,
+ * involution, and the intended decorrelation behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/lane_shuffle.hh"
+
+namespace siwi::pipeline {
+namespace {
+
+const LaneShufflePolicy all_policies[] = {
+    LaneShufflePolicy::Identity, LaneShufflePolicy::MirrorOdd,
+    LaneShufflePolicy::MirrorHalf, LaneShufflePolicy::Xor,
+    LaneShufflePolicy::XorRev,
+};
+
+class AllPolicies
+    : public ::testing::TestWithParam<LaneShufflePolicy>
+{
+};
+
+TEST_P(AllPolicies, BijectiveForEveryWarp)
+{
+    const unsigned width = 64, warps = 16;
+    for (unsigned w = 0; w < warps; ++w) {
+        u64 seen = 0;
+        for (unsigned t = 0; t < width; ++t) {
+            unsigned lane = laneOf(GetParam(), t, w, width, warps);
+            ASSERT_LT(lane, width);
+            seen |= u64(1) << lane;
+        }
+        EXPECT_EQ(seen, ~u64(0)) << "warp " << w;
+    }
+}
+
+TEST_P(AllPolicies, Involution)
+{
+    const unsigned width = 32, warps = 32;
+    for (unsigned w = 0; w < warps; ++w) {
+        for (unsigned t = 0; t < width; ++t) {
+            unsigned lane = laneOf(GetParam(), t, w, width, warps);
+            EXPECT_EQ(threadOfLane(GetParam(), lane, w, width,
+                                   warps),
+                      t);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPolicies, ::testing::ValuesIn(all_policies),
+    [](const ::testing::TestParamInfo<LaneShufflePolicy> &info) {
+        return laneShuffleName(info.param);
+    });
+
+TEST(LaneShuffle, IdentityIsIdentity)
+{
+    for (unsigned t = 0; t < 64; ++t)
+        EXPECT_EQ(laneOf(LaneShufflePolicy::Identity, t, 5, 64, 16),
+                  t);
+}
+
+TEST(LaneShuffle, MirrorOddFlipsOddWarps)
+{
+    EXPECT_EQ(laneOf(LaneShufflePolicy::MirrorOdd, 0, 0, 64, 16),
+              0u);
+    EXPECT_EQ(laneOf(LaneShufflePolicy::MirrorOdd, 0, 1, 64, 16),
+              63u);
+    EXPECT_EQ(laneOf(LaneShufflePolicy::MirrorOdd, 5, 3, 64, 16),
+              58u);
+}
+
+TEST(LaneShuffle, MirrorHalfFlipsUpperWarps)
+{
+    EXPECT_EQ(laneOf(LaneShufflePolicy::MirrorHalf, 0, 7, 64, 16),
+              0u);
+    EXPECT_EQ(laneOf(LaneShufflePolicy::MirrorHalf, 0, 8, 64, 16),
+              63u);
+}
+
+TEST(LaneShuffle, XorUsesWarpLowBits)
+{
+    EXPECT_EQ(laneOf(LaneShufflePolicy::Xor, 0, 3, 64, 16), 3u);
+    EXPECT_EQ(laneOf(LaneShufflePolicy::Xor, 5, 3, 64, 16), 6u);
+}
+
+TEST(LaneShuffle, XorRevSpreadsAcrossHighLanes)
+{
+    // bitrev(1, 6) = 32: warp 1's thread 0 lands on lane 32.
+    EXPECT_EQ(laneOf(LaneShufflePolicy::XorRev, 0, 1, 64, 16), 32u);
+    EXPECT_EQ(laneOf(LaneShufflePolicy::XorRev, 0, 2, 64, 16), 16u);
+}
+
+TEST(LaneShuffle, DecorrelatesHeadOfWarpPattern)
+{
+    // The paper's motivation: "the first thread of each warp may
+    // receive a larger share of work". With Identity, thread 0 of
+    // every warp occupies lane 0 (total conflict). XorRev must
+    // spread thread 0 of 16 warps over 16 distinct lanes.
+    const unsigned width = 64, warps = 16;
+    for (LaneShufflePolicy p :
+         {LaneShufflePolicy::Xor, LaneShufflePolicy::XorRev}) {
+        u64 lanes_used = 0;
+        for (unsigned w = 0; w < warps; ++w)
+            lanes_used |=
+                u64(1) << laneOf(p, 0, w, width, warps);
+        EXPECT_EQ(std::popcount(lanes_used), 16)
+            << laneShuffleName(p);
+    }
+    // Identity: all collide on lane 0.
+    u64 lanes_used = 0;
+    for (unsigned w = 0; w < warps; ++w)
+        lanes_used |= u64(1) << laneOf(LaneShufflePolicy::Identity,
+                                       0, w, width, warps);
+    EXPECT_EQ(std::popcount(lanes_used), 1);
+}
+
+TEST(LaneShuffle, ContiguousThreadsStayContiguousUnderMirror)
+{
+    // Mirror policies preserve adjacency (memory locality argument
+    // in section 4): |lane(t+1) - lane(t)| == 1.
+    for (unsigned t = 0; t + 1 < 64; ++t) {
+        int a = int(laneOf(LaneShufflePolicy::MirrorOdd, t, 1, 64,
+                           16));
+        int b = int(laneOf(LaneShufflePolicy::MirrorOdd, t + 1, 1,
+                           64, 16));
+        EXPECT_EQ(std::abs(a - b), 1);
+    }
+}
+
+} // namespace
+} // namespace siwi::pipeline

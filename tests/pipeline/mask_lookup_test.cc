@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SWI mask-inclusion lookup tests: best-fit selection and
+ * set-associative restriction (paper section 4, Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/mask_lookup.hh"
+
+namespace siwi::pipeline {
+namespace {
+
+LookupCandidate
+cand(WarpId w, u64 mask, bool same_unit = true,
+     bool other_free = false)
+{
+    LookupCandidate c;
+    c.warp = w;
+    c.mask = LaneMask(mask);
+    c.same_unit = same_unit;
+    c.other_unit_free = other_free;
+    return c;
+}
+
+TEST(MaskLookup, PicksFittingCandidate)
+{
+    MaskLookup ml(16, 1);
+    std::vector<LookupCandidate> cands = {
+        cand(1, 0xf0), // fits in ~0x0f? free = 0xf0
+    };
+    auto r = ml.pick(0, LaneMask(0xf0), cands);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 0u);
+}
+
+TEST(MaskLookup, RejectsOverlapping)
+{
+    MaskLookup ml(16, 1);
+    std::vector<LookupCandidate> cands = {cand(1, 0x18)};
+    auto r = ml.pick(0, LaneMask(0xf0), cands);
+    EXPECT_FALSE(r.has_value());
+}
+
+TEST(MaskLookup, BestFitMaximizesOccupancy)
+{
+    MaskLookup ml(16, 1);
+    std::vector<LookupCandidate> cands = {
+        cand(1, 0x10), // 1 lane
+        cand(2, 0x70), // 3 lanes -- best fit
+        cand(3, 0x30), // 2 lanes
+    };
+    auto r = ml.pick(0, LaneMask(0xf0), cands);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 1u);
+}
+
+TEST(MaskLookup, OtherUnitBypassesMaskCheck)
+{
+    MaskLookup ml(16, 1);
+    // Overlapping mask but a different unit group is free.
+    std::vector<LookupCandidate> cands = {
+        cand(1, 0xff, /*same_unit=*/false, /*other_free=*/true)};
+    auto r = ml.pick(0, LaneMask(0x0f), cands);
+    ASSERT_TRUE(r.has_value());
+}
+
+TEST(MaskLookup, NoUnitNoFit)
+{
+    MaskLookup ml(16, 1);
+    std::vector<LookupCandidate> cands = {
+        cand(1, 0xff, false, false)};
+    EXPECT_FALSE(ml.pick(0, LaneMask(0xff), cands).has_value());
+}
+
+TEST(MaskLookup, SetRestrictionFiltersWarps)
+{
+    MaskLookup ml(16, 4); // sets by warp % 4
+    EXPECT_TRUE(ml.eligible(0, 4));
+    EXPECT_TRUE(ml.eligible(0, 8));
+    EXPECT_FALSE(ml.eligible(0, 1));
+    EXPECT_FALSE(ml.eligible(3, 5));
+    EXPECT_TRUE(ml.eligible(3, 7));
+
+    std::vector<LookupCandidate> cands = {
+        cand(1, 0x10), // wrong set
+        cand(4, 0x20), // right set
+    };
+    auto r = ml.pick(0, LaneMask(0xf0), cands);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 1u);
+}
+
+TEST(MaskLookup, FullyAssociativeSearchesAll)
+{
+    MaskLookup ml(16, 1);
+    for (WarpId a = 0; a < 16; ++a) {
+        for (WarpId b = 0; b < 16; ++b)
+            EXPECT_TRUE(ml.eligible(a, b));
+    }
+}
+
+TEST(MaskLookup, DirectMappedOnlySelf)
+{
+    MaskLookup ml(16, 16);
+    EXPECT_TRUE(ml.eligible(5, 5));
+    EXPECT_FALSE(ml.eligible(5, 6));
+}
+
+TEST(MaskLookup, TieBreakIsPseudoRandomButCovering)
+{
+    // Repeated equal-occupancy ties must eventually pick different
+    // candidates (randomized tie-breaking, section 4).
+    MaskLookup ml(16, 1, 7);
+    std::vector<LookupCandidate> cands = {cand(1, 0x10),
+                                          cand(2, 0x20)};
+    bool saw0 = false, saw1 = false;
+    for (int i = 0; i < 64; ++i) {
+        auto r = ml.pick(0, LaneMask(0xf0), cands);
+        ASSERT_TRUE(r.has_value());
+        saw0 |= *r == 0;
+        saw1 |= *r == 1;
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw1);
+}
+
+TEST(MaskLookup, StatsCountSearches)
+{
+    MaskLookup ml(16, 1);
+    std::vector<LookupCandidate> cands = {cand(1, 0x10)};
+    ml.pick(0, LaneMask(0xf0), cands);
+    ml.pick(0, LaneMask(0xf0), cands);
+    EXPECT_EQ(ml.searchesPerformed(), 2u);
+    EXPECT_EQ(ml.entriesExamined(), 2u);
+}
+
+class Associativity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Associativity, EligibleCountMatchesWays)
+{
+    unsigned sets = GetParam();
+    MaskLookup ml(16, sets);
+    unsigned eligible = 0;
+    for (WarpId w = 0; w < 16; ++w)
+        eligible += ml.eligible(3, w) ? 1 : 0;
+    EXPECT_EQ(eligible, 16 / sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Associativity,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace siwi::pipeline
