@@ -8,7 +8,7 @@
  *   --regular / --irregular  restrict to one sub-figure
  *   --ablate-sbi-fallback    add an SBI column without the
  *                            secondary-front-end fallback
- *                            (DESIGN.md interpretation note)
+ *                            (docs/DESIGN.md interpretation note)
  *   --no-mem-splits          disable DWS-style memory splits
  */
 

@@ -4,7 +4,7 @@
  * total overhead relative to a 15.6 mm^2 Fermi SM (40 nm).
  *
  * The per-bit densities are calibrated against the paper's RTL
- * synthesis (see core/area_model.hh and DESIGN.md substitutions);
+ * synthesis (see core/area_model.hh and docs/DESIGN.md substitutions);
  * the inventory geometry and all arithmetic are modeled.
  */
 

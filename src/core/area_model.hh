@@ -8,7 +8,7 @@
  * area as (storage bits from the Table 3 inventory) x (a per-bit
  * density calibrated against the paper's synthesis results), plus
  * fixed logic adders (associative-lookup scheduler, segmented
- * register file). See DESIGN.md's substitution table; the
+ * register file). See docs/DESIGN.md's substitution table; the
  * calibration is validated to within 1% of Table 4 by
  * tests/core/area_model_test.cc.
  */

@@ -30,7 +30,7 @@ hardwareInventory(PipelineMode mode, const InventoryParams &p)
     const unsigned pool_warps = base_warps / 2;               // 24
     const unsigned wide_warps = p.threads / p.wide_width;     // 24
 
-    // Derived entry widths (see DESIGN.md):
+    // Derived entry widths (see docs/DESIGN.md):
     //  - baseline scoreboard entry: 8 bits (6-bit reg id + flags,
     //    after Coon et al.)
     //  - SBI scoreboard entry: 24 bits (reg id + 3x3 dependency

@@ -3,7 +3,7 @@
  * Opcode set of the SASS-like SIMT ISA executed by the simulator.
  *
  * The ISA stands in for NVIDIA Tesla SASS that the paper's Barra-based
- * simulator executed (see DESIGN.md, substitution table). Opcodes are
+ * simulator executed (see docs/DESIGN.md, substitution table). Opcodes are
  * grouped by the execution-unit class that runs them on the SM
  * back-end: MAD (multiply-add / integer / control), SFU
  * (transcendental) and LSU (memory), matching Figure 1 of the paper.

@@ -60,7 +60,7 @@ struct SMConfig
     /**
      * Let the SBI secondary front-end issue another warp's primary
      * context to a different SIMD group when no secondary warp-split
-     * is ready (interpretation note in DESIGN.md).
+     * is ready (interpretation note in docs/DESIGN.md).
      */
     bool sbi_secondary_fallback = true;
     /** DWS-style warp-splits on memory address divergence (3.4). */

@@ -688,7 +688,7 @@ SM::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
         return;
 
     // Fallback: issue another warp's primary-context instruction to
-    // a different SIMD group (DESIGN.md interpretation note).
+    // a different SIMD group (docs/DESIGN.md interpretation note).
     best.reset();
     best_seq = ~u64(0);
     for (WarpId w = 0; w < warps_.size(); ++w) {

@@ -5,7 +5,7 @@
  * One SM object simulates one kernel grid on one SM, in any of the
  * five pipeline configurations of the paper's evaluation (Figure 7):
  * the Fermi-like stack baseline, the 64-wide thread-frontier
- * reference, SBI, SWI, and SBI+SWI. See DESIGN.md for the pipeline
+ * reference, SBI, SWI, and SBI+SWI. See docs/DESIGN.md for the pipeline
  * structure and the interpretation notes.
  */
 

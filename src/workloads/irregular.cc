@@ -6,7 +6,7 @@
  * data-dependent frontier expansion, Eigenvalues' balanced bisection
  * branches, Mandelbrot's escape-time loops behind a block barrier,
  * Needleman-Wunsch's growing wavefront, SortingNetworks' data-
- * dependent compare-exchanges, and so on (see DESIGN.md).
+ * dependent compare-exchanges, and so on (see docs/DESIGN.md).
  */
 
 #include "workloads/suite.hh"

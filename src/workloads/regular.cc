@@ -4,7 +4,7 @@
  *
  * "Regular" per the paper: average IPC with 64-wide warps above 30 --
  * little or no branch divergence. Each kernel mirrors the arithmetic
- * and memory signature of its namesake (see DESIGN.md).
+ * and memory signature of its namesake (see docs/DESIGN.md).
  */
 
 #include "workloads/suite.hh"

@@ -4,7 +4,7 @@
  *
  * Each workload reproduces the divergence and memory signature of
  * one Rodinia / CUDA SDK / TMD benchmark as a kernel in our ISA (see
- * the substitution table in DESIGN.md). Workloads generate their own
+ * the substitution table in docs/DESIGN.md). Workloads generate their own
  * deterministic inputs and verify the device results against a host
  * reference implementation, so every pipeline configuration is
  * checked for functional correctness, not just timed.
