@@ -7,15 +7,16 @@
  *
  * Prints, per cycle, which (warp, pc, mask) issued on which
  * execution group -- the textual equivalent of the paper's colored
- * pipeline diagrams.
+ * pipeline diagrams. With --json PATH the issue traces of all five
+ * configurations are written as one machine-readable document.
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <map>
 #include <vector>
 
+#include "common/json.hh"
 #include "core/siwi.hh"
+#include "runner/cli.hh"
 
 using namespace siwi;
 using pipeline::PipelineMode;
@@ -47,10 +48,10 @@ figure2Kernel()
 }
 
 void
-runAndPrint(const char *title, SMConfig cfg)
+runAndPrint(const char *title, SMConfig cfg, Json *trace_doc)
 {
     cfg.warp_width = 4;
-    cfg.num_warps = cfg.num_pools == 2 ? 2 : 2;
+    cfg.num_warps = 2;
     cfg.mad_width = 4;
     if (cfg.mode == PipelineMode::Baseline) {
         cfg.mad_groups = 2;
@@ -92,29 +93,66 @@ runAndPrint(const char *title, SMConfig cfg)
                     e.secondary ? "sec" : "prim", unsigned(e.warp),
                     e.pc, e.mask.c_str());
     }
+
+    if (!trace_doc)
+        return;
+    Json jevs = Json::array();
+    for (const Ev &e : evs) {
+        Json je = Json::object();
+        je.set("cycle", Json(e.cycle));
+        je.set("unit", Json(e.unit));
+        je.set("scheduler",
+               Json(e.secondary ? "secondary" : "primary"));
+        je.set("warp", Json(unsigned(e.warp)));
+        je.set("pc", Json(e.pc));
+        je.set("lanes", Json(e.mask));
+        jevs.push(std::move(je));
+    }
+    Json jc = Json::object();
+    jc.set("cycles", Json(st.cycles));
+    jc.set("issues", Json(st.instructions));
+    jc.set("events", std::move(jevs));
+    trace_doc->set(title, std::move(jc));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::ArgList args(argc, argv);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!runner::finishArgs(args, "fig2_pipeline"))
+        return 2;
+    Json trace_doc = Json::object();
+    Json *trace = json_path.empty() ? nullptr : &trace_doc;
+
     std::printf("Reproduction of Figure 2: execution pipeline for "
                 "an if-then-else block,\n2 warps of 4 threads "
                 "(odd threads take the if path).\n");
 
     runAndPrint("(a) SIMT baseline",
-                SMConfig::make(PipelineMode::Baseline));
+                SMConfig::make(PipelineMode::Baseline), trace);
 
     {
         SMConfig c = SMConfig::make(PipelineMode::SBI);
         c.sbi_constraints = false;
-        runAndPrint("(b) SBI, no reconvergence constraints", c);
+        runAndPrint("(b) SBI, no reconvergence constraints", c,
+                    trace);
     }
     runAndPrint("(c) SBI with constraints",
-                SMConfig::make(PipelineMode::SBI));
-    runAndPrint("(d) SWI", SMConfig::make(PipelineMode::SWI));
+                SMConfig::make(PipelineMode::SBI), trace);
+    runAndPrint("(d) SWI", SMConfig::make(PipelineMode::SWI),
+                trace);
     runAndPrint("(e) SBI+SWI",
-                SMConfig::make(PipelineMode::SBISWI));
+                SMConfig::make(PipelineMode::SBISWI), trace);
+
+    std::string err;
+    if (!json_path.empty() &&
+        !trace_doc.writeFile(json_path, 2, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
     return 0;
 }

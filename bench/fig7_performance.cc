@@ -2,7 +2,8 @@
  * @file
  * Figure 7 reproduction: IPC of the regular (7a) and irregular (7b)
  * workloads under Baseline, SBI, SWI, SBI+SWI and the 64-wide
- * thread-frontier reference.
+ * thread-frontier reference, executed concurrently by the
+ * experiment runner.
  *
  * Flags:
  *   --regular / --irregular  restrict to one sub-figure
@@ -10,70 +11,42 @@
  *                            secondary-front-end fallback
  *                            (docs/DESIGN.md interpretation note)
  *   --no-mem-splits          disable DWS-style memory splits
+ *   -j N                     worker threads (default: all cores)
+ *   --json PATH              write machine-readable results
  */
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "runner/runner.hh"
 
 using namespace siwi;
-using namespace siwi::bench;
-using pipeline::PipelineMode;
-using pipeline::SMConfig;
+using namespace siwi::runner;
 
 namespace {
 
 void
-runSet(const std::vector<const workloads::Workload *> &wls,
-       const char *title, bool ablate_fallback, bool no_mem_splits)
+printSet(const Results &res, const std::string &sweep,
+         const char *title)
 {
-    std::vector<std::string> names = {"Baseline", "SBI", "SWI",
-                                      "SBI+SWI", "Warp64"};
-    std::vector<SMConfig> cfgs = {
-        SMConfig::make(PipelineMode::Baseline),
-        SMConfig::make(PipelineMode::SBI),
-        SMConfig::make(PipelineMode::SWI),
-        SMConfig::make(PipelineMode::SBISWI),
-        SMConfig::make(PipelineMode::Warp64),
-    };
-    if (ablate_fallback) {
-        SMConfig c = SMConfig::make(PipelineMode::SBI);
-        c.sbi_secondary_fallback = false;
-        names.push_back("SBI-nofb");
-        cfgs.push_back(c);
-    }
-    if (no_mem_splits) {
-        for (SMConfig &c : cfgs)
-            c.split_on_memory_divergence = false;
-    }
-
-    std::vector<std::vector<double>> cols(cfgs.size());
-    for (size_t c = 0; c < cfgs.size(); ++c) {
-        for (const workloads::Workload *wl : wls)
-            cols[c].push_back(runCell(*wl, cfgs[c]).ipc);
-    }
-
     std::printf("\n=== Figure 7: %s applications (IPC) ===\n",
                 title);
-    printIpcTable(wls, names, cols);
+    std::fputs(formatSweepTable(res, sweep).c_str(), stdout);
 
     // Speedups vs baseline, the paper's headline numbers.
     std::printf("\n--- speedup vs Baseline (gmean, TMD excluded) "
                 "---\n");
-    std::vector<double> base;
-    for (size_t r = 0; r < wls.size(); ++r) {
-        if (!wls[r]->excludedFromMeans())
-            base.push_back(cols[0][r]);
-    }
-    double base_gm = geomean(base);
-    for (size_t c = 1; c < cfgs.size(); ++c) {
-        std::vector<double> vals;
-        for (size_t r = 0; r < wls.size(); ++r) {
-            if (!wls[r]->excludedFromMeans())
-                vals.push_back(cols[c][r]);
-        }
-        std::printf("  %-10s %+6.1f%%\n", names[c].c_str(),
-                    100.0 * (geomean(vals) / base_gm - 1.0));
+    std::vector<TableRow> rows = sweepRows(res, sweep);
+    std::vector<bool> excluded;
+    for (const TableRow &r : rows)
+        excluded.push_back(r.excluded);
+    std::vector<std::string> machines = sweepMachines(res, sweep);
+    double base_gm = geomean(excludeFromMeans(
+        sweepColumn(res, sweep, machines[0]), excluded));
+    for (size_t c = 1; c < machines.size(); ++c) {
+        double gm = geomean(excludeFromMeans(
+            sweepColumn(res, sweep, machines[c]), excluded));
+        std::printf("  %-10s %+6.1f%%\n", machines[c].c_str(),
+                    100.0 * (gm / base_gm - 1.0));
     }
 }
 
@@ -82,10 +55,18 @@ runSet(const std::vector<const workloads::Workload *> &wls,
 int
 main(int argc, char **argv)
 {
-    bool regular = hasFlag(argc, argv, "--regular");
-    bool irregular = hasFlag(argc, argv, "--irregular");
-    bool ablate = hasFlag(argc, argv, "--ablate-sbi-fallback");
-    bool no_splits = hasFlag(argc, argv, "--no-mem-splits");
+    ArgList args(argc, argv);
+    bool regular = args.flag("--regular");
+    bool irregular = args.flag("--irregular");
+    Fig7Options fopts;
+    fopts.ablate_sbi_fallback = args.flag("--ablate-sbi-fallback");
+    fopts.no_mem_splits = args.flag("--no-mem-splits");
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!runner::finishArgs(args, "fig7_performance"))
+        return 2;
     if (!regular && !irregular)
         regular = irregular = true;
 
@@ -96,13 +77,22 @@ main(int argc, char **argv)
                 "  irregular: SBI +41%%, SWI +33%%, SBI+SWI "
                 "+40%%\n");
 
+    std::vector<SweepSpec> sweeps;
     if (regular) {
-        runSet(workloads::regularWorkloads(), "regular", ablate,
-               no_splits);
+        sweeps.push_back(
+            fig7Sweep(true, workloads::SizeClass::Full, fopts));
     }
     if (irregular) {
-        runSet(workloads::irregularWorkloads(), "irregular", ablate,
-               no_splits);
+        sweeps.push_back(
+            fig7Sweep(false, workloads::SizeClass::Full, fopts));
     }
-    return 0;
+    opts.suite_label = "fig7";
+    Results res = runSweeps(sweeps, opts);
+
+    if (regular)
+        printSet(res, "fig7_regular", "regular");
+    if (irregular)
+        printSet(res, "fig7_irregular", "irregular");
+
+    return finishBench(res, json_path);
 }

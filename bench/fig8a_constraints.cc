@@ -4,32 +4,31 @@
  * (section 3.3) on the irregular applications -- speedup of the
  * constrained configuration over the unconstrained one, for SBI and
  * SBI+SWI, plus the issued-instruction reduction the paper reports
- * (1.3% regular / 5.5% irregular).
+ * (1.3% regular / 5.5% irregular). Cells run concurrently on the
+ * experiment runner.
+ *
+ * Flags: -j N (worker threads), --json PATH.
  */
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "common/log.hh"
+#include "runner/runner.hh"
 
 using namespace siwi;
-using namespace siwi::bench;
-using pipeline::PipelineMode;
-using pipeline::SMConfig;
-
-namespace {
-
-struct Row
-{
-    double speedup_sbi;
-    double speedup_comb;
-    double issue_reduction_sbi;
-};
-
-} // namespace
+using namespace siwi::runner;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgList args(argc, argv);
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!finishArgs(args, "fig8a_constraints"))
+        return 2;
+
     std::printf("Reproduction of Figure 8(a): SBI reconvergence "
                 "constraints (irregular apps)\n");
     std::printf("Paper: <0.1%% perf effect on SBI alone; "
@@ -37,51 +36,69 @@ main()
                 "BFS/Histogram held back; issued instructions "
                 "reduced 1.3%% (reg) / 5.5%% (irr).\n\n");
 
-    auto wls = workloads::irregularWorkloads();
+    const std::vector<SweepSpec> sweeps = {
+        fig8aSweep(false, workloads::SizeClass::Full),
+        fig8aSweep(true, workloads::SizeClass::Full),
+    };
+    opts.suite_label = "fig8a";
+    Results res = runSweeps(sweeps, opts);
 
-    std::vector<std::vector<double>> cols(2);
-    std::vector<double> issue_red;
-    for (const workloads::Workload *wl : wls) {
-        SMConfig sbi_on = SMConfig::make(PipelineMode::SBI);
-        SMConfig sbi_off = sbi_on;
-        sbi_off.sbi_constraints = false;
-        SMConfig comb_on = SMConfig::make(PipelineMode::SBISWI);
-        SMConfig comb_off = comb_on;
-        comb_off.sbi_constraints = false;
+    const std::string irr = "fig8a_irregular";
+    std::vector<TableRow> rows = sweepRows(res, irr);
 
-        Cell c_on = runCell(*wl, sbi_on);
-        Cell c_off = runCell(*wl, sbi_off);
-        Cell k_on = runCell(*wl, comb_on);
-        Cell k_off = runCell(*wl, comb_off);
+    // Checked lookup: fails loudly if a machine label in
+    // fig8aSweep() drifts from the names used here.
+    auto cell = [&](const std::string &sweep,
+                    const std::string &machine,
+                    const std::string &wl) -> const CellResult & {
+        const CellResult *c = res.find(sweep, machine, wl);
+        siwi_assert(c, "missing cell ", sweep, "/", machine, "/",
+                    wl);
+        return *c;
+    };
 
-        cols[0].push_back(c_on.ipc / c_off.ipc);
-        cols[1].push_back(k_on.ipc / k_off.ipc);
-        issue_red.push_back(
-            1.0 - double(c_on.stats.instructions) /
-                      double(c_off.stats.instructions));
-    }
+    auto ratio = [&](const std::string &sweep, const char *on,
+                     const char *off) {
+        std::vector<double> a = sweepColumn(res, sweep, on);
+        std::vector<double> b = sweepColumn(res, sweep, off);
+        std::vector<double> r;
+        for (size_t i = 0; i < a.size(); ++i)
+            r.push_back(a[i] / b[i]);
+        return r;
+    };
 
     std::printf("speedup of constraints ON vs OFF:\n");
-    printRatioTable(wls, {"SBI", "SBI+SWI"}, cols);
+    std::fputs(
+        formatRatioTable(rows, {"SBI", "SBI+SWI"},
+                         {ratio(irr, "SBI", "SBI-nc"),
+                          ratio(irr, "SBI+SWI", "SBI+SWI-nc")})
+            .c_str(),
+        stdout);
+
+    // Issued-instruction reduction from the constraints (SBI).
+    auto issue_reduction = [&](const std::string &sweep) {
+        std::vector<double> red;
+        for (const TableRow &r : sweepRows(res, sweep)) {
+            const CellResult &on = cell(sweep, "SBI", r.name);
+            const CellResult &off =
+                cell(sweep, "SBI-nc", r.name);
+            red.push_back(1.0 -
+                          double(on.stats.instructions) /
+                              double(off.stats.instructions));
+        }
+        return red;
+    };
 
     std::printf("\nissued-instruction reduction from constraints "
                 "(SBI):\n");
-    for (size_t i = 0; i < wls.size(); ++i)
-        std::printf("  %-22s %+6.2f%%\n", wls[i]->name(),
-                    100.0 * issue_red[i]);
+    std::vector<double> irr_red = issue_reduction(irr);
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::printf("  %-22s %+6.2f%%\n", rows[i].name.c_str(),
+                    100.0 * irr_red[i]);
 
     // Regular-application issue reduction for the text's 1.3%.
-    std::vector<double> reg_red;
-    for (const workloads::Workload *wl :
-         workloads::regularWorkloads()) {
-        SMConfig on = SMConfig::make(PipelineMode::SBI);
-        SMConfig off = on;
-        off.sbi_constraints = false;
-        Cell a = runCell(*wl, on);
-        Cell b = runCell(*wl, off);
-        reg_red.push_back(1.0 - double(a.stats.instructions) /
-                                    double(b.stats.instructions));
-    }
+    std::vector<double> reg_red =
+        issue_reduction("fig8a_regular");
     double mean = 0;
     for (double v : reg_red)
         mean += v;
@@ -89,5 +106,6 @@ main()
     std::printf("\nmean issued-instruction reduction, regular "
                 "apps: %+.2f%% (paper: 1.3%%)\n",
                 100.0 * mean);
-    return 0;
+
+    return finishBench(res, json_path);
 }

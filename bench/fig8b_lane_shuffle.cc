@@ -1,59 +1,63 @@
 /**
  * @file
  * Figure 8(b) + Table 1 reproduction: speedup of each lane-shuffle
- * policy over Identity for SWI on the irregular applications.
+ * policy over Identity for SWI, executed concurrently by the
+ * experiment runner.
  *
  * Paper: XorRev is the most consistent; gains range up to +7.7%
  * (Needleman-Wunsch), gmeans +0.3% regular / +1.4% irregular.
+ *
+ * Flags: --regular (use the regular apps), -j N, --json PATH.
  */
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "runner/runner.hh"
 
 using namespace siwi;
-using namespace siwi::bench;
-using pipeline::LaneShufflePolicy;
-using pipeline::PipelineMode;
-using pipeline::SMConfig;
+using namespace siwi::runner;
 
 int
 main(int argc, char **argv)
 {
+    ArgList args(argc, argv);
+    bool include_regular = args.flag("--regular");
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!finishArgs(args, "fig8b_lane_shuffle"))
+        return 2;
+
     std::printf("Reproduction of Figure 8(b): SWI lane-shuffle "
                 "policies (Table 1), speedup vs Identity\n\n");
 
-    const LaneShufflePolicy policies[] = {
-        LaneShufflePolicy::MirrorOdd, LaneShufflePolicy::MirrorHalf,
-        LaneShufflePolicy::Xor, LaneShufflePolicy::XorRev};
+    const std::vector<SweepSpec> sweeps = {fig8bSweep(
+        include_regular, workloads::SizeClass::Full)};
+    opts.suite_label = "fig8b";
+    Results res = runSweeps(sweeps, opts);
 
-    bool include_regular = hasFlag(argc, argv, "--regular");
-    auto wls = include_regular ? workloads::regularWorkloads()
-                               : workloads::irregularWorkloads();
-
-    // Identity reference.
-    std::vector<double> ident;
-    for (const workloads::Workload *wl : wls) {
-        SMConfig cfg = SMConfig::make(PipelineMode::SWI);
-        cfg.shuffle = LaneShufflePolicy::Identity;
-        ident.push_back(runCell(*wl, cfg).ipc);
-    }
+    const std::string sweep = sweeps[0].name;
+    std::vector<double> ident =
+        sweepColumn(res, sweep, "Identity");
 
     std::vector<std::string> names;
     std::vector<std::vector<double>> cols;
-    for (LaneShufflePolicy p : policies) {
-        names.push_back(laneShuffleName(p));
-        std::vector<double> col;
-        for (size_t i = 0; i < wls.size(); ++i) {
-            SMConfig cfg = SMConfig::make(PipelineMode::SWI);
-            cfg.shuffle = p;
-            col.push_back(runCell(*wls[i], cfg).ipc / ident[i]);
-        }
-        cols.push_back(col);
+    for (const std::string &m : sweepMachines(res, sweep)) {
+        if (m == "Identity")
+            continue;
+        names.push_back(m);
+        std::vector<double> col = sweepColumn(res, sweep, m);
+        for (size_t i = 0; i < col.size(); ++i)
+            col[i] /= ident[i];
+        cols.push_back(std::move(col));
     }
 
-    printRatioTable(wls, names, cols);
+    std::fputs(formatRatioTable(sweepRows(res, sweep), names, cols)
+                   .c_str(),
+               stdout);
     std::printf("\n(paper gmean: +0.3%% regular, +1.4%% irregular; "
                 "XorRev most consistent)\n");
-    return 0;
+
+    return finishBench(res, json_path);
 }

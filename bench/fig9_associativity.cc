@@ -1,91 +1,83 @@
 /**
  * @file
  * Figure 9 reproduction: slowdown of set-associative SWI mask
- * lookup relative to the fully-associative CAM, on the irregular
- * applications.
+ * lookup relative to the fully-associative CAM, executed
+ * concurrently by the experiment runner.
  *
  * Paper: even direct-mapped achieves >= 85% of fully-associative on
  * irregular apps (96% on regular); direct-mapped SWI still speeds
  * the baseline up by 26% (vs 34% fully associative).
+ *
+ * Flags: --regular (use the regular apps), -j N, --json PATH.
  */
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "runner/runner.hh"
 
 using namespace siwi;
-using namespace siwi::bench;
-using pipeline::PipelineMode;
-using pipeline::SMConfig;
+using namespace siwi::runner;
 
 int
 main(int argc, char **argv)
 {
+    ArgList args(argc, argv);
+    bool include_regular = args.flag("--regular");
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!finishArgs(args, "fig9_associativity"))
+        return 2;
+
     std::printf("Reproduction of Figure 9: SWI lookup "
                 "associativity, slowdown vs fully-associative\n");
     std::printf("(16 warps per pool: sets 1/2/8/16 stand in for "
                 "the paper's full/11-way/3-way/direct)\n\n");
 
-    bool include_regular = hasFlag(argc, argv, "--regular");
-    auto wls = include_regular ? workloads::regularWorkloads()
-                               : workloads::irregularWorkloads();
+    const std::vector<SweepSpec> sweeps = {fig9Sweep(
+        include_regular, workloads::SizeClass::Full)};
+    opts.suite_label = "fig9";
+    Results res = runSweeps(sweeps, opts);
 
-    struct Variant
-    {
-        const char *name;
-        unsigned sets;
-    };
-    const Variant variants[] = {{"11-way", 2},
-                                {"3-way", 8},
-                                {"DirectMap", 16}};
+    const std::string sweep = sweeps[0].name;
+    std::vector<TableRow> rows = sweepRows(res, sweep);
+    std::vector<double> full =
+        sweepColumn(res, sweep, "SWI-full");
+    std::vector<double> baseline =
+        sweepColumn(res, sweep, "Baseline");
 
-    std::vector<double> full;
-    std::vector<double> baseline;
-    for (const workloads::Workload *wl : wls) {
-        SMConfig cfg = SMConfig::make(PipelineMode::SWI);
-        cfg.lookup_sets = 1;
-        full.push_back(runCell(*wl, cfg).ipc);
-        baseline.push_back(
-            runCell(*wl,
-                    SMConfig::make(PipelineMode::Baseline))
-                .ipc);
+    const std::vector<std::string> variants = {
+        "SWI-11way", "SWI-3way", "SWI-direct"};
+    std::vector<std::vector<double>> slowdown;
+    for (const std::string &v : variants) {
+        std::vector<double> col = sweepColumn(res, sweep, v);
+        for (size_t i = 0; i < col.size(); ++i)
+            col[i] /= full[i];
+        slowdown.push_back(std::move(col));
     }
-
-    std::vector<std::string> names;
-    std::vector<std::vector<double>> cols;
-    std::vector<std::vector<double>> ipcs;
-    for (const Variant &v : variants) {
-        names.push_back(v.name);
-        std::vector<double> col, ipccol;
-        for (size_t i = 0; i < wls.size(); ++i) {
-            SMConfig cfg = SMConfig::make(PipelineMode::SWI);
-            cfg.lookup_sets = v.sets;
-            double ipc = runCell(*wls[i], cfg).ipc;
-            col.push_back(ipc / full[i]);
-            ipccol.push_back(ipc);
-        }
-        cols.push_back(col);
-        ipcs.push_back(ipccol);
-    }
-
-    printRatioTable(wls, names, cols);
+    std::fputs(
+        formatRatioTable(rows, variants, slowdown).c_str(),
+        stdout);
 
     // Speedup over baseline per associativity (paper: 34% -> 26%).
     std::printf("\nSWI speedup vs Baseline by associativity "
                 "(gmean, TMD excluded):\n");
+    std::vector<bool> excluded;
+    for (const TableRow &r : rows)
+        excluded.push_back(r.excluded);
     auto gm = [&](const std::vector<double> &v) {
-        std::vector<double> kept;
-        for (size_t i = 0; i < wls.size(); ++i) {
-            if (!wls[i]->excludedFromMeans())
-                kept.push_back(v[i]);
-        }
-        return geomean(kept);
+        return geomean(excludeFromMeans(v, excluded));
     };
+    double base_gm = gm(baseline);
     std::printf("  %-12s %+6.1f%%\n", "full",
-                100.0 * (gm(full) / gm(baseline) - 1.0));
-    for (size_t v = 0; v < 3; ++v) {
-        std::printf("  %-12s %+6.1f%%\n", names[v].c_str(),
-                    100.0 * (gm(ipcs[v]) / gm(baseline) - 1.0));
+                100.0 * (gm(full) / base_gm - 1.0));
+    for (const std::string &v : variants) {
+        std::printf(
+            "  %-12s %+6.1f%%\n", v.c_str(),
+            100.0 * (gm(sweepColumn(res, sweep, v)) / base_gm -
+                     1.0));
     }
-    return 0;
+
+    return finishBench(res, json_path);
 }

@@ -1,22 +1,57 @@
 /**
  * @file
  * Table 2 reproduction: micro-architecture parameters of each
- * simulated configuration.
+ * simulated configuration. With --json PATH the parameters are
+ * also written as a machine-readable document.
  */
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "core/siwi.hh"
+#include "runner/cli.hh"
 
 using namespace siwi;
 using pipeline::PipelineMode;
 using pipeline::SMConfig;
 
-int
-main()
+namespace {
+
+Json
+configJson(const SMConfig &c)
 {
+    Json j = Json::object();
+    j.set("warp_width", Json(c.warp_width));
+    j.set("num_warps", Json(c.num_warps));
+    j.set("num_pools", Json(c.num_pools));
+    j.set("mad_groups", Json(c.mad_groups));
+    j.set("mad_width", Json(c.mad_width));
+    j.set("sfu_width", Json(c.sfu_width));
+    j.set("lsu_width", Json(c.lsu_width));
+    j.set("scheduler_latency", Json(c.scheduler_latency));
+    j.set("delivery_latency", Json(c.delivery_latency));
+    j.set("exec_latency", Json(c.exec_latency));
+    j.set("scoreboard_entries", Json(c.scoreboard_entries));
+    j.set("lookup_sets", Json(c.lookup_sets));
+    j.set("sbi", Json(c.sbi));
+    j.set("swi", Json(c.swi));
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runner::ArgList args(argc, argv);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!runner::finishArgs(args, "table2_parameters"))
+        return 2;
+
     std::printf("Reproduction of Table 2: micro-architecture "
                 "parameters\n");
+    Json doc = Json::object();
     for (PipelineMode m :
          {PipelineMode::Baseline, PipelineMode::Warp64,
           PipelineMode::SBI, PipelineMode::SWI,
@@ -24,6 +59,7 @@ main()
         SMConfig c = SMConfig::make(m);
         std::printf("\n### %s\n%s", pipelineModeName(m),
                     c.summary().c_str());
+        doc.set(pipelineModeName(m), configJson(c));
     }
     std::printf("\nPaper Table 2 reference:\n"
                 "  Baseline: 32x32 warps, sched 1cyc, delivery "
@@ -32,5 +68,13 @@ main()
                 "  SWI: 16x64, sched 2cyc, delivery 1cyc\n"
                 "  common: 1GHz, exec 8cyc, scoreboard 6/warp, L1 "
                 "48K 6-way 128B 3cyc, mem 10GB/s 330ns\n");
+
+    if (!json_path.empty()) {
+        std::string err;
+        if (!doc.writeFile(json_path, 2, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

@@ -1,17 +1,27 @@
 /**
  * @file
  * Table 3 reproduction: storage requirements of each technique.
+ * With --json PATH the inventory is also written as a
+ * machine-readable document.
  */
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "core/siwi.hh"
+#include "runner/cli.hh"
 
 using namespace siwi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::ArgList args(argc, argv);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!runner::finishArgs(args, "table3_storage"))
+        return 2;
+
     std::printf("Reproduction of Table 3: hardware requirements "
                 "per configuration\n(1536-thread SM geometry, as "
                 "in the paper's area study)\n\n");
@@ -24,5 +34,36 @@ main()
                 "  Stack/CCT:     144x256 | 128x104 x3\n"
                 "  Insn buffer:   48x64 | 48x64 | 24x64 dual | "
                 "48x64 dual\n");
+
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        for (pipeline::PipelineMode m :
+             {pipeline::PipelineMode::Baseline,
+              pipeline::PipelineMode::SBI,
+              pipeline::PipelineMode::SWI,
+              pipeline::PipelineMode::SBISWI}) {
+            Json items = Json::array();
+            for (const core::StorageItem &it :
+                 core::hardwareInventory(m)) {
+                Json ji = Json::object();
+                ji.set("component", Json(it.component));
+                ji.set("geometry", Json(it.geometry));
+                ji.set("bits", Json(it.bits));
+                ji.set("note", Json(it.note));
+                items.push(std::move(ji));
+            }
+            Json jm = Json::object();
+            jm.set("items", std::move(items));
+            jm.set("total_bits",
+                   Json(core::inventoryTotalBits(m)));
+            doc.set(pipeline::pipelineModeName(m),
+                    std::move(jm));
+        }
+        std::string err;
+        if (!doc.writeFile(json_path, 2, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

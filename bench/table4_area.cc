@@ -1,7 +1,9 @@
 /**
  * @file
  * Table 4 reproduction: area of each front-end component and the
- * total overhead relative to a 15.6 mm^2 Fermi SM (40 nm).
+ * total overhead relative to a 15.6 mm^2 Fermi SM (40 nm). With
+ * --json PATH the per-component areas are also written as a
+ * machine-readable document.
  *
  * The per-bit densities are calibrated against the paper's RTL
  * synthesis (see core/area_model.hh and docs/DESIGN.md substitutions);
@@ -10,13 +12,21 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "core/siwi.hh"
+#include "runner/cli.hh"
 
 using namespace siwi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::ArgList args(argc, argv);
+    std::string json_path;
+    args.option("--json", &json_path);
+    if (!runner::finishArgs(args, "table4_area"))
+        return 2;
+
     std::printf("Reproduction of Table 4: area of each component "
                 "(x1000 um^2, 40nm)\n\n");
     core::AreaModel model;
@@ -25,5 +35,36 @@ main()
                 "  Totals: 791.6 | 1258 | 1243 | 1365.6\n"
                 "  Overheads: - | 466.4 | 451.4 | 574\n"
                 "  %% of SM:  - | 3.0 | 2.9 | 3.7\n");
+
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        for (pipeline::PipelineMode m :
+             {pipeline::PipelineMode::Baseline,
+              pipeline::PipelineMode::SBI,
+              pipeline::PipelineMode::SWI,
+              pipeline::PipelineMode::SBISWI}) {
+            core::AreaReport rep = model.report(m);
+            Json items = Json::array();
+            for (const core::AreaItem &it : rep.items) {
+                Json ji = Json::object();
+                ji.set("component", Json(it.component));
+                ji.set("area_kum2", Json(it.area_kum2));
+                items.push(std::move(ji));
+            }
+            Json jm = Json::object();
+            jm.set("items", std::move(items));
+            jm.set("total_kum2", Json(rep.total_kum2));
+            jm.set("overhead_kum2", Json(rep.overhead_kum2));
+            jm.set("overhead_percent",
+                   Json(rep.overhead_percent));
+            doc.set(pipeline::pipelineModeName(m),
+                    std::move(jm));
+        }
+        std::string err;
+        if (!doc.writeFile(json_path, 2, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerate bench/baseline.json, the committed reference the CI
+# bench-regression gate compares every PR against.
+#
+# Run this when a PR *intentionally* changes simulated timing, and
+# commit the result together with the change (the PR diff then
+# shows exactly which cells moved). The simulator is deterministic,
+# so the file is identical on every machine and thread count.
+#
+# Uses a dedicated build directory so it never reconfigures (and
+# silently converts to Release) a developer's default build/.
+#
+# Usage: scripts/update_baseline.sh [build-dir]
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-baseline}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" --target siwi-run -j
+"$build/siwi-run" --suite fast --quiet \
+    --json "$repo/bench/baseline.json"
+echo "wrote $repo/bench/baseline.json"

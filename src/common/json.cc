@@ -1,0 +1,490 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace siwi {
+
+double
+Json::number() const
+{
+    if (isInt())
+        return double(integer());
+    return std::get<double>(v_);
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const Member &m : obj()) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+i64
+Json::getInt(std::string_view key, i64 def) const
+{
+    const Json *j = find(key);
+    if (!j)
+        return def;
+    if (j->isInt())
+        return j->integer();
+    if (j->isDouble())
+        return i64(j->number());
+    return def;
+}
+
+double
+Json::getDouble(std::string_view key, double def) const
+{
+    const Json *j = find(key);
+    return j && j->isNumber() ? j->number() : def;
+}
+
+bool
+Json::getBool(std::string_view key, bool def) const
+{
+    const Json *j = find(key);
+    return j && j->isBool() ? j->boolean() : def;
+}
+
+std::string
+Json::getString(std::string_view key, const std::string &def) const
+{
+    const Json *j = find(key);
+    return j && j->isString() ? j->str() : def;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Shortest round-trip double; locale-independent by construction. */
+void
+writeDouble(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+} // namespace
+
+namespace detail_json {
+
+void
+dumpInto(const Json &j, std::string &out, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out += '\n';
+        out.append(size_t(indent) * size_t(d), ' ');
+    };
+
+    if (j.isNull()) {
+        out += "null";
+    } else if (j.isBool()) {
+        out += j.boolean() ? "true" : "false";
+    } else if (j.isInt()) {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf),
+                                 j.integer());
+        out.append(buf, res.ptr);
+    } else if (j.isDouble()) {
+        writeDouble(out, j.number());
+    } else if (j.isString()) {
+        writeEscaped(out, j.str());
+    } else if (j.isArray()) {
+        const Json::Array &a = j.arr();
+        if (a.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            dumpInto(a[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+    } else {
+        const Json::Object &o = j.obj();
+        if (o.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (size_t i = 0; i < o.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            writeEscaped(out, o[i].first);
+            out += indent < 0 ? ":" : ": ";
+            dumpInto(o[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+    }
+}
+
+} // namespace detail_json
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    detail_json::dumpInto(*this, out, indent, 0);
+    return out;
+}
+
+bool
+Json::writeFile(const std::string &path, int indent,
+                std::string *err) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        if (err)
+            *err = "cannot write " + path;
+        return false;
+    }
+    out << dump(indent) << "\n";
+    out.close(); // flush; catches errors a buffered write hid
+    if (!out) {
+        if (err)
+            *err = "write error on " + path;
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    Json run()
+    {
+        Json j = value();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON value");
+            return Json();
+        }
+        return j;
+    }
+
+  private:
+    void fail(const std::string &msg)
+    {
+        if (!failed_ && err_) {
+            *err_ = msg + " at offset " + std::to_string(pos_);
+        }
+        failed_ = true;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        // Bound recursion so corrupt or hostile input yields a
+        // parse error instead of a stack overflow.
+        if (depth_ >= max_depth) {
+            fail("nesting deeper than 100 levels");
+            return Json();
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json(nullptr);
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        fail("unexpected character");
+        return Json();
+    }
+
+    Json object()
+    {
+        ++pos_; // '{'
+        ++depth_;
+        Json j = Json::object();
+        skipWs();
+        if (consume('}')) {
+            --depth_;
+            return j;
+        }
+        while (!failed_) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                break;
+            }
+            std::string key = string();
+            if (failed_)
+                break;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            j.set(std::move(key), value());
+            if (failed_)
+                break;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}')) {
+                --depth_;
+                return j;
+            }
+            fail("expected ',' or '}' in object");
+        }
+        return Json();
+    }
+
+    Json array()
+    {
+        ++pos_; // '['
+        ++depth_;
+        Json j = Json::array();
+        skipWs();
+        if (consume(']')) {
+            --depth_;
+            return j;
+        }
+        while (!failed_) {
+            j.push(value());
+            if (failed_)
+                break;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']')) {
+                --depth_;
+                return j;
+            }
+            fail("expected ',' or ']' in array");
+        }
+        return Json();
+    }
+
+    std::string string()
+    {
+        ++pos_; // '"'
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return {};
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = 0;
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return {};
+                }
+                auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4,
+                    cp, 16);
+                if (res.ptr != text_.data() + pos_ + 4) {
+                    fail("bad \\u escape");
+                    return {};
+                }
+                pos_ += 4;
+                // UTF-8 encode the BMP code point (surrogate
+                // pairs are not needed for our ASCII schemas).
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xc0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3f));
+                } else {
+                    out += char(0xe0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3f));
+                    out += char(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                fail("bad escape character");
+                return {};
+            }
+        }
+        fail("unterminated string");
+        return {};
+    }
+
+    Json number()
+    {
+        size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        bool is_double = false;
+        if (consume('.')) {
+            is_double = true;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            is_double = true;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        std::string_view tok = text_.substr(start, pos_ - start);
+        if (!is_double) {
+            i64 n = 0;
+            auto res = std::from_chars(tok.data(),
+                                       tok.data() + tok.size(), n);
+            if (res.ec == std::errc() &&
+                res.ptr == tok.data() + tok.size())
+                return Json(n);
+            // Out-of-range integer: fall through to double.
+        }
+        double d = 0.0;
+        auto res = std::from_chars(tok.data(),
+                                   tok.data() + tok.size(), d);
+        if (res.ec != std::errc() ||
+            res.ptr != tok.data() + tok.size()) {
+            fail("malformed number");
+            return Json();
+        }
+        return Json(d);
+    }
+
+    static constexpr unsigned max_depth = 100;
+
+    std::string_view text_;
+    std::string *err_;
+    size_t pos_ = 0;
+    unsigned depth_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::parse(std::string_view text, std::string *err)
+{
+    return Parser(text, err).run();
+}
+
+} // namespace siwi

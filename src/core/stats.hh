@@ -20,6 +20,8 @@ struct UnitStats
     u64 issues = 0;
     u64 busy_cycles = 0;
     u64 thread_instructions = 0;
+
+    bool operator==(const UnitStats &) const = default;
 };
 
 /**
@@ -88,6 +90,13 @@ struct SimStats
 
     /** Multi-line human-readable report. */
     std::string summary() const;
+
+    /**
+     * Field-wise equality; the determinism tests rely on two runs
+     * of the same cell comparing equal. Remember to extend
+     * core/stats_io.cc when adding fields here.
+     */
+    bool operator==(const SimStats &) const = default;
 };
 
 } // namespace siwi::core

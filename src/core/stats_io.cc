@@ -1,0 +1,116 @@
+#include "core/stats_io.hh"
+
+namespace siwi::core {
+
+namespace {
+
+/**
+ * One table drives both directions so a field cannot be serialized
+ * without being parseable back.
+ */
+struct Field
+{
+    const char *name;
+    u64 SimStats::*member;
+};
+
+constexpr Field u64_fields[] = {
+    {"fetches", &SimStats::fetches},
+    {"instructions", &SimStats::instructions},
+    {"thread_instructions", &SimStats::thread_instructions},
+    {"primary_issues", &SimStats::primary_issues},
+    {"secondary_issues", &SimStats::secondary_issues},
+    {"row_share_issues", &SimStats::row_share_issues},
+    {"fallback_issues", &SimStats::fallback_issues},
+    {"conflicts_squashed", &SimStats::conflicts_squashed},
+    {"cascade_stale", &SimStats::cascade_stale},
+    {"sync_suspensions", &SimStats::sync_suspensions},
+    {"branch_divergences", &SimStats::branch_divergences},
+    {"warp_splits", &SimStats::warp_splits},
+    {"memory_splits", &SimStats::memory_splits},
+    {"merges", &SimStats::merges},
+    {"promotions", &SimStats::promotions},
+    {"heap_full_stalls", &SimStats::heap_full_stalls},
+    {"cct_degraded_inserts", &SimStats::cct_degraded_inserts},
+    {"barrier_releases", &SimStats::barrier_releases},
+    {"l1_hits", &SimStats::l1_hits},
+    {"l1_misses", &SimStats::l1_misses},
+    {"l1_evictions", &SimStats::l1_evictions},
+    {"load_transactions", &SimStats::load_transactions},
+    {"store_transactions", &SimStats::store_transactions},
+    {"mshr_merges", &SimStats::mshr_merges},
+    {"mshr_stalls", &SimStats::mshr_stalls},
+    {"dram_transactions", &SimStats::dram_transactions},
+    {"dram_bytes", &SimStats::dram_bytes},
+    {"threads_launched", &SimStats::threads_launched},
+    {"blocks_launched", &SimStats::blocks_launched},
+};
+
+} // namespace
+
+Json
+statsToJson(const SimStats &st)
+{
+    Json j = Json::object();
+    j.set("cycles", Json(st.cycles));
+    j.set("hit_cycle_limit", Json(st.hit_cycle_limit));
+    for (const Field &f : u64_fields)
+        j.set(f.name, Json(st.*f.member));
+    j.set("max_stack_depth", Json(st.max_stack_depth));
+    j.set("max_live_contexts", Json(st.max_live_contexts));
+
+    Json units = Json::array();
+    for (const UnitStats &u : st.units) {
+        Json ju = Json::object();
+        ju.set("name", Json(u.name));
+        ju.set("issues", Json(u.issues));
+        ju.set("busy_cycles", Json(u.busy_cycles));
+        ju.set("thread_instructions", Json(u.thread_instructions));
+        units.push(std::move(ju));
+    }
+    j.set("units", std::move(units));
+    return j;
+}
+
+bool
+statsFromJson(const Json &j, SimStats *out, std::string *err)
+{
+    if (!j.isObject()) {
+        if (err)
+            *err = "stats: expected a JSON object";
+        return false;
+    }
+    SimStats st;
+    st.cycles = Cycle(j.getInt("cycles"));
+    st.hit_cycle_limit = j.getBool("hit_cycle_limit");
+    for (const Field &f : u64_fields)
+        st.*f.member = u64(j.getInt(f.name));
+    st.max_stack_depth = unsigned(j.getInt("max_stack_depth"));
+    st.max_live_contexts = unsigned(j.getInt("max_live_contexts"));
+
+    if (const Json *units = j.find("units")) {
+        if (!units->isArray()) {
+            if (err)
+                *err = "stats: 'units' must be an array";
+            return false;
+        }
+        for (const Json &ju : units->arr()) {
+            if (!ju.isObject()) {
+                if (err)
+                    *err = "stats: unit entry must be an object";
+                return false;
+            }
+            UnitStats u;
+            u.name = ju.getString("name");
+            u.issues = u64(ju.getInt("issues"));
+            u.busy_cycles = u64(ju.getInt("busy_cycles"));
+            u.thread_instructions =
+                u64(ju.getInt("thread_instructions"));
+            st.units.push_back(std::move(u));
+        }
+    }
+    *out = std::move(st);
+    return true;
+}
+
+} // namespace siwi::core

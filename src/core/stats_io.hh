@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Stable serialized schema for SimStats.
+ *
+ * The JSON layout produced here is the contract between the
+ * experiment runner, the committed bench baselines and the CI
+ * regression gate, so it is versioned: any change to field names,
+ * meanings or units must bump stats_schema_version, and readers
+ * refuse versions they do not understand (the gate would otherwise
+ * compare apples to oranges silently).
+ */
+
+#ifndef SIWI_CORE_STATS_IO_HH
+#define SIWI_CORE_STATS_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "core/stats.hh"
+
+namespace siwi::core {
+
+/** Version of the serialized SimStats / results layout. */
+constexpr int stats_schema_version = 1;
+
+/** Serialize every SimStats counter as a flat JSON object. */
+Json statsToJson(const SimStats &st);
+
+/**
+ * Rebuild a SimStats from statsToJson() output. Missing fields
+ * default to zero (forward compatibility within one schema
+ * version); a non-object argument fails.
+ * @return false and set @p err on malformed input.
+ */
+bool statsFromJson(const Json &j, SimStats *out, std::string *err);
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_IO_HH

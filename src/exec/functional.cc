@@ -58,16 +58,18 @@ aluLane(const Instruction &inst, const WarpState &warp, unsigned lane)
       case Opcode::MOV: return rd(inst.sa);
       case Opcode::MOVI: return u32(inst.imm);
       case Opcode::S2R: return readSreg(warp.info(lane), inst.sreg);
-      case Opcode::IADD: return u32(ia() + ib());
-      case Opcode::ISUB: return u32(ia() - ib());
-      case Opcode::IMUL: return u32(ia() * ib());
+      // Arithmetic wraps mod 2^32 (two's complement); compute in
+      // unsigned to keep host-side signed overflow UB out of it.
+      case Opcode::IADD: return rd(inst.sa) + b();
+      case Opcode::ISUB: return rd(inst.sa) - b();
+      case Opcode::IMUL: return rd(inst.sa) * b();
       case Opcode::IMAD:
-        return u32(ia() * ib() + i32(rd(inst.sc)));
+        return rd(inst.sa) * b() + rd(inst.sc);
       case Opcode::IMIN: return u32(std::min(ia(), ib()));
       case Opcode::IMAX: return u32(std::max(ia(), ib()));
       case Opcode::IABS: {
         i32 v = ia();
-        return u32(v < 0 ? -v : v);
+        return v < 0 ? 0u - u32(v) : u32(v);
       }
       case Opcode::AND: return rd(inst.sa) & b();
       case Opcode::OR: return rd(inst.sa) | b();

@@ -1,0 +1,114 @@
+#include "runner/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace siwi::runner {
+
+ArgList::ArgList(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        args_.push_back(argv[i]);
+}
+
+bool
+ArgList::flag(const std::string &name)
+{
+    for (size_t i = 0; i < args_.size(); ++i) {
+        if (args_[i] == name) {
+            args_.erase(args_.begin() + long(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ArgList::option(const std::string &name, std::string *value)
+{
+    for (size_t i = 0; i < args_.size(); ++i) {
+        if (args_[i] != name)
+            continue;
+        if (i + 1 >= args_.size()) {
+            errors_.push_back(name + " requires a value");
+            args_.erase(args_.begin() + long(i));
+            return false;
+        }
+        *value = args_[i + 1];
+        args_.erase(args_.begin() + long(i),
+                    args_.begin() + long(i) + 2);
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+ArgList::options(const std::string &name)
+{
+    std::vector<std::string> values;
+    std::string v;
+    while (option(name, &v))
+        values.push_back(v);
+    return values;
+}
+
+bool
+ArgList::intOption(const std::string &name, unsigned *value)
+{
+    std::string v;
+    if (!option(name, &v))
+        return false;
+    // strtoul would wrap a leading '-'; reject it explicitly.
+    char *end = nullptr;
+    unsigned long n = std::strtoul(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || !end || end == v.c_str() ||
+        *end != '\0') {
+        errors_.push_back(name +
+                          ": not a non-negative number: " + v);
+        return false;
+    }
+    *value = unsigned(n);
+    return true;
+}
+
+bool
+ArgList::doubleOption(const std::string &name, double *value)
+{
+    std::string v;
+    if (!option(name, &v))
+        return false;
+    char *end = nullptr;
+    double d = std::strtod(v.c_str(), &end);
+    if (!end || end == v.c_str() || *end != '\0') {
+        errors_.push_back(name + ": not a number: " + v);
+        return false;
+    }
+    *value = d;
+    return true;
+}
+
+int
+finishBench(const Results &res, const std::string &json_path)
+{
+    if (!json_path.empty()) {
+        std::string err;
+        if (!res.save(json_path, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
+    return res.verificationFailures() ? 1 : 0;
+}
+
+bool
+finishArgs(const ArgList &args, const char *prog)
+{
+    for (const std::string &e : args.errors())
+        std::fprintf(stderr, "%s: %s\n", prog, e.c_str());
+    for (const std::string &a : args.remaining())
+        std::fprintf(stderr, "%s: unknown argument: %s\n", prog,
+                     a.c_str());
+    return args.errors().empty() && args.remaining().empty();
+}
+
+} // namespace siwi::runner

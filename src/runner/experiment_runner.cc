@@ -1,0 +1,108 @@
+#include "runner/experiment_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace siwi::runner {
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+effectiveJobs(unsigned jobs, size_t cells)
+{
+    return unsigned(std::min<size_t>(resolveJobs(jobs),
+                                     std::max<size_t>(cells, 1)));
+}
+
+CellResult
+runCell(const SweepSpec &sweep, size_t machine, size_t wl)
+{
+    const MachineSpec &m = sweep.machines[machine];
+    const workloads::Workload &w = *sweep.wls[wl];
+
+    workloads::RunResult res =
+        workloads::runWorkload(w, m.config, sweep.size);
+
+    CellResult c;
+    c.sweep = sweep.name;
+    c.machine = m.name;
+    c.workload = w.name();
+    c.size = sizeClassName(sweep.size);
+    c.excluded_from_means = w.excludedFromMeans();
+    c.verified = res.verified;
+    c.verify_msg = res.verify_msg;
+    c.stats = res.stats;
+    c.ipc = res.stats.ipc();
+    return c;
+}
+
+Results
+runSweeps(const std::vector<SweepSpec> &sweeps,
+          const RunOptions &opts)
+{
+    const std::vector<CellSpec> cells = expandCells(sweeps);
+    const unsigned jobs = effectiveJobs(opts.jobs, cells.size());
+
+    Results out;
+    out.suite = opts.suite_label;
+    out.cells.resize(cells.size());
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex io_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            const CellSpec &cs = cells[i];
+            CellResult c = runCell(sweeps[cs.sweep], cs.machine,
+                                   cs.wl);
+            size_t n = done.fetch_add(1) + 1;
+            if (opts.progress || !c.verified) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                if (opts.progress) {
+                    std::fprintf(stderr,
+                                 "[%zu/%zu] %s %s %s  ipc %.2f%s\n",
+                                 n, cells.size(), c.sweep.c_str(),
+                                 c.machine.c_str(),
+                                 c.workload.c_str(), c.ipc,
+                                 c.verified ? "" : "  VERIFY FAIL");
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "VERIFICATION FAILED: %s on %s: %s\n",
+                        c.workload.c_str(), c.machine.c_str(),
+                        c.verify_msg.c_str());
+                }
+            }
+            out.cells[i] = std::move(c);
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    return out;
+}
+
+} // namespace siwi::runner

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Concurrent execution of experiment sweeps.
+ *
+ * Cells are embarrassingly parallel: each one compiles its kernel,
+ * builds its own GPU, generates its own inputs and verifies its
+ * own outputs, with no shared mutable state (workload objects are
+ * immutable singletons, RNGs are per-cell). The runner therefore
+ * uses a plain std::thread pool pulling cell indices off one
+ * atomic counter; results land in a pre-sized vector slot per
+ * cell, so the output order — and the serialized JSON — is
+ * byte-identical for any thread count.
+ */
+
+#ifndef SIWI_RUNNER_EXPERIMENT_RUNNER_HH
+#define SIWI_RUNNER_EXPERIMENT_RUNNER_HH
+
+#include "runner/results.hh"
+#include "runner/sweep.hh"
+
+namespace siwi::runner {
+
+/** Execution knobs of one runner invocation. */
+struct RunOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Per-cell progress lines on stderr. */
+    bool progress = false;
+    /** Label copied into Results::suite. */
+    std::string suite_label;
+};
+
+/** Number of workers @p jobs resolves to on this host. */
+unsigned resolveJobs(unsigned jobs);
+
+/** Workers runSweeps() will actually use for @p cells cells. */
+unsigned effectiveJobs(unsigned jobs, size_t cells);
+
+/**
+ * Run every cell of @p sweeps and collect the results in
+ * canonical order (see expandCells()). Thread-count and execution
+ * schedule cannot affect the returned value.
+ */
+Results runSweeps(const std::vector<SweepSpec> &sweeps,
+                  const RunOptions &opts = {});
+
+/**
+ * Run one (workload, config) cell, the primitive the benches used
+ * to call runCell() for.
+ */
+CellResult runCell(const SweepSpec &sweep, size_t machine,
+                   size_t wl);
+
+} // namespace siwi::runner
+
+#endif // SIWI_RUNNER_EXPERIMENT_RUNNER_HH

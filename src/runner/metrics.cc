@@ -1,0 +1,38 @@
+#include "runner/metrics.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace siwi::runner {
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            return 0.0;
+        acc += std::log(x);
+    }
+    return std::exp(acc / double(v.size()));
+}
+
+std::vector<double>
+excludeFromMeans(const std::vector<double> &values,
+                 const std::vector<bool> &excluded)
+{
+    siwi_assert(values.size() == excluded.size(),
+                "excludeFromMeans: ", values.size(), " values vs ",
+                excluded.size(), " flags");
+    std::vector<double> kept;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (!excluded[i])
+            kept.push_back(values[i]);
+    }
+    return kept;
+}
+
+} // namespace siwi::runner

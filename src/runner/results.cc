@@ -1,0 +1,193 @@
+#include "runner/results.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/stats_io.hh"
+
+namespace siwi::runner {
+
+const CellResult *
+Results::find(const std::string &sweep, const std::string &machine,
+              const std::string &workload) const
+{
+    for (const CellResult &c : cells) {
+        if (c.sweep == sweep && c.machine == machine &&
+            c.workload == workload)
+            return &c;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+Results::sweepNames() const
+{
+    std::vector<std::string> names;
+    for (const CellResult &c : cells) {
+        if (std::find(names.begin(), names.end(), c.sweep) ==
+            names.end())
+            names.push_back(c.sweep);
+    }
+    return names;
+}
+
+std::vector<const CellResult *>
+Results::sweepCells(const std::string &sweep) const
+{
+    std::vector<const CellResult *> out;
+    for (const CellResult &c : cells) {
+        if (c.sweep == sweep)
+            out.push_back(&c);
+    }
+    return out;
+}
+
+size_t
+Results::verificationFailures() const
+{
+    size_t n = 0;
+    for (const CellResult &c : cells)
+        n += !c.verified;
+    return n;
+}
+
+Json
+Results::toJson() const
+{
+    Json j = Json::object();
+    j.set("schema_version", Json(core::stats_schema_version));
+    j.set("generator", Json("siwi-run"));
+    j.set("suite", Json(suite));
+    Json arr = Json::array();
+    for (const CellResult &c : cells) {
+        Json jc = Json::object();
+        jc.set("sweep", Json(c.sweep));
+        jc.set("machine", Json(c.machine));
+        jc.set("workload", Json(c.workload));
+        jc.set("size", Json(c.size));
+        jc.set("excluded_from_means", Json(c.excluded_from_means));
+        jc.set("verified", Json(c.verified));
+        if (!c.verified)
+            jc.set("verify_msg", Json(c.verify_msg));
+        jc.set("ipc", Json(c.ipc));
+        jc.set("stats", core::statsToJson(c.stats));
+        arr.push(std::move(jc));
+    }
+    j.set("cells", std::move(arr));
+    return j;
+}
+
+std::string
+Results::toJsonText() const
+{
+    return toJson().dump(2) + "\n";
+}
+
+std::string
+Results::toCsv() const
+{
+    std::ostringstream os;
+    os << "sweep,machine,workload,size,excluded_from_means,"
+          "verified,ipc,cycles,instructions,thread_instructions,"
+          "l1_hits,l1_misses,dram_transactions,dram_bytes\n";
+    os.precision(17);
+    for (const CellResult &c : cells) {
+        os << c.sweep << ',' << c.machine << ',' << c.workload
+           << ',' << c.size << ','
+           << (c.excluded_from_means ? 1 : 0)
+           << ',' << (c.verified ? 1 : 0) << ',' << c.ipc << ','
+           << c.stats.cycles << ',' << c.stats.instructions << ','
+           << c.stats.thread_instructions << ',' << c.stats.l1_hits
+           << ',' << c.stats.l1_misses << ','
+           << c.stats.dram_transactions << ',' << c.stats.dram_bytes
+           << '\n';
+    }
+    return os.str();
+}
+
+bool
+Results::fromJson(const Json &j, Results *out, std::string *err)
+{
+    if (!j.isObject()) {
+        if (err)
+            *err = "results: expected a JSON object";
+        return false;
+    }
+    i64 version = j.getInt("schema_version", -1);
+    if (version != core::stats_schema_version) {
+        if (err)
+            *err = "results: schema_version " +
+                   std::to_string(version) + " != supported " +
+                   std::to_string(core::stats_schema_version);
+        return false;
+    }
+    Results r;
+    r.suite = j.getString("suite");
+    const Json *arr = j.find("cells");
+    if (!arr || !arr->isArray()) {
+        if (err)
+            *err = "results: missing 'cells' array";
+        return false;
+    }
+    for (const Json &jc : arr->arr()) {
+        if (!jc.isObject()) {
+            if (err)
+                *err = "results: cell entry must be an object";
+            return false;
+        }
+        CellResult c;
+        c.sweep = jc.getString("sweep");
+        c.machine = jc.getString("machine");
+        c.workload = jc.getString("workload");
+        c.size = jc.getString("size");
+        c.excluded_from_means =
+            jc.getBool("excluded_from_means");
+        c.verified = jc.getBool("verified");
+        c.verify_msg = jc.getString("verify_msg");
+        c.ipc = jc.getDouble("ipc");
+        const Json *stats = jc.find("stats");
+        if (!stats ||
+            !core::statsFromJson(*stats, &c.stats, err))
+            return false;
+        r.cells.push_back(std::move(c));
+    }
+    *out = std::move(r);
+    return true;
+}
+
+bool
+Results::load(const std::string &path, Results *out,
+              std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string parse_err;
+    Json j = Json::parse(buf.str(), &parse_err);
+    if (!parse_err.empty()) {
+        if (err)
+            *err = path + ": " + parse_err;
+        return false;
+    }
+    return fromJson(j, out, err);
+}
+
+bool
+Results::save(const std::string &path, std::string *err) const
+{
+    return toJson().writeFile(path, 2, err);
+}
+
+const char *
+sizeClassName(workloads::SizeClass sc)
+{
+    return sc == workloads::SizeClass::Tiny ? "tiny" : "full";
+}
+
+} // namespace siwi::runner

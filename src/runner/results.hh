@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine-readable results of an experiment sweep.
+ *
+ * Results is the one container every consumer shares: the bench
+ * table printers, the siwi-run CLI, the JSON/CSV serializers and
+ * the CI baseline gate. The JSON layout is versioned via
+ * core::stats_schema_version (see core/stats_io.hh); bench/README.md
+ * documents the schema.
+ */
+
+#ifndef SIWI_RUNNER_RESULTS_HH
+#define SIWI_RUNNER_RESULTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/stats.hh"
+#include "workloads/workload.hh"
+
+namespace siwi::runner {
+
+/** Outcome of one (sweep, machine, workload) cell. */
+struct CellResult
+{
+    std::string sweep;
+    std::string machine;
+    std::string workload;
+    std::string size;      //!< "tiny" | "full"
+    bool excluded_from_means = false;
+    bool verified = false;
+    double ipc = 0.0;
+    core::SimStats stats;
+    std::string verify_msg; //!< diagnostic when !verified
+
+    bool operator==(const CellResult &) const = default;
+};
+
+/** All cells of one runner invocation, in canonical sweep order. */
+class Results
+{
+  public:
+    std::string suite; //!< label of what was run, e.g. "fast"
+    std::vector<CellResult> cells;
+
+    /** Cell lookup by key; nullptr when absent. */
+    const CellResult *find(const std::string &sweep,
+                           const std::string &machine,
+                           const std::string &workload) const;
+
+    /** Distinct sweep names, in first-appearance order. */
+    std::vector<std::string> sweepNames() const;
+
+    /** Cells of one sweep, in stored order. */
+    std::vector<const CellResult *> sweepCells(
+        const std::string &sweep) const;
+
+    /** Number of cells that failed functional verification. */
+    size_t verificationFailures() const;
+
+    Json toJson() const;
+
+    /** Pretty-printed JSON document with trailing newline. */
+    std::string toJsonText() const;
+
+    /**
+     * Flat CSV: one row per cell with the headline counters (the
+     * full record is the JSON form).
+     */
+    std::string toCsv() const;
+
+    /**
+     * Parse toJson() output. Fails on schema-version mismatch.
+     * @return false and set @p err on malformed input.
+     */
+    static bool fromJson(const Json &j, Results *out,
+                         std::string *err);
+
+    /** Read and parse a JSON results file. */
+    static bool load(const std::string &path, Results *out,
+                     std::string *err);
+
+    /** Write toJsonText() to @p path. */
+    bool save(const std::string &path, std::string *err) const;
+
+    bool operator==(const Results &) const = default;
+};
+
+/** "tiny" / "full" label of a SizeClass. */
+const char *sizeClassName(workloads::SizeClass sc);
+
+} // namespace siwi::runner
+
+#endif // SIWI_RUNNER_RESULTS_HH

@@ -1,0 +1,170 @@
+#include "runner/suites.hh"
+
+namespace siwi::runner {
+
+using pipeline::LaneShufflePolicy;
+using pipeline::PipelineMode;
+using pipeline::SMConfig;
+
+namespace {
+
+std::vector<const workloads::Workload *>
+panelWorkloads(bool regular)
+{
+    return regular ? workloads::regularWorkloads()
+                   : workloads::irregularWorkloads();
+}
+
+std::string
+panelName(const char *figure, bool regular)
+{
+    return std::string(figure) +
+           (regular ? "_regular" : "_irregular");
+}
+
+} // namespace
+
+SweepSpec
+fig7Sweep(bool regular, workloads::SizeClass size,
+          const Fig7Options &opts)
+{
+    SweepSpec s;
+    s.name = panelName("fig7", regular);
+    s.size = size;
+    s.wls = panelWorkloads(regular);
+    s.machines = {
+        makeMachine(PipelineMode::Baseline),
+        makeMachine(PipelineMode::SBI),
+        makeMachine(PipelineMode::SWI),
+        makeMachine(PipelineMode::SBISWI),
+        makeMachine(PipelineMode::Warp64),
+    };
+    if (opts.ablate_sbi_fallback) {
+        s.machines.push_back(makeMachine(
+            "SBI-nofb", PipelineMode::SBI, [](SMConfig &c) {
+                c.sbi_secondary_fallback = false;
+            }));
+    }
+    if (opts.no_mem_splits) {
+        for (MachineSpec &m : s.machines)
+            m.config.split_on_memory_divergence = false;
+    }
+    return s;
+}
+
+SweepSpec
+fig8aSweep(bool regular, workloads::SizeClass size)
+{
+    auto no_constraints = [](SMConfig &c) {
+        c.sbi_constraints = false;
+    };
+    SweepSpec s;
+    s.name = panelName("fig8a", regular);
+    s.size = size;
+    s.wls = panelWorkloads(regular);
+    s.machines = {
+        makeMachine(PipelineMode::SBI),
+        makeMachine("SBI-nc", PipelineMode::SBI, no_constraints),
+        makeMachine(PipelineMode::SBISWI),
+        makeMachine("SBI+SWI-nc", PipelineMode::SBISWI,
+                    no_constraints),
+    };
+    return s;
+}
+
+SweepSpec
+fig8bSweep(bool regular, workloads::SizeClass size)
+{
+    std::vector<Override> shuffles;
+    for (LaneShufflePolicy p :
+         {LaneShufflePolicy::Identity, LaneShufflePolicy::MirrorOdd,
+          LaneShufflePolicy::MirrorHalf, LaneShufflePolicy::Xor,
+          LaneShufflePolicy::XorRev}) {
+        shuffles.push_back(
+            {pipeline::laneShuffleName(p),
+             [p](SMConfig &c) { c.shuffle = p; }});
+    }
+    SweepSpec s;
+    s.name = panelName("fig8b", regular);
+    s.size = size;
+    s.wls = panelWorkloads(regular);
+    s.machines = crossMachine(makeMachine(PipelineMode::SWI),
+                              shuffles, /*label_only=*/true);
+    return s;
+}
+
+SweepSpec
+fig9Sweep(bool regular, workloads::SizeClass size)
+{
+    // 16 warps per pool: sets 1/2/8/16 stand in for the paper's
+    // full / 11-way / 3-way / direct-mapped ladder.
+    const std::vector<Override> ladder = {
+        {"SWI-full", [](SMConfig &c) { c.lookup_sets = 1; }},
+        {"SWI-11way", [](SMConfig &c) { c.lookup_sets = 2; }},
+        {"SWI-3way", [](SMConfig &c) { c.lookup_sets = 8; }},
+        {"SWI-direct", [](SMConfig &c) { c.lookup_sets = 16; }},
+    };
+    SweepSpec s;
+    s.name = panelName("fig9", regular);
+    s.size = size;
+    s.wls = panelWorkloads(regular);
+    s.machines = {makeMachine(PipelineMode::Baseline)};
+    for (MachineSpec &m :
+         crossMachine(makeMachine(PipelineMode::SWI), ladder,
+                      /*label_only=*/true))
+        s.machines.push_back(std::move(m));
+    return s;
+}
+
+const std::vector<std::string> &
+knownFigures()
+{
+    static const std::vector<std::string> v = {"fig7", "fig8a",
+                                               "fig8b", "fig9"};
+    return v;
+}
+
+std::vector<SweepSpec>
+figureSweeps(const std::string &figure, workloads::SizeClass size)
+{
+    std::vector<SweepSpec> out;
+    for (bool regular : {true, false}) {
+        if (figure == "fig7")
+            out.push_back(fig7Sweep(regular, size));
+        else if (figure == "fig8a")
+            out.push_back(fig8aSweep(regular, size));
+        else if (figure == "fig8b")
+            out.push_back(fig8bSweep(regular, size));
+        else if (figure == "fig9")
+            out.push_back(fig9Sweep(regular, size));
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+knownSuites()
+{
+    static const std::vector<std::string> v = {"fast", "fig7",
+                                               "full"};
+    return v;
+}
+
+std::vector<SweepSpec>
+suiteSweeps(const std::string &suite)
+{
+    using workloads::SizeClass;
+    std::vector<SweepSpec> out;
+    if (suite == "fast") {
+        out = figureSweeps("fig7", SizeClass::Tiny);
+    } else if (suite == "fig7") {
+        out = figureSweeps("fig7", SizeClass::Full);
+    } else if (suite == "full") {
+        for (const std::string &f : knownFigures()) {
+            for (SweepSpec &s : figureSweeps(f, SizeClass::Full))
+                out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+} // namespace siwi::runner

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The named sweeps of the paper's evaluation, shared by the
+ * figure-reproduction benches and the siwi-run CLI.
+ */
+
+#ifndef SIWI_RUNNER_SUITES_HH
+#define SIWI_RUNNER_SUITES_HH
+
+#include "runner/sweep.hh"
+
+namespace siwi::runner {
+
+/** Options mirroring the historical bench binary flags. */
+struct Fig7Options
+{
+    /** Extra SBI column without the secondary fallback. */
+    bool ablate_sbi_fallback = false;
+    /** Disable DWS-style memory splits on every machine. */
+    bool no_mem_splits = false;
+};
+
+/**
+ * Figure 7 panel: Baseline / SBI / SWI / SBI+SWI / Warp64 over
+ * the regular (7a) or irregular (7b) applications.
+ */
+SweepSpec fig7Sweep(bool regular, workloads::SizeClass size,
+                    const Fig7Options &opts = {});
+
+/**
+ * Figure 8(a): SBI reconvergence constraints ON vs OFF, for SBI
+ * and SBI+SWI ("-nc" suffix = no constraints).
+ */
+SweepSpec fig8aSweep(bool regular, workloads::SizeClass size);
+
+/** Figure 8(b) / Table 1: SWI lane-shuffle policies. */
+SweepSpec fig8bSweep(bool regular, workloads::SizeClass size);
+
+/**
+ * Figure 9: SWI mask-lookup associativity ladder (full / 11-way /
+ * 3-way / direct-mapped) plus the Baseline reference.
+ */
+SweepSpec fig9Sweep(bool regular, workloads::SizeClass size);
+
+/** Names accepted by figureSweeps(). */
+const std::vector<std::string> &knownFigures();
+
+/**
+ * Both panels of one figure ("fig7", "fig8a", "fig8b", "fig9")
+ * at @p size. Empty when the name is unknown.
+ */
+std::vector<SweepSpec> figureSweeps(const std::string &figure,
+                                    workloads::SizeClass size);
+
+/** Names accepted by suiteSweeps(). */
+const std::vector<std::string> &knownSuites();
+
+/**
+ * A named suite:
+ *  - "fast": the Figure 7 grid at Tiny size — seconds, used by
+ *    the CI regression gate;
+ *  - "fig7": the Figure 7 grid at Full size;
+ *  - "full": every figure sweep at Full size.
+ * Empty when the name is unknown.
+ */
+std::vector<SweepSpec> suiteSweeps(const std::string &suite);
+
+} // namespace siwi::runner
+
+#endif // SIWI_RUNNER_SUITES_HH

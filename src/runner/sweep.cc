@@ -1,0 +1,82 @@
+#include "runner/sweep.hh"
+
+#include <algorithm>
+
+namespace siwi::runner {
+
+MachineSpec
+makeMachine(pipeline::PipelineMode mode)
+{
+    return {pipeline::pipelineModeName(mode),
+            pipeline::SMConfig::make(mode)};
+}
+
+MachineSpec
+makeMachine(std::string name, pipeline::PipelineMode mode,
+            const std::function<void(pipeline::SMConfig &)> &tweak)
+{
+    MachineSpec m{std::move(name), pipeline::SMConfig::make(mode)};
+    if (tweak)
+        tweak(m.config);
+    return m;
+}
+
+std::vector<MachineSpec>
+crossMachine(const MachineSpec &base,
+             const std::vector<Override> &overrides,
+             bool label_only)
+{
+    std::vector<MachineSpec> out;
+    for (const Override &o : overrides) {
+        MachineSpec m = base;
+        m.name = label_only ? o.label
+                            : base.name + "/" + o.label;
+        if (o.apply)
+            o.apply(m.config);
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+namespace {
+
+bool
+keepName(const std::vector<std::string> &keep,
+         const std::string &name)
+{
+    return keep.empty() ||
+           std::find(keep.begin(), keep.end(), name) != keep.end();
+}
+
+} // namespace
+
+void
+SweepSpec::filterMachines(const std::vector<std::string> &keep)
+{
+    std::erase_if(machines, [&](const MachineSpec &m) {
+        return !keepName(keep, m.name);
+    });
+}
+
+void
+SweepSpec::filterWorkloads(const std::vector<std::string> &keep)
+{
+    std::erase_if(wls, [&](const workloads::Workload *w) {
+        return !keepName(keep, w->name());
+    });
+}
+
+std::vector<CellSpec>
+expandCells(const std::vector<SweepSpec> &sweeps)
+{
+    std::vector<CellSpec> cells;
+    for (size_t s = 0; s < sweeps.size(); ++s) {
+        for (size_t w = 0; w < sweeps[s].wls.size(); ++w) {
+            for (size_t m = 0; m < sweeps[s].machines.size(); ++m)
+                cells.push_back({s, m, w});
+        }
+    }
+    return cells;
+}
+
+} // namespace siwi::runner

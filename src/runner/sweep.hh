@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Declarative experiment sweeps: machines x workloads x config
+ * overrides.
+ *
+ * A SweepSpec names the grid one paper figure measures; the
+ * ExperimentRunner expands it into independent cells and executes
+ * them concurrently. Cells are pure functions of their spec (every
+ * cell builds its own GPU and generates its own inputs), which is
+ * what makes both the parallelism and the bit-identical JSON
+ * output possible.
+ */
+
+#ifndef SIWI_RUNNER_SWEEP_HH
+#define SIWI_RUNNER_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hh"
+#include "workloads/workload.hh"
+
+namespace siwi::runner {
+
+/** One column of a sweep: a named, fully-resolved configuration. */
+struct MachineSpec
+{
+    std::string name;
+    pipeline::SMConfig config;
+};
+
+/** Canonical machine for a pipeline mode, named after the mode. */
+MachineSpec makeMachine(pipeline::PipelineMode mode);
+
+/** Canonical machine with a custom name and a config tweak. */
+MachineSpec makeMachine(
+    std::string name, pipeline::PipelineMode mode,
+    const std::function<void(pipeline::SMConfig &)> &tweak = {});
+
+/**
+ * A named configuration mutation, used to derive machine variants
+ * declaratively (e.g. the Figure 9 associativity ladder).
+ */
+struct Override
+{
+    std::string label;
+    std::function<void(pipeline::SMConfig &)> apply;
+};
+
+/**
+ * Cross a base machine with each override: one variant per
+ * override, named "<base>/<label>" (or just "<label>" when the
+ * override label is self-describing, see @p label_only).
+ */
+std::vector<MachineSpec> crossMachine(
+    const MachineSpec &base, const std::vector<Override> &overrides,
+    bool label_only = false);
+
+/** The full grid one figure (or figure panel) measures. */
+struct SweepSpec
+{
+    std::string name; //!< e.g. "fig7_regular"
+    std::vector<MachineSpec> machines;
+    std::vector<const workloads::Workload *> wls;
+    workloads::SizeClass size = workloads::SizeClass::Full;
+
+    size_t cellCount() const
+    {
+        return machines.size() * wls.size();
+    }
+
+    /** Drop machines whose name is not in @p keep (empty = all). */
+    void filterMachines(const std::vector<std::string> &keep);
+    /** Drop workloads whose name is not in @p keep (empty = all). */
+    void filterWorkloads(const std::vector<std::string> &keep);
+};
+
+/**
+ * One executable cell of a sweep: indices into the owning spec.
+ * Expansion order (sweep-major, then workload, then machine) is
+ * the canonical result order regardless of execution schedule.
+ */
+struct CellSpec
+{
+    size_t sweep = 0;
+    size_t machine = 0;
+    size_t wl = 0;
+};
+
+/** Flatten @p sweeps into cells in canonical order. */
+std::vector<CellSpec> expandCells(
+    const std::vector<SweepSpec> &sweeps);
+
+} // namespace siwi::runner
+
+#endif // SIWI_RUNNER_SWEEP_HH

@@ -1,0 +1,140 @@
+#include "runner/table.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "runner/metrics.hh"
+
+namespace siwi::runner {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        out.append(buf, std::min(size_t(n), sizeof(buf) - 1));
+}
+
+std::string
+formatTable(const std::vector<TableRow> &rows,
+            const std::vector<std::string> &col_names,
+            const std::vector<std::vector<double>> &cols,
+            const char *fmt)
+{
+    siwi_assert(cols.size() == col_names.size(),
+                "table: ", cols.size(), " columns vs ",
+                col_names.size(), " names");
+    for (const auto &col : cols) {
+        siwi_assert(col.size() == rows.size(),
+                    "table: column with ", col.size(),
+                    " values vs ", rows.size(), " rows");
+    }
+
+    std::string out;
+    appendf(out, "%-22s", "");
+    for (const std::string &n : col_names)
+        appendf(out, "%12s", n.c_str());
+    out += '\n';
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+        appendf(out, "%-22s", rows[r].name.c_str());
+        for (const auto &col : cols)
+            appendf(out, fmt, col[r]);
+        out += '\n';
+    }
+
+    // Geomean over non-excluded rows (paper: TMD not counted).
+    std::vector<bool> excluded;
+    for (const TableRow &r : rows)
+        excluded.push_back(r.excluded);
+    appendf(out, "%-22s", "Gmean");
+    for (const auto &col : cols)
+        appendf(out, fmt, geomean(excludeFromMeans(col, excluded)));
+    out += '\n';
+    return out;
+}
+
+} // namespace
+
+std::string
+formatIpcTable(const std::vector<TableRow> &rows,
+               const std::vector<std::string> &col_names,
+               const std::vector<std::vector<double>> &cols)
+{
+    return formatTable(rows, col_names, cols, "%12.2f");
+}
+
+std::string
+formatRatioTable(const std::vector<TableRow> &rows,
+                 const std::vector<std::string> &col_names,
+                 const std::vector<std::vector<double>> &cols)
+{
+    return formatTable(rows, col_names, cols, "%12.3f");
+}
+
+std::vector<TableRow>
+sweepRows(const Results &results, const std::string &sweep)
+{
+    std::vector<TableRow> rows;
+    for (const CellResult *c : results.sweepCells(sweep)) {
+        if (std::none_of(rows.begin(), rows.end(),
+                         [&](const TableRow &r) {
+                             return r.name == c->workload;
+                         }))
+            rows.push_back({c->workload, c->excluded_from_means});
+    }
+    return rows;
+}
+
+std::vector<std::string>
+sweepMachines(const Results &results, const std::string &sweep)
+{
+    std::vector<std::string> names;
+    for (const CellResult *c : results.sweepCells(sweep)) {
+        if (std::find(names.begin(), names.end(), c->machine) ==
+            names.end())
+            names.push_back(c->machine);
+    }
+    return names;
+}
+
+std::vector<double>
+sweepColumn(const Results &results, const std::string &sweep,
+            const std::string &machine)
+{
+    std::vector<double> col;
+    for (const CellResult *c : results.sweepCells(sweep)) {
+        if (c->machine == machine)
+            col.push_back(c->ipc);
+    }
+    return col;
+}
+
+std::string
+formatSweepTable(const Results &results, const std::string &sweep)
+{
+    std::vector<std::string> machines =
+        sweepMachines(results, sweep);
+    std::vector<std::vector<double>> cols;
+    for (const std::string &m : machines)
+        cols.push_back(sweepColumn(results, sweep, m));
+    return formatIpcTable(sweepRows(results, sweep), machines,
+                          cols);
+}
+
+} // namespace siwi::runner

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Text table rendering for sweep results (moved here from
+ * bench/bench_common so the benches, siwi-run and the tests share
+ * one implementation).
+ */
+
+#ifndef SIWI_RUNNER_TABLE_HH
+#define SIWI_RUNNER_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/results.hh"
+
+namespace siwi::runner {
+
+/** One table row label plus its exclude-from-means flag. */
+struct TableRow
+{
+    std::string name;
+    bool excluded = false;
+};
+
+/**
+ * Render rows x columns of IPC values, with a trailing Gmean row
+ * honoring the paper's TMD-exclusion rule. Columns are parallel to
+ * @p col_names; each column holds one value per row.
+ */
+std::string formatIpcTable(
+    const std::vector<TableRow> &rows,
+    const std::vector<std::string> &col_names,
+    const std::vector<std::vector<double>> &cols);
+
+/** Same layout with ratio formatting (speedups, slowdowns). */
+std::string formatRatioTable(
+    const std::vector<TableRow> &rows,
+    const std::vector<std::string> &col_names,
+    const std::vector<std::vector<double>> &cols);
+
+/** IPC table of one sweep of @p results (rows = workloads). */
+std::string formatSweepTable(const Results &results,
+                             const std::string &sweep);
+
+/** Row labels of one sweep, in stored (workload) order. */
+std::vector<TableRow> sweepRows(const Results &results,
+                                const std::string &sweep);
+
+/**
+ * IPC column of one machine within one sweep, in workload order.
+ */
+std::vector<double> sweepColumn(const Results &results,
+                                const std::string &sweep,
+                                const std::string &machine);
+
+/** Machine names of one sweep, in first-appearance order. */
+std::vector<std::string> sweepMachines(const Results &results,
+                                       const std::string &sweep);
+
+} // namespace siwi::runner
+
+#endif // SIWI_RUNNER_TABLE_HH

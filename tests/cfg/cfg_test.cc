@@ -120,8 +120,9 @@ TEST(Cfg, LinearizedReorderedProgramIsValid)
     // Every branch target must begin an equivalent block.
     for (Pc pc = 0; pc < out.size(); ++pc) {
         const isa::Instruction &inst = out.at(pc);
-        if (isa::isBranch(inst.op))
+        if (isa::isBranch(inst.op)) {
             EXPECT_LT(inst.target, out.size());
+        }
     }
 }
 

@@ -36,14 +36,16 @@ TEST_P(AllOpcodes, UnitClassConsistent)
         op() == Opcode::BAR || op() == Opcode::EXIT) {
         EXPECT_EQ(info.unit, UnitClass::CTRL);
     }
-    if (isMemory(op()))
+    if (isMemory(op())) {
         EXPECT_EQ(info.unit, UnitClass::LSU);
+    }
 }
 
 TEST_P(AllOpcodes, ControlNeverWritesDst)
 {
-    if (opInfo(op()).unit == UnitClass::CTRL)
+    if (opInfo(op()).unit == UnitClass::CTRL) {
         EXPECT_FALSE(opInfo(op()).writes_dst);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

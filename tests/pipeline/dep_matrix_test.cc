@@ -190,10 +190,11 @@ TEST_P(Conservative, NeverMissesTrueDependency)
                 bool exact =
                     exact_sb.conflicts(0, probe, cur[s]);
                 bool approx = matrix_sb.conflicts(probe, s);
-                if (exact)
+                if (exact) {
                     EXPECT_TRUE(approx)
                         << "step " << step << " slot " << s
                         << " reg " << unsigned(r);
+                }
             }
         }
 

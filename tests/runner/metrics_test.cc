@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the shared summary metrics (geomean and the paper's
+ * TMD exclusion rule).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "runner/metrics.hh"
+
+using namespace siwi::runner;
+
+namespace {
+
+TEST(Geomean, EmptyVectorIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, SingleValue)
+{
+    EXPECT_DOUBLE_EQ(geomean({7.5}), 7.5);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(geomean({2.0, 4.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Geomean, ZeroValueYieldsZeroNotNan)
+{
+    double g = geomean({2.0, 0.0, 8.0});
+    EXPECT_EQ(g, 0.0);
+    EXPECT_FALSE(std::isnan(g));
+}
+
+TEST(Geomean, NegativeValueYieldsZeroNotNan)
+{
+    double g = geomean({2.0, -1.0});
+    EXPECT_EQ(g, 0.0);
+    EXPECT_FALSE(std::isnan(g));
+}
+
+TEST(ExcludeFromMeans, FiltersFlaggedEntries)
+{
+    std::vector<double> vals = {1.0, 2.0, 3.0, 4.0};
+    std::vector<bool> excl = {false, true, false, true};
+    EXPECT_EQ(excludeFromMeans(vals, excl),
+              (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(ExcludeFromMeans, AllKeptAndAllDropped)
+{
+    std::vector<double> vals = {1.0, 2.0};
+    EXPECT_EQ(excludeFromMeans(vals, {false, false}), vals);
+    EXPECT_TRUE(excludeFromMeans(vals, {true, true}).empty());
+    EXPECT_TRUE(excludeFromMeans({}, {}).empty());
+}
+
+} // namespace

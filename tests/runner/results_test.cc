@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for Results serialization (JSON round-trip, CSV, schema
+ * versioning) and the baseline comparison gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stats_io.hh"
+#include "runner/baseline.hh"
+#include "runner/results.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+
+namespace {
+
+core::SimStats
+sampleStats(u64 seed)
+{
+    core::SimStats st;
+    st.cycles = 1000 + seed;
+    st.instructions = 2000 + seed;
+    st.thread_instructions = 64000 + seed;
+    st.primary_issues = 1500 + seed;
+    st.secondary_issues = 500 + seed;
+    st.branch_divergences = 17 + seed;
+    st.warp_splits = 5 + seed;
+    st.l1_hits = 900 + seed;
+    st.l1_misses = 100 + seed;
+    st.dram_transactions = 42 + seed;
+    st.dram_bytes = 42 * 128 + seed;
+    st.threads_launched = 1024;
+    st.blocks_launched = 4;
+    st.max_stack_depth = 3;
+    st.max_live_contexts = 9;
+    st.units.push_back({"MAD0", 10 + seed, 20 + seed, 30 + seed});
+    st.units.push_back({"LSU", 1 + seed, 2 + seed, 3 + seed});
+    return st;
+}
+
+CellResult
+sampleCell(const std::string &sweep, const std::string &machine,
+           const std::string &workload, double ipc)
+{
+    CellResult c;
+    c.sweep = sweep;
+    c.machine = machine;
+    c.workload = workload;
+    c.size = "tiny";
+    c.verified = true;
+    c.ipc = ipc;
+    c.stats = sampleStats(u64(ipc * 10));
+    return c;
+}
+
+Results
+sampleResults()
+{
+    Results r;
+    r.suite = "fast";
+    r.cells.push_back(sampleCell("fig7", "Baseline", "BFS", 20.5));
+    r.cells.push_back(sampleCell("fig7", "SBI", "BFS", 28.25));
+    CellResult bad = sampleCell("fig7", "SBI", "LUD", 10.0);
+    bad.verified = false;
+    bad.verify_msg = "mismatch at word 3";
+    bad.excluded_from_means = true;
+    r.cells.push_back(bad);
+    return r;
+}
+
+TEST(StatsIo, RoundTrip)
+{
+    core::SimStats st = sampleStats(7);
+    st.hit_cycle_limit = true;
+    core::SimStats back;
+    std::string err;
+    ASSERT_TRUE(core::statsFromJson(statsToJson(st), &back, &err))
+        << err;
+    EXPECT_EQ(back, st);
+}
+
+TEST(StatsIo, MissingFieldsDefaultToZero)
+{
+    std::string err;
+    Json j = Json::parse("{\"cycles\": 5}", &err);
+    ASSERT_EQ(err, "");
+    core::SimStats st;
+    ASSERT_TRUE(core::statsFromJson(j, &st, &err)) << err;
+    EXPECT_EQ(st.cycles, 5u);
+    EXPECT_EQ(st.instructions, 0u);
+    EXPECT_TRUE(st.units.empty());
+}
+
+TEST(StatsIo, RejectsNonObject)
+{
+    core::SimStats st;
+    std::string err;
+    EXPECT_FALSE(core::statsFromJson(Json(3), &st, &err));
+    EXPECT_NE(err, "");
+}
+
+TEST(Results, JsonRoundTrip)
+{
+    Results r = sampleResults();
+    Results back;
+    std::string err;
+    ASSERT_TRUE(Results::fromJson(r.toJson(), &back, &err)) << err;
+    EXPECT_EQ(back, r);
+    // The serialized text is stable, too.
+    EXPECT_EQ(back.toJsonText(), r.toJsonText());
+}
+
+TEST(Results, SchemaVersionMismatchIsRejected)
+{
+    Json j = sampleResults().toJson();
+    for (auto &m : j.obj()) {
+        if (m.first == "schema_version")
+            m.second = Json(core::stats_schema_version + 1);
+    }
+    Results back;
+    std::string err;
+    EXPECT_FALSE(Results::fromJson(j, &back, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos);
+}
+
+TEST(Results, FindAndHelpers)
+{
+    Results r = sampleResults();
+    ASSERT_NE(r.find("fig7", "SBI", "BFS"), nullptr);
+    EXPECT_DOUBLE_EQ(r.find("fig7", "SBI", "BFS")->ipc, 28.25);
+    EXPECT_EQ(r.find("fig7", "SWI", "BFS"), nullptr);
+    EXPECT_EQ(r.sweepNames(),
+              (std::vector<std::string>{"fig7"}));
+    EXPECT_EQ(r.verificationFailures(), 1u);
+}
+
+TEST(Results, CsvHasHeaderAndOneRowPerCell)
+{
+    Results r = sampleResults();
+    std::string csv = r.toCsv();
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1 + r.cells.size());
+    EXPECT_EQ(csv.find("sweep,machine,workload"), 0u);
+    EXPECT_NE(csv.find("fig7,SBI,BFS,tiny,0,1,28.25"),
+              std::string::npos);
+}
+
+TEST(Compare, IdenticalResultsPass)
+{
+    Results r = sampleResults();
+    r.cells.pop_back(); // drop the unverified cell
+    CompareReport rep = compareResults(r, r, 0.02);
+    EXPECT_TRUE(rep.pass());
+    EXPECT_EQ(rep.deltas.size(), r.cells.size());
+    EXPECT_TRUE(rep.regressions.empty());
+    EXPECT_NE(rep.format().find("PASS"), std::string::npos);
+}
+
+TEST(Compare, RegressionBeyondToleranceFails)
+{
+    Results base = sampleResults();
+    base.cells.pop_back();
+    Results cand = base;
+    cand.cells[0].ipc *= 0.90; // -10%
+    CompareReport rep = compareResults(base, cand, 0.02);
+    EXPECT_FALSE(rep.pass());
+    ASSERT_EQ(rep.regressions.size(), 1u);
+    EXPECT_EQ(rep.regressions[0].workload, "BFS");
+    EXPECT_NEAR(rep.regressions[0].relative, -0.10, 1e-12);
+    EXPECT_NE(rep.format().find("FAIL"), std::string::npos);
+}
+
+TEST(Compare, RegressionWithinToleranceLegal)
+{
+    Results base = sampleResults();
+    base.cells.pop_back();
+    Results cand = base;
+    cand.cells[0].ipc *= 0.99; // -1%, tolerance 2%
+    EXPECT_TRUE(compareResults(base, cand, 0.02).pass());
+}
+
+TEST(Compare, ImprovementIsReportedNotFatal)
+{
+    Results base = sampleResults();
+    base.cells.pop_back();
+    Results cand = base;
+    cand.cells[0].ipc *= 1.5;
+    CompareReport rep = compareResults(base, cand, 0.02);
+    EXPECT_TRUE(rep.pass());
+    EXPECT_EQ(rep.improvements.size(), 1u);
+}
+
+TEST(Compare, MissingCellFails)
+{
+    Results base = sampleResults();
+    base.cells.pop_back();
+    Results cand = base;
+    cand.cells.pop_back();
+    CompareReport rep = compareResults(base, cand, 0.02);
+    EXPECT_FALSE(rep.pass());
+    ASSERT_EQ(rep.missing.size(), 1u);
+    EXPECT_TRUE(rep.added.empty());
+}
+
+TEST(Compare, UnverifiedCandidateCellFails)
+{
+    Results base = sampleResults();
+    base.cells.pop_back();
+    Results cand = sampleResults(); // includes unverified LUD cell
+    CompareReport rep = compareResults(base, cand, 0.02);
+    EXPECT_FALSE(rep.pass());
+    EXPECT_EQ(rep.unverified.size(), 1u);
+    EXPECT_EQ(rep.added.size(), 1u);
+}
+
+TEST(Compare, ZeroBaselineIpcDoesNotDivide)
+{
+    Results base = sampleResults();
+    base.cells.resize(1);
+    base.cells[0].ipc = 0.0;
+    Results cand = base;
+    EXPECT_TRUE(compareResults(base, cand, 0.02).pass());
+    cand.cells[0].ipc = 1.0;
+    CompareReport rep = compareResults(base, cand, 0.02);
+    ASSERT_EQ(rep.deltas.size(), 1u);
+    EXPECT_DOUBLE_EQ(rep.deltas[0].relative, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: sweep expansion,
+ * filtering, suite definitions, and — the load-bearing property —
+ * thread-count independence of the results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "runner/experiment_runner.hh"
+#include "runner/suites.hh"
+#include "runner/table.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+using workloads::SizeClass;
+
+namespace {
+
+/** A 2-machine x 2-workload grid small enough for unit tests. */
+SweepSpec
+tinyGrid()
+{
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.name = "grid";
+    s.filterMachines({"Baseline", "SBI"});
+    s.filterWorkloads({"BFS", "Histogram"});
+    return s;
+}
+
+TEST(Sweep, ExpandsInCanonicalOrder)
+{
+    SweepSpec s = tinyGrid();
+    ASSERT_EQ(s.cellCount(), 4u);
+    std::vector<CellSpec> cells = expandCells({s});
+    ASSERT_EQ(cells.size(), 4u);
+    // Workload-major, machine-minor.
+    EXPECT_EQ(cells[0].wl, 0u);
+    EXPECT_EQ(cells[0].machine, 0u);
+    EXPECT_EQ(cells[1].wl, 0u);
+    EXPECT_EQ(cells[1].machine, 1u);
+    EXPECT_EQ(cells[2].wl, 1u);
+    EXPECT_EQ(cells[2].machine, 0u);
+}
+
+TEST(Sweep, FiltersDropUnknownNames)
+{
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    size_t all = s.machines.size();
+    s.filterMachines({"Baseline", "NoSuchMachine"});
+    EXPECT_EQ(s.machines.size(), 1u);
+    s = fig7Sweep(false, SizeClass::Tiny);
+    s.filterMachines({});
+    EXPECT_EQ(s.machines.size(), all); // empty filter keeps all
+}
+
+TEST(Suites, FigureAndSuiteRegistry)
+{
+    for (const std::string &f : knownFigures()) {
+        std::vector<SweepSpec> sweeps =
+            figureSweeps(f, SizeClass::Tiny);
+        EXPECT_EQ(sweeps.size(), 2u) << f;
+        for (const SweepSpec &s : sweeps) {
+            EXPECT_GT(s.machines.size(), 0u) << f;
+            EXPECT_GT(s.wls.size(), 0u) << f;
+        }
+    }
+    EXPECT_TRUE(figureSweeps("nope", SizeClass::Tiny).empty());
+    for (const std::string &s : knownSuites())
+        EXPECT_FALSE(suiteSweeps(s).empty()) << s;
+    EXPECT_TRUE(suiteSweeps("nope").empty());
+}
+
+TEST(Suites, FastSuiteIsTinyFig7)
+{
+    std::vector<SweepSpec> sweeps = suiteSweeps("fast");
+    ASSERT_EQ(sweeps.size(), 2u);
+    for (const SweepSpec &s : sweeps) {
+        EXPECT_EQ(s.size, SizeClass::Tiny);
+        EXPECT_EQ(s.machines.size(), 5u);
+    }
+}
+
+TEST(Runner, RunCellMatchesRunWorkload)
+{
+    SweepSpec s = tinyGrid();
+    CellResult c = runCell(s, 1, 0);
+    EXPECT_EQ(c.machine, "SBI");
+    EXPECT_EQ(c.workload, "BFS");
+    EXPECT_EQ(c.size, "tiny");
+    EXPECT_TRUE(c.verified) << c.verify_msg;
+    workloads::RunResult ref = workloads::runWorkload(
+        *s.wls[0], s.machines[1].config, s.size);
+    EXPECT_EQ(c.stats, ref.stats);
+    EXPECT_DOUBLE_EQ(c.ipc, ref.stats.ipc());
+}
+
+TEST(Runner, ResultsIdenticalAcrossThreadCounts)
+{
+    setLogQuiet(true);
+    const std::vector<SweepSpec> sweeps = {tinyGrid()};
+
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.suite_label = "determinism";
+    Results a = runSweeps(sweeps, serial);
+
+    RunOptions parallel = serial;
+    parallel.jobs = 2;
+    Results b = runSweeps(sweeps, parallel);
+
+    ASSERT_EQ(a.cells.size(), 4u);
+    EXPECT_EQ(a, b);
+    // Including the serialized bytes the CI gate diffs.
+    EXPECT_EQ(a.toJsonText(), b.toJsonText());
+    EXPECT_EQ(a.toCsv(), b.toCsv());
+
+    RunOptions wide = serial;
+    wide.jobs = 8; // more threads than cells
+    EXPECT_EQ(runSweeps(sweeps, wide), a);
+}
+
+TEST(Runner, CellOrderIndependentOfJobCount)
+{
+    setLogQuiet(true);
+    const std::vector<SweepSpec> sweeps = {tinyGrid()};
+    RunOptions opts;
+    opts.jobs = 3;
+    Results r = runSweeps(sweeps, opts);
+    ASSERT_EQ(r.cells.size(), 4u);
+    EXPECT_EQ(r.cells[0].machine, "Baseline");
+    EXPECT_EQ(r.cells[0].workload, "BFS");
+    EXPECT_EQ(r.cells[1].machine, "SBI");
+    EXPECT_EQ(r.cells[1].workload, "BFS");
+    EXPECT_EQ(r.cells[2].machine, "Baseline");
+    EXPECT_EQ(r.cells[2].workload, "Histogram");
+}
+
+TEST(Table, FormatsSweepWithGmeanRow)
+{
+    setLogQuiet(true);
+    RunOptions opts;
+    opts.jobs = 2;
+    Results r = runSweeps({tinyGrid()}, opts);
+    std::string table = formatSweepTable(r, "grid");
+    EXPECT_NE(table.find("Baseline"), std::string::npos);
+    EXPECT_NE(table.find("SBI"), std::string::npos);
+    EXPECT_NE(table.find("BFS"), std::string::npos);
+    EXPECT_NE(table.find("Gmean"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * siwi-run: parallel experiment-runner CLI.
+ *
+ * Runs named suites or individual figure sweeps across a thread
+ * pool, prints the paper-style tables, emits machine-readable
+ * JSON/CSV, and implements the CI bench-regression gate by
+ * comparing result files against a committed baseline.
+ *
+ * Exit codes: 0 success, 1 verification failure, 2 regression
+ * gate failed, 3 usage error, 4 I/O error.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+
+namespace {
+
+constexpr int exit_ok = 0;
+constexpr int exit_verify = 1;
+constexpr int exit_regression = 2;
+constexpr int exit_usage = 3;
+constexpr int exit_io = 4;
+
+void
+usage(FILE *out)
+{
+    std::fprintf(out,
+"usage: siwi-run [options]\n"
+"\n"
+"run selection:\n"
+"  --suite NAME       fast | fig7 | full (default: fast)\n"
+"  --figure NAME      fig7 | fig8a | fig8b | fig9; repeatable,\n"
+"                     overrides --suite\n"
+"  --size SIZE        tiny | full: override the sweep size\n"
+"  --machine NAME     keep only this machine (repeatable)\n"
+"  --workload NAME    keep only this workload (repeatable)\n"
+"\n"
+"execution:\n"
+"  -j, --jobs N       worker threads (default: all cores)\n"
+"  --progress         per-cell progress lines on stderr\n"
+"\n"
+"output:\n"
+"  --json PATH        write results as JSON\n"
+"  --csv PATH         write results as CSV\n"
+"  --quiet            suppress the result tables\n"
+"  --list             print the selected cells and exit\n"
+"  --list-suites      print known suites, figures, machines "
+"and workloads\n"
+"\n"
+"regression gate:\n"
+"  --baseline PATH    after running, compare against this "
+"baseline\n"
+"  --compare BASE CAND  compare two result files, do not run\n"
+"  --tolerance PCT    relative IPC tolerance (default 2.0)\n");
+}
+
+int
+doCompare(const std::string &base_path,
+          const std::string &cand_path, double tolerance)
+{
+    Results base, cand;
+    std::string err;
+    if (!Results::load(base_path, &base, &err) ||
+        !Results::load(cand_path, &cand, &err)) {
+        std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+        return exit_io;
+    }
+    CompareReport rep = compareResults(base, cand, tolerance);
+    std::fputs(rep.format().c_str(), stdout);
+    return rep.pass() ? exit_ok : exit_regression;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgList args(argc, argv);
+
+    if (args.flag("--help") || args.flag("-h")) {
+        usage(stdout);
+        return exit_ok;
+    }
+    if (args.flag("--list-suites")) {
+        std::printf("suites:");
+        for (const std::string &s : knownSuites())
+            std::printf(" %s", s.c_str());
+        std::printf("\nfigures:");
+        for (const std::string &f : knownFigures())
+            std::printf(" %s", f.c_str());
+        std::printf("\nmachines:");
+        std::vector<std::string> machines;
+        for (const std::string &f : knownFigures()) {
+            for (const SweepSpec &s : figureSweeps(
+                     f, workloads::SizeClass::Tiny)) {
+                for (const MachineSpec &m : s.machines) {
+                    if (std::find(machines.begin(),
+                                  machines.end(),
+                                  m.name) == machines.end())
+                        machines.push_back(m.name);
+                }
+            }
+        }
+        for (const std::string &m : machines)
+            std::printf(" %s", m.c_str());
+        std::printf("\nworkloads:");
+        for (const workloads::Workload *w :
+             workloads::allWorkloads())
+            std::printf(" %s", w->name());
+        std::printf("\n");
+        return exit_ok;
+    }
+
+    double tolerance_pct = 2.0;
+    args.doubleOption("--tolerance", &tolerance_pct);
+    // Non-finite values would make every gate comparison false
+    // (an unconditional PASS), so reject them with the negatives.
+    bool bad_tolerance =
+        !std::isfinite(tolerance_pct) || tolerance_pct < 0.0;
+    if (!args.errors().empty() || bad_tolerance) {
+        for (const std::string &e : args.errors())
+            std::fprintf(stderr, "siwi-run: %s\n", e.c_str());
+        if (bad_tolerance)
+            std::fprintf(stderr,
+                         "siwi-run: --tolerance must be a finite "
+                         "value >= 0\n");
+        return exit_usage;
+    }
+    double tolerance = tolerance_pct / 100.0;
+
+    // Pure comparison mode: --compare BASE CAND.
+    std::string compare_base;
+    if (args.option("--compare", &compare_base)) {
+        if (args.remaining().size() != 1) {
+            std::fprintf(stderr,
+                         "siwi-run: --compare takes exactly two "
+                         "files\n");
+            return exit_usage;
+        }
+        return doCompare(compare_base, args.remaining()[0],
+                         tolerance);
+    }
+
+    std::string suite = "fast";
+    args.option("--suite", &suite);
+    std::vector<std::string> figures = args.options("--figure");
+    std::string size_str;
+    bool have_size = args.option("--size", &size_str);
+    std::vector<std::string> machines = args.options("--machine");
+    std::vector<std::string> wl_names = args.options("--workload");
+    unsigned jobs = 0;
+    if (!args.intOption("--jobs", &jobs))
+        args.intOption("-j", &jobs);
+    bool progress = args.flag("--progress");
+    bool quiet = args.flag("--quiet");
+    bool list_only = args.flag("--list");
+    std::string json_path, csv_path, baseline_path;
+    args.option("--json", &json_path);
+    args.option("--csv", &csv_path);
+    args.option("--baseline", &baseline_path);
+
+    if (!finishArgs(args, "siwi-run")) {
+        usage(stderr);
+        return exit_usage;
+    }
+
+    // Build the sweep list.
+    std::vector<SweepSpec> sweeps;
+    std::string label;
+    if (!figures.empty()) {
+        // Figures default to Full size; the --size override below
+        // applies to these sweeps like any others. Dedup repeats:
+        // duplicate sweep names would corrupt the result tables.
+        std::vector<std::string> seen;
+        std::erase_if(figures, [&](const std::string &f) {
+            if (std::find(seen.begin(), seen.end(), f) !=
+                seen.end())
+                return true;
+            seen.push_back(f);
+            return false;
+        });
+        for (const std::string &f : figures) {
+            std::vector<SweepSpec> fs =
+                figureSweeps(f, workloads::SizeClass::Full);
+            if (fs.empty()) {
+                std::fprintf(stderr,
+                             "siwi-run: unknown figure: %s\n",
+                             f.c_str());
+                return exit_usage;
+            }
+            for (SweepSpec &s : fs)
+                sweeps.push_back(std::move(s));
+            label += (label.empty() ? "" : ",") + f;
+        }
+    } else {
+        sweeps = suiteSweeps(suite);
+        if (sweeps.empty()) {
+            std::fprintf(stderr, "siwi-run: unknown suite: %s\n",
+                         suite.c_str());
+            return exit_usage;
+        }
+        label = suite;
+    }
+    if (have_size) {
+        if (size_str != "tiny" && size_str != "full") {
+            std::fprintf(stderr, "siwi-run: bad --size: %s\n",
+                         size_str.c_str());
+            return exit_usage;
+        }
+        for (SweepSpec &s : sweeps) {
+            s.size = size_str == "tiny"
+                         ? workloads::SizeClass::Tiny
+                         : workloads::SizeClass::Full;
+        }
+    }
+    for (SweepSpec &s : sweeps) {
+        s.filterMachines(machines);
+        s.filterWorkloads(wl_names);
+    }
+    std::erase_if(sweeps, [](const SweepSpec &s) {
+        return s.cellCount() == 0;
+    });
+    if (sweeps.empty()) {
+        std::fprintf(stderr,
+                     "siwi-run: selection matches no cells\n");
+        return exit_usage;
+    }
+
+    if (list_only) {
+        for (const CellSpec &c : expandCells(sweeps)) {
+            const SweepSpec &s = sweeps[c.sweep];
+            std::printf("%s %s %s %s\n", s.name.c_str(),
+                        s.machines[c.machine].name.c_str(),
+                        s.wls[c.wl]->name(),
+                        sizeClassName(s.size));
+        }
+        return exit_ok;
+    }
+
+    RunOptions opts;
+    opts.jobs = jobs;
+    opts.progress = progress;
+    opts.suite_label = label;
+
+    size_t total = 0;
+    for (const SweepSpec &s : sweeps)
+        total += s.cellCount();
+    auto t0 = std::chrono::steady_clock::now();
+    Results res = runSweeps(sweeps, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    std::fprintf(stderr,
+                 "siwi-run: %zu cells on %u thread(s) in %.2fs\n",
+                 total, effectiveJobs(jobs, total), secs);
+
+    if (!quiet) {
+        for (const std::string &name : res.sweepNames()) {
+            std::printf("\n=== %s ===\n", name.c_str());
+            std::fputs(formatSweepTable(res, name).c_str(),
+                       stdout);
+        }
+    }
+
+    std::string err;
+    if (!json_path.empty() && !res.save(json_path, &err)) {
+        std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+        return exit_io;
+    }
+    if (!csv_path.empty()) {
+        std::FILE *f = std::fopen(csv_path.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "siwi-run: cannot write %s\n",
+                         csv_path.c_str());
+            return exit_io;
+        }
+        std::string csv = res.toCsv();
+        size_t written =
+            std::fwrite(csv.data(), 1, csv.size(), f);
+        if (std::fclose(f) != 0 || written != csv.size()) {
+            std::fprintf(stderr, "siwi-run: write error on %s\n",
+                         csv_path.c_str());
+            return exit_io;
+        }
+    }
+
+    if (res.verificationFailures()) {
+        std::fprintf(stderr,
+                     "siwi-run: %zu cell(s) failed verification\n",
+                     res.verificationFailures());
+        return exit_verify;
+    }
+
+    if (!baseline_path.empty()) {
+        Results base;
+        if (!Results::load(baseline_path, &base, &err)) {
+            std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+            return exit_io;
+        }
+        CompareReport rep = compareResults(base, res, tolerance);
+        std::fputs(rep.format().c_str(), stdout);
+        if (!rep.pass())
+            return exit_regression;
+    }
+    return exit_ok;
+}
