@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-SM scaling study (beyond the paper): IPC of Baseline and
+ * SBI+SWI chips with 1, 2, 4 and 8 SMs behind a shared L2 and a
+ * single DRAM channel, over a mixed regular/irregular workload
+ * panel. The 1-SM column is the paper's single-SM methodology
+ * (private DRAM channel); the chip channel's bandwidth scales
+ * linearly up to 4 SMs and then saturates, so the 8-SM column
+ * shows bandwidth contention (see core::GpuConfig::make).
+ *
+ * Flags:
+ *   --machine NAME    keep only this machine (repeatable)
+ *   --sms N           override the SM-count axis (repeatable)
+ *   -j N              worker threads (default: all cores)
+ *   --json PATH       write machine-readable results
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+
+int
+main(int argc, char **argv)
+{
+    ArgList args(argc, argv);
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    std::vector<std::string> machines = args.options("--machine");
+    std::vector<unsigned> sms_axis;
+    for (const std::string &s : args.options("--sms")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(s.c_str(), &end, 10);
+        if (!end || *end != '\0' || v < 1 || v > 1024) {
+            std::fprintf(stderr, "fig_scaling: bad --sms: %s\n",
+                         s.c_str());
+            return 2;
+        }
+        sms_axis.push_back(unsigned(v));
+    }
+    if (!runner::finishArgs(args, "fig_scaling"))
+        return 2;
+
+    SweepSpec sweep = scalingSweep(workloads::SizeClass::Chip);
+    sweep.filterMachines(machines);
+    if (!sms_axis.empty())
+        sweep.sms = sms_axis;
+
+    std::printf("Multi-SM scaling study (shared L2 + one DRAM "
+                "channel)\n");
+    std::printf("chips: ");
+    for (unsigned n : sweep.sms)
+        std::printf("%usm ", n);
+    std::printf("\n");
+
+    opts.suite_label = "scaling";
+    Results res = runSweeps({sweep}, opts);
+
+    std::printf("\n=== Scaling: IPC per chip ===\n");
+    std::fputs(formatSweepTable(res, sweep.name).c_str(), stdout);
+
+    // Parallel efficiency: chip IPC relative to num_sms x the
+    // same machine's 1-SM IPC.
+    std::printf("\n--- scaling vs 1 SM (gmean IPC ratio) ---\n");
+    for (const MachineSpec &m : sweep.machines) {
+        std::vector<double> base =
+            sweepColumn(res, sweep.name, m.name);
+        double base_gm = geomean(base);
+        if (base_gm <= 0.0)
+            continue;
+        for (unsigned n : sweep.sms) {
+            if (n == 1)
+                continue;
+            std::string label =
+                m.name + "@" + std::to_string(n) + "sm";
+            double gm =
+                geomean(sweepColumn(res, sweep.name, label));
+            std::printf("  %-16s %5.2fx  (efficiency %5.1f%%)\n",
+                        label.c_str(), gm / base_gm,
+                        100.0 * gm / base_gm / double(n));
+        }
+    }
+
+    return finishBench(res, json_path);
+}

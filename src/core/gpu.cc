@@ -1,10 +1,52 @@
 #include "core/gpu.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace siwi::core {
 
-Gpu::Gpu(const pipeline::SMConfig &cfg) : cfg_(cfg)
+GpuConfig
+GpuConfig::make(pipeline::PipelineMode mode, unsigned num_sms)
+{
+    return make(pipeline::SMConfig::make(mode), num_sms);
+}
+
+GpuConfig
+GpuConfig::make(const pipeline::SMConfig &sm, unsigned num_sms)
+{
+    GpuConfig cfg;
+    cfg.sm = sm;
+    cfg.num_sms = num_sms;
+    cfg.shared_backend = num_sms > 1;
+    cfg.dram = sm.mem.dram;
+    // One channel for the whole chip: bandwidth grows with the SM
+    // count but tops out at 4x the paper's per-SM 10 GB/s, so
+    // larger chips start contending for it.
+    cfg.dram.bytes_per_cycle_x10 *= std::min(num_sms, 4u);
+    return cfg;
+}
+
+void
+GpuConfig::validate() const
+{
+    sm.validate();
+    siwi_assert(num_sms >= 1, "chip with no SMs");
+    siwi_assert(num_sms == 1 || shared_backend,
+                "multi-SM chip requires the shared backend");
+    if (shared_backend) {
+        siwi_assert(l2.block_bytes == sm.mem.l1.block_bytes,
+                    "L2 block size must match the L1s");
+    }
+}
+
+Gpu::Gpu(const pipeline::SMConfig &cfg)
+{
+    cfg_.sm = cfg;
+    cfg_.validate();
+}
+
+Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
 }
@@ -19,11 +61,89 @@ SimStats
 Gpu::launchTraced(const Kernel &kernel, const LaunchConfig &lc,
                   pipeline::SM::TraceHook hook)
 {
-    pipeline::SM sm(cfg_, memory_);
-    if (hook)
-        sm.setTraceHook(std::move(hook));
-    sm.launch(kernel.program(), lc.grid_blocks, lc.block_threads);
-    return sm.run(lc.max_cycles);
+    if (cfg_.num_sms == 1 && !cfg_.shared_backend) {
+        // The paper's single-SM setup: private DRAM channel,
+        // self-assigned CTAs.
+        pipeline::SM sm(cfg_.sm, memory_);
+        if (hook)
+            sm.setTraceHook(std::move(hook));
+        sm.launch(kernel.program(), lc.grid_blocks,
+                  lc.block_threads);
+        return sm.run(lc.max_cycles);
+    }
+    return launchChip(kernel, lc, hook);
+}
+
+SimStats
+Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
+                const pipeline::SM::TraceHook &hook)
+{
+    mem::SharedL2 backend(cfg_.l2, cfg_.dram);
+
+    // Chip-level CTA scheduler: a shared cursor over the grid.
+    // Every SM pulls at most one CTA per cycle and SMs are stepped
+    // in index order, so the initial distribution is round-robin
+    // and each retirement hands the next pending CTA to the SM
+    // that freed a slot ("round-robin-on-retire").
+    unsigned next_cta = 0;
+    auto source = [&next_cta, grid = lc.grid_blocks]() -> int {
+        return next_cta < grid ? int(next_cta++) : -1;
+    };
+
+    std::vector<std::unique_ptr<pipeline::SM>> sms;
+    sms.reserve(cfg_.num_sms);
+    for (unsigned i = 0; i < cfg_.num_sms; ++i) {
+        auto sm = std::make_unique<pipeline::SM>(cfg_.sm, memory_,
+                                                 &backend);
+        if (hook)
+            sm->setTraceHook(hook);
+        sm->setCtaSource(source);
+        sm->launch(kernel.program(), lc.grid_blocks,
+                   lc.block_threads);
+        sms.push_back(std::move(sm));
+    }
+
+    // Lockstep cycle loop: within a cycle, SM order fixes the
+    // order of shared-backend requests, which keeps multi-SM
+    // timing deterministic.
+    Cycle cycle = 0;
+    bool hit_limit = false;
+    for (;;) {
+        bool all_done = true;
+        for (const auto &sm : sms) {
+            if (!sm->done()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (cycle >= lc.max_cycles) {
+            warn("chip cycle limit hit at ", cycle);
+            hit_limit = true;
+            break;
+        }
+        for (auto &sm : sms) {
+            if (!sm->done())
+                sm->step();
+        }
+        ++cycle;
+    }
+
+    std::vector<SimStats> per_sm;
+    per_sm.reserve(sms.size());
+    for (auto &sm : sms)
+        per_sm.push_back(sm->finalizeStats());
+
+    SimStats agg = SimStats::aggregate(per_sm);
+    agg.hit_cycle_limit |= hit_limit;
+    // Chip-level backend counters: reported once, from the shared
+    // backend itself (per-SM stats keep them zero).
+    agg.l2_hits = backend.stats().hits;
+    agg.l2_misses = backend.stats().misses;
+    agg.dram_transactions = backend.dramStats().transactions;
+    agg.dram_bytes = backend.dramStats().bytes;
+    return agg;
 }
 
 } // namespace siwi::core

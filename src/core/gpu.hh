@@ -2,10 +2,14 @@
  * @file
  * Gpu: the top-level public entry point of the library.
  *
- * One Gpu = one SM (the paper simulates a single SM) plus a global
- * memory image shared across launches. Each launch runs a grid to
- * completion on a freshly initialized pipeline and returns its
- * statistics.
+ * One Gpu = one chip: `num_sms` SM instances behind a chip-level
+ * CTA scheduler, plus a global memory image shared across launches.
+ * The paper simulates a single SM with a private DRAM channel, and
+ * that remains the default (`Gpu(SMConfig)`); a multi-SM GpuConfig
+ * puts per-SM private L1s/write buffers in front of a shared L2
+ * and a single DRAM channel the SMs contend for. Each launch runs
+ * a grid to completion on freshly initialized pipelines and
+ * returns its statistics (with per-SM breakdowns on a chip).
  */
 
 #ifndef SIWI_CORE_GPU_HH
@@ -15,6 +19,7 @@
 
 #include "core/kernel.hh"
 #include "core/stats.hh"
+#include "mem/backend.hh"
 #include "mem/memory_image.hh"
 #include "pipeline/sm.hh"
 
@@ -28,29 +33,76 @@ struct LaunchConfig
     Cycle max_cycles = 50'000'000;
 };
 
+/** Chip-level parameter set: SM geometry times chip topology. */
+struct GpuConfig
+{
+    pipeline::SMConfig sm;
+    unsigned num_sms = 1;
+
+    /**
+     * Route SM misses through the chip-shared L2 + single DRAM
+     * channel instead of a private per-SM DRAM channel. Multi-SM
+     * chips require this (it is what they contend on); single-SM
+     * configs default to the paper's private-channel methodology
+     * so `num_sms = 1` reproduces the single-SM numbers.
+     */
+    bool shared_backend = false;
+
+    mem::L2Config l2;      //!< shared L2 geometry/timing
+    mem::DramConfig dram;  //!< chip DRAM channel (shared path)
+
+    /**
+     * Canonical chip for a pipeline mode: SMConfig::make(mode)
+     * replicated @p num_sms times. The chip DRAM channel scales
+     * the paper's per-SM 10 GB/s linearly up to 4 SMs and then
+     * saturates, so the 8-SM point exposes bandwidth contention.
+     */
+    static GpuConfig make(pipeline::PipelineMode mode,
+                          unsigned num_sms);
+
+    /** As above, replicating an already-tuned SM config. */
+    static GpuConfig make(const pipeline::SMConfig &sm,
+                          unsigned num_sms);
+
+    /** Sanity-check invariants; panics on nonsense. */
+    void validate() const;
+};
+
 /**
  * The simulated device.
  */
 class Gpu
 {
   public:
+    /** Single SM with a private DRAM channel (paper setup). */
     explicit Gpu(const pipeline::SMConfig &cfg);
+
+    /** Full chip: @p cfg.num_sms SMs, optionally sharing L2+DRAM. */
+    explicit Gpu(const GpuConfig &cfg);
 
     /** Global memory, for host-side setup and result readback. */
     mem::MemoryImage &memory() { return memory_; }
     const mem::MemoryImage &memory() const { return memory_; }
 
-    const pipeline::SMConfig &config() const { return cfg_; }
+    const pipeline::SMConfig &config() const { return cfg_.sm; }
+    const GpuConfig &chipConfig() const { return cfg_; }
 
     /** Run @p kernel over @p lc to completion; returns statistics. */
     SimStats launch(const Kernel &kernel, const LaunchConfig &lc);
 
-    /** As launch(), with a per-issue trace hook (Figure 2 diagrams). */
+    /**
+     * As launch(), with a per-issue trace hook (Figure 2
+     * diagrams). On a multi-SM chip every SM feeds the same hook;
+     * events of one cycle arrive in SM order.
+     */
     SimStats launchTraced(const Kernel &kernel, const LaunchConfig &lc,
                           pipeline::SM::TraceHook hook);
 
   private:
-    pipeline::SMConfig cfg_;
+    SimStats launchChip(const Kernel &kernel, const LaunchConfig &lc,
+                        const pipeline::SM::TraceHook &hook);
+
+    GpuConfig cfg_;
     mem::MemoryImage memory_;
 };
 

@@ -1,7 +1,10 @@
 #include "core/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
+
+#include "core/stats_io.hh"
 
 namespace siwi::core {
 
@@ -11,8 +14,10 @@ SimStats::summary() const
     std::ostringstream os;
     os << std::fixed << std::setprecision(2);
     os << "cycles:              " << cycles
-       << (hit_cycle_limit ? "  (CYCLE LIMIT HIT)" : "") << "\n"
-       << "instructions:        " << instructions << "\n"
+       << (hit_cycle_limit ? "  (CYCLE LIMIT HIT)" : "") << "\n";
+    if (num_sms > 1)
+        os << "SMs:                 " << num_sms << "\n";
+    os << "instructions:        " << instructions << "\n"
        << "thread instructions: " << thread_instructions << "\n"
        << "IPC:                 " << ipc() << "\n"
        << "issues prim/sec:     " << primary_issues << " / "
@@ -27,8 +32,12 @@ SimStats::summary() const
        << "L1:                  " << l1_hits << " hits / "
        << l1_misses << " misses (" << std::setprecision(1)
        << 100.0 * l1HitRate() << "%)\n"
-       << std::setprecision(2)
-       << "DRAM:                " << dram_transactions
+       << std::setprecision(2);
+    if (l2_hits + l2_misses) {
+        os << "L2:                  " << l2_hits << " hits / "
+           << l2_misses << " misses\n";
+    }
+    os << "DRAM:                " << dram_transactions
        << " transactions, " << dram_bytes << " bytes\n"
        << "work:                " << blocks_launched << " blocks, "
        << threads_launched << " threads\n";
@@ -42,7 +51,47 @@ SimStats::summary() const
            << util << "%  thread-insts " << u.thread_instructions
            << "\n";
     }
+    for (size_t i = 0; i < per_sm.size(); ++i) {
+        const SimStats &s = per_sm[i];
+        os << "  SM" << i << ": ipc " << std::setprecision(2)
+           << s.ipc() << "  cycles " << s.cycles << "  blocks "
+           << s.blocks_launched << "  thread-insts "
+           << s.thread_instructions << "\n";
+    }
     return os.str();
+}
+
+SimStats
+SimStats::aggregate(const std::vector<SimStats> &sms)
+{
+    SimStats agg;
+    for (const SimStats &s : sms) {
+        agg.cycles = std::max(agg.cycles, s.cycles);
+        agg.hit_cycle_limit |= s.hit_cycle_limit;
+        for (const StatsField &f : statsU64Fields())
+            agg.*f.member += s.*f.member;
+        agg.max_stack_depth =
+            std::max(agg.max_stack_depth, s.max_stack_depth);
+        agg.max_live_contexts =
+            std::max(agg.max_live_contexts, s.max_live_contexts);
+        for (const UnitStats &u : s.units) {
+            auto it = std::find_if(
+                agg.units.begin(), agg.units.end(),
+                [&](const UnitStats &a) {
+                    return a.name == u.name;
+                });
+            if (it == agg.units.end()) {
+                agg.units.push_back(u);
+            } else {
+                it->issues += u.issues;
+                it->busy_cycles += u.busy_cycles;
+                it->thread_instructions += u.thread_instructions;
+            }
+        }
+    }
+    agg.num_sms = unsigned(sms.size());
+    agg.per_sm = sms;
+    return agg;
 }
 
 } // namespace siwi::core

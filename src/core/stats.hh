@@ -63,8 +63,12 @@ struct SimStats
     u64 l1_evictions = 0;
     u64 load_transactions = 0;
     u64 store_transactions = 0;
+    u64 write_forwards = 0; //!< loads served from the write buffer
     u64 mshr_merges = 0;
     u64 mshr_stalls = 0;
+    /** Shared-L2 counters; zero when the machine has no L2. */
+    u64 l2_hits = 0;
+    u64 l2_misses = 0;
     u64 dram_transactions = 0;
     u64 dram_bytes = 0;
 
@@ -73,6 +77,19 @@ struct SimStats
     u64 blocks_launched = 0;
 
     std::vector<UnitStats> units;
+
+    // --- chip topology (schema v2) ---
+    /** SMs that produced these stats (1 for a single-SM run). */
+    unsigned num_sms = 1;
+    /**
+     * Per-SM breakdown of a multi-SM launch, in SM order; empty
+     * for single-SM runs. Entries never nest further. SM-local
+     * counters of the chip aggregate are the field-wise sum of
+     * this vector (cycles is the max); the backend counters
+     * (l2_*, dram_*) are chip-level and live only in the
+     * aggregate.
+     */
+    std::vector<SimStats> per_sm;
 
     /** Thread instructions per cycle. */
     double ipc() const
@@ -90,6 +107,17 @@ struct SimStats
 
     /** Multi-line human-readable report. */
     std::string summary() const;
+
+    /**
+     * Fold per-SM launch stats into one chip aggregate: u64
+     * counters sum, cycles / depth maxima take the max, unit
+     * occupancies merge by name, and @p sms is copied into
+     * per_sm. Backend counters (l2_*, dram_*) are summed like the
+     * rest, which is correct for private backends; a chip with a
+     * *shared* backend overwrites them from the backend's own
+     * statistics afterwards.
+     */
+    static SimStats aggregate(const std::vector<SimStats> &sms);
 
     /**
      * Field-wise equality; the determinism tests rely on two runs

@@ -4,17 +4,7 @@ namespace siwi::core {
 
 namespace {
 
-/**
- * One table drives both directions so a field cannot be serialized
- * without being parseable back.
- */
-struct Field
-{
-    const char *name;
-    u64 SimStats::*member;
-};
-
-constexpr Field u64_fields[] = {
+constexpr StatsField u64_fields[] = {
     {"fetches", &SimStats::fetches},
     {"instructions", &SimStats::instructions},
     {"thread_instructions", &SimStats::thread_instructions},
@@ -38,8 +28,11 @@ constexpr Field u64_fields[] = {
     {"l1_evictions", &SimStats::l1_evictions},
     {"load_transactions", &SimStats::load_transactions},
     {"store_transactions", &SimStats::store_transactions},
+    {"write_forwards", &SimStats::write_forwards},
     {"mshr_merges", &SimStats::mshr_merges},
     {"mshr_stalls", &SimStats::mshr_stalls},
+    {"l2_hits", &SimStats::l2_hits},
+    {"l2_misses", &SimStats::l2_misses},
     {"dram_transactions", &SimStats::dram_transactions},
     {"dram_bytes", &SimStats::dram_bytes},
     {"threads_launched", &SimStats::threads_launched},
@@ -48,16 +41,23 @@ constexpr Field u64_fields[] = {
 
 } // namespace
 
+std::span<const StatsField>
+statsU64Fields()
+{
+    return u64_fields;
+}
+
 Json
 statsToJson(const SimStats &st)
 {
     Json j = Json::object();
     j.set("cycles", Json(st.cycles));
     j.set("hit_cycle_limit", Json(st.hit_cycle_limit));
-    for (const Field &f : u64_fields)
+    for (const StatsField &f : u64_fields)
         j.set(f.name, Json(st.*f.member));
     j.set("max_stack_depth", Json(st.max_stack_depth));
     j.set("max_live_contexts", Json(st.max_live_contexts));
+    j.set("num_sms", Json(st.num_sms));
 
     Json units = Json::array();
     for (const UnitStats &u : st.units) {
@@ -69,6 +69,16 @@ statsToJson(const SimStats &st)
         units.push(std::move(ju));
     }
     j.set("units", std::move(units));
+
+    // The per-SM breakdown only exists on multi-SM chip
+    // aggregates; omit the key entirely for the common case so
+    // single-SM result files stay compact.
+    if (!st.per_sm.empty()) {
+        Json per_sm = Json::array();
+        for (const SimStats &s : st.per_sm)
+            per_sm.push(statsToJson(s));
+        j.set("per_sm", std::move(per_sm));
+    }
     return j;
 }
 
@@ -83,10 +93,11 @@ statsFromJson(const Json &j, SimStats *out, std::string *err)
     SimStats st;
     st.cycles = Cycle(j.getInt("cycles"));
     st.hit_cycle_limit = j.getBool("hit_cycle_limit");
-    for (const Field &f : u64_fields)
+    for (const StatsField &f : u64_fields)
         st.*f.member = u64(j.getInt(f.name));
     st.max_stack_depth = unsigned(j.getInt("max_stack_depth"));
     st.max_live_contexts = unsigned(j.getInt("max_live_contexts"));
+    st.num_sms = unsigned(j.getInt("num_sms", 1));
 
     if (const Json *units = j.find("units")) {
         if (!units->isArray()) {
@@ -107,6 +118,20 @@ statsFromJson(const Json &j, SimStats *out, std::string *err)
             u.thread_instructions =
                 u64(ju.getInt("thread_instructions"));
             st.units.push_back(std::move(u));
+        }
+    }
+
+    if (const Json *per_sm = j.find("per_sm")) {
+        if (!per_sm->isArray()) {
+            if (err)
+                *err = "stats: 'per_sm' must be an array";
+            return false;
+        }
+        for (const Json &js : per_sm->arr()) {
+            SimStats s;
+            if (!statsFromJson(js, &s, err))
+                return false;
+            st.per_sm.push_back(std::move(s));
         }
     }
     *out = std::move(st);

@@ -13,6 +13,7 @@
 #ifndef SIWI_CORE_STATS_IO_HH
 #define SIWI_CORE_STATS_IO_HH
 
+#include <span>
 #include <string>
 
 #include "common/json.hh"
@@ -20,8 +21,28 @@
 
 namespace siwi::core {
 
-/** Version of the serialized SimStats / results layout. */
-constexpr int stats_schema_version = 1;
+/**
+ * Version of the serialized SimStats / results layout.
+ *
+ * v2 (multi-SM): adds write_forwards, l2_hits, l2_misses,
+ * num_sms and the per_sm breakdown array to the stats object, and
+ * num_sms to each results cell.
+ */
+constexpr int stats_schema_version = 2;
+
+/** One u64 counter of SimStats: serialization name + member. */
+struct StatsField
+{
+    const char *name;
+    u64 SimStats::*member;
+};
+
+/**
+ * Every u64 counter field of SimStats, the one table that drives
+ * serialization, parsing and chip aggregation — a counter cannot
+ * be serialized without being parseable and summable.
+ */
+std::span<const StatsField> statsU64Fields();
 
 /** Serialize every SimStats counter as a flat JSON object. */
 Json statsToJson(const SimStats &st);

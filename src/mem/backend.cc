@@ -1,0 +1,57 @@
+#include "mem/backend.hh"
+
+namespace siwi::mem {
+
+namespace {
+
+CacheConfig
+l2TagConfig(const L2Config &cfg)
+{
+    CacheConfig c;
+    c.size_bytes = cfg.size_bytes;
+    c.ways = cfg.ways;
+    c.block_bytes = cfg.block_bytes;
+    c.hit_latency = cfg.hit_latency;
+    return c;
+}
+
+} // namespace
+
+SharedL2::SharedL2(const L2Config &cfg, const DramConfig &dram)
+    : cfg_(cfg), tags_(l2TagConfig(cfg)), dram_(dram)
+{
+}
+
+Cycle
+SharedL2::read(Cycle now, Addr block, u32 bytes)
+{
+    if (tags_.access(block)) {
+        ++stats_.hits;
+        return now + cfg_.hit_latency;
+    }
+    ++stats_.misses;
+    // The DRAM request leaves after the L2 lookup; the tag installs
+    // immediately so a second SM hitting the same block pays the L2
+    // hit price (standing in for an L2 MSHR merge).
+    Cycle ready = dram_.serve(now + cfg_.hit_latency, bytes);
+    tags_.fill(block);
+    return ready;
+}
+
+void
+SharedL2::write(Cycle now, Addr block, u32 bytes)
+{
+    ++stats_.writes;
+    // Write-through no-allocate, like the L1s in front: the write
+    // crosses the L2 and consumes DRAM bandwidth.
+    (void)block;
+    dram_.serve(now + cfg_.hit_latency, bytes);
+}
+
+void
+SharedL2::invalidate()
+{
+    tags_.invalidateAll();
+}
+
+} // namespace siwi::mem

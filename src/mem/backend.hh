@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Memory backend below the per-SM L1s.
+ *
+ * A MemoryBackend is whatever sits behind an SM's private L1 and
+ * write buffer: either a private DRAM channel (the paper's
+ * single-SM methodology, DramBackend) or a chip-level shared L2 in
+ * front of one DRAM channel that all SMs contend for (SharedL2,
+ * the multi-SM scaling configuration). MemorySystem owns a private
+ * DramBackend unless the chip injects a shared one.
+ */
+
+#ifndef SIWI_MEM_BACKEND_HH
+#define SIWI_MEM_BACKEND_HH
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace siwi::mem {
+
+/**
+ * Timing model of everything below an SM's private memory
+ * structures. Calls are made in simulated-time order per SM; when
+ * shared, the chip steps its SMs in lockstep so requests of one
+ * cycle arrive in SM order (deterministic for a fixed config).
+ */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /**
+     * Serve a block read (an L1 miss refill) issued at @p now.
+     * @return the cycle the data is available at the SM.
+     */
+    virtual Cycle read(Cycle now, Addr block, u32 bytes) = 0;
+
+    /**
+     * Serve a write-through of @p bytes to @p block at @p now.
+     * Fire-and-forget: only consumes backend bandwidth.
+     */
+    virtual void write(Cycle now, Addr block, u32 bytes) = 0;
+
+    /** Drop cached residency (kernel boundary; stats persist). */
+    virtual void invalidate() = 0;
+
+    /** DRAM-channel statistics of this backend. */
+    virtual const DramStats &dramStats() const = 0;
+};
+
+/** A private DRAM channel: the paper's single-SM memory system. */
+class DramBackend final : public MemoryBackend
+{
+  public:
+    explicit DramBackend(const DramConfig &cfg) : dram_(cfg) {}
+
+    Cycle read(Cycle now, Addr, u32 bytes) override
+    {
+        return dram_.serve(now, bytes);
+    }
+    void write(Cycle now, Addr, u32 bytes) override
+    {
+        dram_.serve(now, bytes);
+    }
+    void invalidate() override {}
+    const DramStats &dramStats() const override
+    {
+        return dram_.stats();
+    }
+
+  private:
+    Dram dram_;
+};
+
+/** Shared L2 geometry and timing (Fermi-like chip defaults). */
+struct L2Config
+{
+    u32 size_bytes = 768 * 1024;
+    u32 ways = 16;
+    u32 block_bytes = 128;
+    u32 hit_latency = 30; //!< interconnect + L2 access
+};
+
+/** Shared-L2 statistics (chip level, not per SM). */
+struct L2Stats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writes = 0; //!< write-throughs passed to DRAM
+};
+
+/**
+ * Chip-level shared L2 in front of a single DRAM channel.
+ *
+ * Tag-only and inclusive of nothing in particular: reads allocate,
+ * writes are write-through no-allocate (matching the L1 policy), and
+ * fills are modeled as immediate tag installs — the *latency* of a
+ * miss is carried by the returned ready cycle, not by a delayed tag
+ * update, which keeps the shared structure usable by several SMs
+ * without an event queue.
+ */
+class SharedL2 final : public MemoryBackend
+{
+  public:
+    SharedL2(const L2Config &cfg, const DramConfig &dram);
+
+    Cycle read(Cycle now, Addr block, u32 bytes) override;
+    void write(Cycle now, Addr block, u32 bytes) override;
+    void invalidate() override;
+
+    const L2Stats &stats() const { return stats_; }
+    const DramStats &dramStats() const override
+    {
+        return dram_.stats();
+    }
+    const L2Config &config() const { return cfg_; }
+
+  private:
+    L2Config cfg_;
+    L1Cache tags_; //!< reused set-associative LRU tag array
+    Dram dram_;
+    L2Stats stats_;
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_BACKEND_HH

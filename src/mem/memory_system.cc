@@ -1,27 +1,50 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace siwi::mem {
 
 MemorySystem::MemorySystem(const MemConfig &cfg)
-    : cfg_(cfg), l1_(cfg.l1), dram_(cfg.dram),
+    : cfg_(cfg), l1_(cfg.l1),
+      owned_backend_(std::make_unique<DramBackend>(cfg.dram)),
+      backend_(owned_backend_.get()),
       wbuf_(cfg.write_buffer_entries)
 {
+    siwi_assert(cfg_.mshrs >= 1, "memory system with no MSHRs");
+}
+
+MemorySystem::MemorySystem(const MemConfig &cfg,
+                           MemoryBackend &backend)
+    : cfg_(cfg), l1_(cfg.l1), backend_(&backend),
+      wbuf_(cfg.write_buffer_entries)
+{
+    siwi_assert(cfg_.mshrs >= 1, "memory system with no MSHRs");
 }
 
 void
 MemorySystem::tick(Cycle now)
 {
-    // Fill lines whose DRAM response has arrived.
+    // Fill lines whose backend response has arrived.
     for (auto it = inflight_.begin(); it != inflight_.end();) {
-        if (it->second <= now) {
+        if (it->second.fill <= now) {
             l1_.fill(it->first);
             it = inflight_.erase(it);
         } else {
             ++it;
         }
     }
+}
+
+unsigned
+MemorySystem::mshrOccupancy(Cycle now) const
+{
+    unsigned busy = 0;
+    for (const auto &[blk, m] : inflight_)
+        busy += m.start <= now && now < m.fill;
+    return busy;
 }
 
 Cycle
@@ -32,25 +55,54 @@ MemorySystem::load(Cycle now, Addr block)
     if (l1_.access(block))
         return now + l1_.config().hit_latency;
 
+    // Forward from a resident write-combining entry: the block's
+    // freshest bytes are still on chip, no backend trip needed.
+    for (const WriteBufEntry &e : wbuf_) {
+        if (e.valid && e.block == block) {
+            ++stats_.write_forwards;
+            return now + l1_.config().hit_latency;
+        }
+    }
+
     // Merge with an in-flight miss to the same block.
     auto it = inflight_.find(block);
     if (it != inflight_.end()) {
         ++stats_.mshr_merges;
-        return it->second + l1_.config().hit_latency;
+        return it->second.fill + l1_.config().hit_latency;
     }
 
+    // An MSHR is held from the cycle its backend request starts
+    // until the fill completes. When every slot is busy at @p now
+    // the new miss queues until one frees — each queued miss
+    // behind a *different* slot, so at most cfg_.mshrs misses are
+    // ever outstanding at once. This is the LSU's hottest path:
+    // only collect the pending fills (into a reused buffer) once
+    // the cheap count says every slot is actually busy.
     Cycle start = now;
-    if (inflight_.size() >= cfg_.mshrs) {
-        // All MSHRs busy: queue behind the earliest completing miss.
+    size_t pending = 0;
+    for (const auto &[blk, m] : inflight_)
+        pending += m.fill > now;
+    if (pending >= cfg_.mshrs) {
         ++stats_.mshr_stalls;
-        Cycle earliest = ~Cycle(0);
-        for (const auto &[blk, done] : inflight_)
-            earliest = std::min(earliest, done);
-        start = std::max(start, earliest);
+        pending_scratch_.clear();
+        for (const auto &[blk, m] : inflight_) {
+            if (m.fill > now)
+                pending_scratch_.push_back(m.fill);
+        }
+        // The time the (size - mshrs + 1)-th slot frees: from then
+        // on fewer than cfg_.mshrs fills are still outstanding.
+        auto kth = pending_scratch_.begin() +
+                   long(pending - cfg_.mshrs);
+        std::nth_element(pending_scratch_.begin(), kth,
+                         pending_scratch_.end());
+        start = *kth;
     }
 
-    Cycle fill = dram_.serve(start, l1_.config().block_bytes);
-    inflight_[block] = fill;
+    Cycle fill = backend_->read(start, block,
+                                l1_.config().block_bytes);
+    inflight_[block] = {start, fill};
+    siwi_assert(mshrOccupancy(start) <= cfg_.mshrs,
+                "MSHR over-admission");
     return fill + l1_.config().hit_latency;
 }
 
@@ -59,7 +111,7 @@ MemorySystem::drainWriteBuf(Cycle now, WriteBufEntry &e)
 {
     if (!e.valid)
         return;
-    dram_.serve(now, e.bytes);
+    backend_->write(now, e.block, e.bytes);
     e.valid = false;
 }
 
@@ -70,7 +122,7 @@ MemorySystem::store(Cycle now, Addr block, u32 bytes)
 
     if (wbuf_.empty()) {
         // No write buffer: plain write-through.
-        dram_.serve(now, bytes);
+        backend_->write(now, block, bytes);
         return now + 1;
     }
 
@@ -103,10 +155,10 @@ MemorySystem::store(Cycle now, Addr block, u32 bytes)
 }
 
 void
-MemorySystem::invalidate()
+MemorySystem::invalidate(Cycle now)
 {
     for (WriteBufEntry &e : wbuf_)
-        drainWriteBuf(0, e);
+        drainWriteBuf(now, e);
     l1_.invalidateAll();
     inflight_.clear();
 }

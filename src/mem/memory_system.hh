@@ -1,14 +1,16 @@
 /**
  * @file
- * Timing glue between the LSU and the L1 / DRAM models.
+ * Timing glue between the LSU and the L1 / backend models.
  */
 
 #ifndef SIWI_MEM_MEMORY_SYSTEM_HH
 #define SIWI_MEM_MEMORY_SYSTEM_HH
 
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "mem/backend.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 
@@ -19,7 +21,7 @@ struct MemConfig
 {
     CacheConfig l1;
     DramConfig dram;
-    u32 mshrs = 64; //!< max in-flight missed blocks
+    u32 mshrs = 64; //!< max in-flight missed blocks (>= 1)
     /**
      * Write-combining buffer entries for the write-through store
      * path: repeated stores to a resident block merge and drain to
@@ -35,6 +37,7 @@ struct MemStats
     u64 load_transactions = 0;
     u64 store_transactions = 0;
     u64 write_combines = 0;
+    u64 write_forwards = 0; //!< loads served from the write buffer
     u64 mshr_merges = 0;
     u64 mshr_stalls = 0;
 };
@@ -44,19 +47,30 @@ struct MemStats
  *
  * One call = one coalesced 128-byte transaction through the LSU's
  * single L1 port. Loads probe the L1; misses allocate an MSHR and go
- * to DRAM, with same-block misses merged. Stores are write-through
- * no-allocate and only consume DRAM bandwidth.
+ * to the backend, with same-block misses merged. Stores are
+ * write-through no-allocate and only consume backend bandwidth.
+ *
+ * The backend is a private DRAM channel by default (the paper's
+ * single-SM methodology); a multi-SM chip injects its shared
+ * L2+DRAM backend instead, in which case backend statistics are
+ * chip-level and reported by the chip, not per SM.
  */
 class MemorySystem
 {
   public:
+    /** Private backend: one DRAM channel from @p cfg.dram. */
     explicit MemorySystem(const MemConfig &cfg);
+
+    /** Shared backend injected by the chip (not owned). */
+    MemorySystem(const MemConfig &cfg, MemoryBackend &backend);
 
     /**
      * Issue a load transaction for @p block at @p now.
-     * @return the data-ready cycle. When all MSHRs are busy the
-     *         request queues behind the earliest completing miss
-     *         (counted in stats as an MSHR stall).
+     * @return the data-ready cycle. A load to a block resident in
+     *         the write-combining buffer is forwarded at hit
+     *         latency; when all MSHRs are busy the request waits
+     *         for the slot that frees first (counted in stats as
+     *         an MSHR stall).
      */
     Cycle load(Cycle now, Addr block);
 
@@ -70,12 +84,29 @@ class MemorySystem
     /** Retire completed fills; called once per cycle. */
     void tick(Cycle now);
 
-    /** Reset cache/tags between kernels (stats persist). */
-    void invalidate();
+    /**
+     * Reset cache/tags between kernels (stats persist). The write
+     * buffer drains at @p now — the drain traffic competes for
+     * backend bandwidth from the current cycle onward.
+     */
+    void invalidate(Cycle now);
+
+    /**
+     * MSHRs busy at @p now: misses whose backend request has
+     * started (a queued miss holds no slot yet) and whose fill
+     * has not completed. Never exceeds config().mshrs.
+     */
+    unsigned mshrOccupancy(Cycle now) const;
+
+    /** True when this system owns a private (non-shared) backend. */
+    bool ownsBackend() const { return owned_backend_ != nullptr; }
 
     const MemStats &stats() const { return stats_; }
     const CacheStats &cacheStats() const { return l1_.stats(); }
-    const DramStats &dramStats() const { return dram_.stats(); }
+    const DramStats &dramStats() const
+    {
+        return backend_->dramStats();
+    }
     const MemConfig &config() const { return cfg_; }
 
   private:
@@ -89,11 +120,21 @@ class MemorySystem
 
     void drainWriteBuf(Cycle now, WriteBufEntry &e);
 
+    /** One in-flight miss: slot held over [start, fill). */
+    struct Miss
+    {
+        Cycle start = 0; //!< backend request issue cycle
+        Cycle fill = 0;  //!< fill-completion cycle
+    };
+
     MemConfig cfg_;
     L1Cache l1_;
-    Dram dram_;
-    /** In-flight missed blocks -> fill-completion cycle. */
-    std::map<Addr, Cycle> inflight_;
+    std::unique_ptr<DramBackend> owned_backend_;
+    MemoryBackend *backend_;
+    /** In-flight missed blocks. */
+    std::map<Addr, Miss> inflight_;
+    /** Reused buffer for the MSHR-full slot search in load(). */
+    std::vector<Cycle> pending_scratch_;
     std::vector<WriteBufEntry> wbuf_;
     u64 wbuf_use_ = 0;
     MemStats stats_;

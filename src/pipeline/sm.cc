@@ -25,10 +25,12 @@ effectiveClass(UnitClass cls)
 
 } // namespace
 
-SM::SM(const SMConfig &cfg, mem::MemoryImage &memory)
+SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
+       mem::MemoryBackend *backend)
     : cfg_(cfg),
       memory_(memory),
-      memsys_(cfg.mem),
+      memsys_(backend ? mem::MemorySystem(cfg.mem, *backend)
+                      : mem::MemorySystem(cfg.mem)),
       warps_(cfg.num_warps),
       blocks_(cfg.max_blocks_resident),
       ibuf_(cfg.num_warps, 2),
@@ -71,8 +73,12 @@ SM::launch(const isa::Program &prog, unsigned grid_blocks,
 bool
 SM::done() const
 {
-    if (next_cta_ < grid_blocks_)
+    if (cta_source_) {
+        if (!cta_source_dry_)
+            return false;
+    } else if (next_cta_ < grid_blocks_) {
         return false;
+    }
     for (const BlockSlot &b : blocks_) {
         if (b.active)
             return false;
@@ -98,6 +104,10 @@ SM::run(Cycle max_cycles)
 void
 SM::step()
 {
+    // Under a chip CTA scheduler, poll for work every cycle: slots
+    // may be free while other SMs still drain the grid.
+    if (cta_source_ && !cta_source_dry_)
+        launchBlocks();
     memsys_.tick(now_);
     processEvents();
     heapMaintenance();
@@ -119,7 +129,11 @@ SM::launchBlocks()
     unsigned warps_per_block =
         unsigned(divCeil(block_threads_, cfg_.warp_width));
 
-    while (next_cta_ < grid_blocks_) {
+    for (;;) {
+        if (cta_source_ ? cta_source_dry_
+                        : next_cta_ >= grid_blocks_)
+            return;
+
         // Find a free block slot.
         int bslot = -1;
         for (unsigned i = 0; i < blocks_.size(); ++i) {
@@ -142,9 +156,22 @@ SM::launchBlocks()
         if (free_warps.size() < warps_per_block)
             return;
 
+        // Pick the CTA: self-assigned from the launch grid, or
+        // pulled from the chip scheduler.
+        int cta;
+        if (cta_source_) {
+            cta = cta_source_();
+            if (cta < 0) {
+                cta_source_dry_ = true;
+                return;
+            }
+        } else {
+            cta = int(next_cta_);
+        }
+
         BlockSlot &blk = blocks_[unsigned(bslot)];
         blk.active = true;
-        blk.cta = int(next_cta_);
+        blk.cta = cta;
         blk.live_threads = block_threads_;
         blk.barrier_arrived = 0;
         blk.warps = free_warps;
@@ -158,6 +185,12 @@ SM::launchBlocks()
         stats_.blocks_launched += 1;
         stats_.threads_launched += block_threads_;
         ++next_cta_;
+
+        // Chip mode admits one CTA per cycle (GigaThread-style
+        // dispatch), which is what makes the initial distribution
+        // round-robin across SMs.
+        if (cta_source_)
+            return;
     }
 }
 
@@ -1153,7 +1186,7 @@ SM::debugState() const
     return os.str();
 }
 
-void
+core::SimStats
 SM::finalizeStats()
 {
     stats_.cycles = now_;
@@ -1166,10 +1199,16 @@ SM::finalizeStats()
     stats_.l1_evictions = memsys_.cacheStats().evictions;
     stats_.load_transactions = memsys_.stats().load_transactions;
     stats_.store_transactions = memsys_.stats().store_transactions;
+    stats_.write_forwards = memsys_.stats().write_forwards;
     stats_.mshr_merges = memsys_.stats().mshr_merges;
     stats_.mshr_stalls = memsys_.stats().mshr_stalls;
-    stats_.dram_transactions = memsys_.dramStats().transactions;
-    stats_.dram_bytes = memsys_.dramStats().bytes;
+    if (memsys_.ownsBackend()) {
+        // Private channel: the backend traffic is this SM's.
+        // Shared backends are chip-level; the chip reports them
+        // once in its aggregate instead of once per SM.
+        stats_.dram_transactions = memsys_.dramStats().transactions;
+        stats_.dram_bytes = memsys_.dramStats().bytes;
+    }
 
     stats_.units.clear();
     for (const ExecGroup &g : groups_) {
@@ -1180,6 +1219,7 @@ SM::finalizeStats()
         us.thread_instructions = g.stats().thread_instructions;
         stats_.units.push_back(us);
     }
+    return stats_;
 }
 
 } // namespace siwi::pipeline

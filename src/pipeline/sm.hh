@@ -51,11 +51,30 @@ struct IssueEvent
 class SM
 {
   public:
-    SM(const SMConfig &cfg, mem::MemoryImage &memory);
+    /**
+     * @param backend chip-shared memory backend; null for a
+     *        private DRAM channel (the paper's single-SM setup)
+     */
+    SM(const SMConfig &cfg, mem::MemoryImage &memory,
+       mem::MemoryBackend *backend = nullptr);
 
     /** Start a grid of @p grid_blocks x @p block_threads threads. */
     void launch(const isa::Program &prog, unsigned grid_blocks,
                 unsigned block_threads);
+
+    /**
+     * Chip-level CTA scheduler hook: returns the next global CTA
+     * id this SM should run, or -1 when the grid is exhausted.
+     * When set, the SM stops self-assigning CTAs from the launch
+     * grid and instead pulls at most one CTA per cycle from the
+     * source (so a fresh chip distributes CTAs round-robin and a
+     * retiring SM picks up the next pending CTA).
+     */
+    using CtaSource = std::function<int()>;
+    void setCtaSource(CtaSource src)
+    {
+        cta_source_ = std::move(src);
+    }
 
     /** All blocks retired? */
     bool done() const;
@@ -76,6 +95,15 @@ class SM
 
     /** Statistics snapshot (finalized by run()). */
     core::SimStats &stats() { return stats_; }
+
+    /**
+     * Fold warp/cache/unit counters into stats_ and return it.
+     * run() calls this; a chip driving step() itself calls it once
+     * per SM after the lockstep loop finishes. With a shared
+     * backend the chip-level counters (l2_*, dram_*) stay zero
+     * here — the chip fills them into its aggregate.
+     */
+    core::SimStats finalizeStats();
 
     /** Multi-line dump of warp/context/barrier state (debugging). */
     std::string debugState() const;
@@ -213,8 +241,6 @@ class SM
     void initWarp(WarpId w, int block_slot, unsigned first_tid,
                   unsigned thread_count);
 
-    void finalizeStats();
-
     // ------------------------------------------------------------
     // state
     // ------------------------------------------------------------
@@ -226,6 +252,8 @@ class SM
     unsigned grid_blocks_ = 0;
     unsigned block_threads_ = 0;
     unsigned next_cta_ = 0;
+    CtaSource cta_source_;
+    bool cta_source_dry_ = false;
 
     std::vector<WarpSlot> warps_;
     std::vector<BlockSlot> blocks_;

@@ -26,17 +26,27 @@ effectiveJobs(unsigned jobs, size_t cells)
 }
 
 CellResult
-runCell(const SweepSpec &sweep, size_t machine, size_t wl)
+runCell(const SweepSpec &sweep, size_t machine, size_t wl,
+        size_t sms)
 {
     const MachineSpec &m = sweep.machines[machine];
     const workloads::Workload &w = *sweep.wls[wl];
+    const unsigned num_sms =
+        sweep.sms.empty() ? 1 : sweep.sms[sms];
 
     workloads::RunResult res =
-        workloads::runWorkload(w, m.config, sweep.size);
+        workloads::runWorkload(w, m.config, sweep.size, num_sms);
 
     CellResult c;
     c.sweep = sweep.name;
-    c.machine = m.name;
+    // The SM count is part of the cell identity (baselines and
+    // tables key on the machine label), so multi-SM cells carry
+    // it in the label; plain single-SM labels stay unchanged.
+    c.machine = num_sms == 1
+                    ? m.name
+                    : m.name + "@" + std::to_string(num_sms) +
+                          "sm";
+    c.num_sms = num_sms;
     c.workload = w.name();
     c.size = sizeClassName(sweep.size);
     c.excluded_from_means = w.excludedFromMeans();
@@ -69,7 +79,7 @@ runSweeps(const std::vector<SweepSpec> &sweeps,
                 return;
             const CellSpec &cs = cells[i];
             CellResult c = runCell(sweeps[cs.sweep], cs.machine,
-                                   cs.wl);
+                                   cs.wl, cs.sms);
             size_t n = done.fetch_add(1) + 1;
             if (opts.progress || !c.verified) {
                 std::lock_guard<std::mutex> lock(io_mutex);

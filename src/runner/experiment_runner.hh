@@ -46,11 +46,12 @@ Results runSweeps(const std::vector<SweepSpec> &sweeps,
                   const RunOptions &opts = {});
 
 /**
- * Run one (workload, config) cell, the primitive the benches used
- * to call runCell() for.
+ * Run one (workload, config, SM count) cell, the primitive the
+ * benches used to call runCell() for. @p sms indexes the sweep's
+ * SM-count axis (default: its first entry).
  */
 CellResult runCell(const SweepSpec &sweep, size_t machine,
-                   size_t wl);
+                   size_t wl, size_t sms = 0);
 
 } // namespace siwi::runner
 

@@ -66,6 +66,7 @@ Results::toJson() const
         jc.set("machine", Json(c.machine));
         jc.set("workload", Json(c.workload));
         jc.set("size", Json(c.size));
+        jc.set("num_sms", Json(c.num_sms));
         jc.set("excluded_from_means", Json(c.excluded_from_means));
         jc.set("verified", Json(c.verified));
         if (!c.verified)
@@ -88,18 +89,21 @@ std::string
 Results::toCsv() const
 {
     std::ostringstream os;
-    os << "sweep,machine,workload,size,excluded_from_means,"
+    os << "sweep,machine,workload,size,num_sms,"
+          "excluded_from_means,"
           "verified,ipc,cycles,instructions,thread_instructions,"
-          "l1_hits,l1_misses,dram_transactions,dram_bytes\n";
+          "l1_hits,l1_misses,l2_hits,l2_misses,dram_transactions,"
+          "dram_bytes\n";
     os.precision(17);
     for (const CellResult &c : cells) {
         os << c.sweep << ',' << c.machine << ',' << c.workload
-           << ',' << c.size << ','
+           << ',' << c.size << ',' << c.num_sms << ','
            << (c.excluded_from_means ? 1 : 0)
            << ',' << (c.verified ? 1 : 0) << ',' << c.ipc << ','
            << c.stats.cycles << ',' << c.stats.instructions << ','
            << c.stats.thread_instructions << ',' << c.stats.l1_hits
-           << ',' << c.stats.l1_misses << ','
+           << ',' << c.stats.l1_misses << ',' << c.stats.l2_hits
+           << ',' << c.stats.l2_misses << ','
            << c.stats.dram_transactions << ',' << c.stats.dram_bytes
            << '\n';
     }
@@ -141,6 +145,7 @@ Results::fromJson(const Json &j, Results *out, std::string *err)
         c.machine = jc.getString("machine");
         c.workload = jc.getString("workload");
         c.size = jc.getString("size");
+        c.num_sms = unsigned(jc.getInt("num_sms", 1));
         c.excluded_from_means =
             jc.getBool("excluded_from_means");
         c.verified = jc.getBool("verified");
@@ -187,7 +192,12 @@ Results::save(const std::string &path, std::string *err) const
 const char *
 sizeClassName(workloads::SizeClass sc)
 {
-    return sc == workloads::SizeClass::Tiny ? "tiny" : "full";
+    switch (sc) {
+      case workloads::SizeClass::Tiny: return "tiny";
+      case workloads::SizeClass::Full: return "full";
+      case workloads::SizeClass::Chip: return "chip";
+    }
+    return "?";
 }
 
 } // namespace siwi::runner

@@ -25,9 +25,10 @@ namespace siwi::runner {
 struct CellResult
 {
     std::string sweep;
-    std::string machine;
+    std::string machine; //!< includes "@<n>sm" for multi-SM cells
     std::string workload;
-    std::string size;      //!< "tiny" | "full"
+    std::string size;      //!< "tiny" | "full" | "chip"
+    unsigned num_sms = 1;  //!< chip SM count of this cell
     bool excluded_from_means = false;
     bool verified = false;
     double ipc = 0.0;
@@ -87,7 +88,7 @@ class Results
     bool operator==(const Results &) const = default;
 };
 
-/** "tiny" / "full" label of a SizeClass. */
+/** "tiny" / "full" / "chip" label of a SizeClass. */
 const char *sizeClassName(workloads::SizeClass sc);
 
 } // namespace siwi::runner

@@ -116,11 +116,61 @@ fig9Sweep(bool regular, workloads::SizeClass size)
     return s;
 }
 
+SweepSpec
+scalingSweep(workloads::SizeClass size)
+{
+    // The grid-scalable panel: gtid-indexed kernels with no block
+    // cooperation, so their Chip-size grids (16-32 CTAs) spread
+    // over any SM count. Three regular (streaming, MAD-bound,
+    // LSU-bound) and two irregular (boundary-divergent,
+    // data-dependent-branch) applications.
+    static const char *const panel[] = {
+        "BlackScholes", "MatrixMul",
+        "Transpose",    "ConvolutionSeparable",
+        "SRAD",
+    };
+    SweepSpec s;
+    s.name = "fig_scaling";
+    s.size = size;
+    for (const char *name : panel) {
+        const workloads::Workload *w =
+            workloads::findWorkload(name);
+        if (w)
+            s.wls.push_back(w);
+    }
+    s.machines = {
+        makeMachine(PipelineMode::Baseline),
+        makeMachine(PipelineMode::SBISWI),
+    };
+    s.sms = {1, 2, 4, 8};
+    return s;
+}
+
+namespace {
+
+/**
+ * The cheap multi-SM cells the CI regression gate watches. Full
+ * size (not Tiny): the smoke must actually spread CTAs over
+ * several SMs, and Tiny grids are a single CTA.
+ */
+SweepSpec
+scalingSmokeSweep()
+{
+    SweepSpec s = scalingSweep(workloads::SizeClass::Full);
+    s.name = "scaling_smoke";
+    s.filterMachines({"SBI+SWI"});
+    s.filterWorkloads({"MatrixMul", "ConvolutionSeparable"});
+    s.sms = {2, 4};
+    return s;
+}
+
+} // namespace
+
 const std::vector<std::string> &
 knownFigures()
 {
-    static const std::vector<std::string> v = {"fig7", "fig8a",
-                                               "fig8b", "fig9"};
+    static const std::vector<std::string> v = {
+        "fig7", "fig8a", "fig8b", "fig9", "scaling"};
     return v;
 }
 
@@ -128,6 +178,10 @@ std::vector<SweepSpec>
 figureSweeps(const std::string &figure, workloads::SizeClass size)
 {
     std::vector<SweepSpec> out;
+    if (figure == "scaling") {
+        out.push_back(scalingSweep(size));
+        return out;
+    }
     for (bool regular : {true, false}) {
         if (figure == "fig7")
             out.push_back(fig7Sweep(regular, size));
@@ -145,7 +199,7 @@ const std::vector<std::string> &
 knownSuites()
 {
     static const std::vector<std::string> v = {"fast", "fig7",
-                                               "full"};
+                                               "scaling", "full"};
     return v;
 }
 
@@ -156,11 +210,20 @@ suiteSweeps(const std::string &suite)
     std::vector<SweepSpec> out;
     if (suite == "fast") {
         out = figureSweeps("fig7", SizeClass::Tiny);
+        // A multi-SM smoke so the regression gate covers the
+        // shared-L2 chip path too.
+        out.push_back(scalingSmokeSweep());
     } else if (suite == "fig7") {
         out = figureSweeps("fig7", SizeClass::Full);
+    } else if (suite == "scaling") {
+        out = figureSweeps("scaling", SizeClass::Chip);
     } else if (suite == "full") {
         for (const std::string &f : knownFigures()) {
-            for (SweepSpec &s : figureSweeps(f, SizeClass::Full))
+            // The scaling figure needs chip-size grids; the paper
+            // figures run their single-SM Full size.
+            SizeClass sz = f == "scaling" ? SizeClass::Chip
+                                          : SizeClass::Full;
+            for (SweepSpec &s : figureSweeps(f, sz))
                 out.push_back(std::move(s));
         }
     }

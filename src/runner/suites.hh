@@ -42,6 +42,14 @@ SweepSpec fig8bSweep(bool regular, workloads::SizeClass size);
  */
 SweepSpec fig9Sweep(bool regular, workloads::SizeClass size);
 
+/**
+ * Multi-SM scaling study (beyond the paper): Baseline and SBI+SWI
+ * chips over num_sms in {1, 2, 4, 8} on a mixed
+ * regular/irregular workload panel, sharing one L2 + DRAM channel
+ * (see core::GpuConfig::make for the bandwidth model).
+ */
+SweepSpec scalingSweep(workloads::SizeClass size);
+
 /** Names accepted by figureSweeps(). */
 const std::vector<std::string> &knownFigures();
 

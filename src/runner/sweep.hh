@@ -64,10 +64,17 @@ struct SweepSpec
     std::vector<MachineSpec> machines;
     std::vector<const workloads::Workload *> wls;
     workloads::SizeClass size = workloads::SizeClass::Full;
+    /**
+     * SM-count axis: every machine x workload cell runs once per
+     * entry (core::GpuConfig::make chips; 1 = the paper's
+     * single-SM setup). Cells with more than one SM carry an
+     * "@<n>sm" suffix on their machine label.
+     */
+    std::vector<unsigned> sms = {1};
 
     size_t cellCount() const
     {
-        return machines.size() * wls.size();
+        return machines.size() * wls.size() * sms.size();
     }
 
     /** Drop machines whose name is not in @p keep (empty = all). */
@@ -78,14 +85,16 @@ struct SweepSpec
 
 /**
  * One executable cell of a sweep: indices into the owning spec.
- * Expansion order (sweep-major, then workload, then machine) is
- * the canonical result order regardless of execution schedule.
+ * Expansion order (sweep-major, then workload, then SM count,
+ * then machine) is the canonical result order regardless of
+ * execution schedule.
  */
 struct CellSpec
 {
     size_t sweep = 0;
     size_t machine = 0;
     size_t wl = 0;
+    size_t sms = 0; //!< index into SweepSpec::sms
 };
 
 /** Flatten @p sweeps into cells in canonical order. */

@@ -220,7 +220,10 @@ class ConvSep final : public Workload
 
     unsigned n(SizeClass sc) const
     {
-        return sc == SizeClass::Full ? 4096 : 256;
+        // Chip: 32 CTAs, enough to keep an 8-SM chip busy.
+        return sc == SizeClass::Chip   ? 32768
+               : sc == SizeClass::Full ? 4096
+                                       : 256;
     }
     static constexpr unsigned radius = 8;
     static constexpr unsigned seg = 64; //!< row length
@@ -1138,7 +1141,10 @@ class Srad final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        return sc == SizeClass::Full ? 64 : 16;
+        // Chip: 128x128 image = 16 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 128
+               : sc == SizeClass::Full ? 64
+                                       : 16;
     }
 
     Instance

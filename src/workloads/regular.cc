@@ -85,7 +85,10 @@ class BlackScholes final : public Workload
 
     unsigned n(SizeClass sc) const
     {
-        return sc == SizeClass::Full ? 4096 : 256;
+        // Chip: 32 CTAs, enough to keep an 8-SM chip busy.
+        return sc == SizeClass::Chip   ? 32768
+               : sc == SizeClass::Full ? 4096
+                                       : 256;
     }
 
     Instance
@@ -186,7 +189,10 @@ class MatrixMul final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        return sc == SizeClass::Full ? 64 : 16;
+        // Chip: 128x128 output = 16 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 128
+               : sc == SizeClass::Full ? 64
+                                       : 16;
     }
     static constexpr unsigned kdim = 16;
 
@@ -284,7 +290,10 @@ class Transpose final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        return sc == SizeClass::Full ? 64 : 16;
+        // Chip: 128x128 matrix = 16 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 128
+               : sc == SizeClass::Full ? 64
+                                       : 16;
     }
 
     Instance

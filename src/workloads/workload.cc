@@ -57,11 +57,18 @@ RunResult
 runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
             SizeClass sc)
 {
+    return runWorkload(wl, cfg, sc, 1);
+}
+
+RunResult
+runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
+            SizeClass sc, unsigned num_sms)
+{
     Instance inst = wl.instance(sc);
     core::Kernel kernel = core::Kernel::compile(inst.raw,
                                                 inst.compile);
 
-    core::Gpu gpu(cfg);
+    core::Gpu gpu(core::GpuConfig::make(cfg, num_sms));
     wl.init(gpu.memory(), sc);
 
     core::LaunchConfig lc;

@@ -26,8 +26,15 @@
 
 namespace siwi::workloads {
 
-/** Problem size: Tiny for unit tests, Full for the benches. */
-enum class SizeClass { Tiny, Full };
+/**
+ * Problem size: Tiny for unit tests, Full for the single-SM paper
+ * benches (grids sized for one SM), Chip for the multi-SM scaling
+ * study — the same kernels over working sets large enough to keep
+ * an 8-SM chip busy (>=16 CTAs). Only the workloads named by
+ * runner::scalingSweep() implement Chip; the rest fall back to
+ * their Tiny size.
+ */
+enum class SizeClass { Tiny, Full, Chip };
 
 /** A concrete kernel instance ready to compile and launch. */
 struct Instance
@@ -91,6 +98,15 @@ struct RunResult
 /** Compile, initialize, launch and verify one workload. */
 RunResult runWorkload(const Workload &wl,
                       const pipeline::SMConfig &cfg, SizeClass sc);
+
+/**
+ * As above on a chip of @p num_sms SMs (core::GpuConfig::make):
+ * num_sms == 1 is the paper's private-channel single-SM setup,
+ * more SMs share the chip L2 + DRAM channel.
+ */
+RunResult runWorkload(const Workload &wl,
+                      const pipeline::SMConfig &cfg, SizeClass sc,
+                      unsigned num_sms);
 
 } // namespace siwi::workloads
 

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/gpu.hh"
+#include "core/hardware_inventory.hh"
 #include "isa/assembler.hh"
 #include "isa/builder.hh"
 
@@ -104,6 +107,132 @@ TEST(Kernel, FromProgramSkipsCompilation)
     ASSERT_TRUE(res.ok());
     Kernel k = Kernel::fromProgram(res.program);
     EXPECT_EQ(k.program().size(), 2u);
+}
+
+TEST(GpuConfig, MakeBuildsChips)
+{
+    GpuConfig one =
+        GpuConfig::make(pipeline::PipelineMode::SBISWI, 1);
+    EXPECT_EQ(one.num_sms, 1u);
+    EXPECT_FALSE(one.shared_backend);
+    EXPECT_EQ(one.dram.bytes_per_cycle_x10,
+              one.sm.mem.dram.bytes_per_cycle_x10);
+
+    GpuConfig chip =
+        GpuConfig::make(pipeline::PipelineMode::SBISWI, 8);
+    EXPECT_EQ(chip.num_sms, 8u);
+    EXPECT_TRUE(chip.shared_backend);
+    // The chip channel saturates at 4x the per-SM bandwidth.
+    EXPECT_EQ(chip.dram.bytes_per_cycle_x10,
+              4 * chip.sm.mem.dram.bytes_per_cycle_x10);
+}
+
+TEST(Gpu, MultiSmProducesCorrectResults)
+{
+    // The same saxpy grid on 1 and on 4 SMs must compute the same
+    // memory image: CTA distribution is a scheduling concern only.
+    const unsigned blocks = 8, threads = 64;
+    const unsigned n = blocks * threads;
+
+    for (unsigned sms : {1u, 4u}) {
+        Gpu gpu(GpuConfig::make(pipeline::PipelineMode::SBISWI,
+                                sms));
+        for (unsigned i = 0; i < n; ++i) {
+            gpu.memory().writeF32(0x1000 + Addr(i) * 4, float(i));
+            gpu.memory().writeF32(0x2000 + Addr(i) * 4, 1.0f);
+        }
+        LaunchConfig lc;
+        lc.grid_blocks = blocks;
+        lc.block_threads = threads;
+        SimStats st = gpu.launch(saxpyKernel(), lc);
+        EXPECT_FALSE(st.hit_cycle_limit);
+        EXPECT_EQ(st.blocks_launched, u64(blocks));
+        for (unsigned i = 0; i < n; ++i) {
+            ASSERT_FLOAT_EQ(
+                gpu.memory().readF32(0x2000 + Addr(i) * 4),
+                2.0f * float(i) + 1.0f)
+                << "sms=" << sms << " i=" << i;
+        }
+    }
+}
+
+TEST(Gpu, MultiSmLaunchIsDeterministic)
+{
+    auto run = [] {
+        Gpu gpu(GpuConfig::make(pipeline::PipelineMode::SBI, 4));
+        for (unsigned i = 0; i < 512; ++i) {
+            gpu.memory().writeF32(0x1000 + Addr(i) * 4, float(i));
+            gpu.memory().writeF32(0x2000 + Addr(i) * 4, 1.0f);
+        }
+        LaunchConfig lc;
+        lc.grid_blocks = 8;
+        lc.block_threads = 64;
+        return gpu.launch(saxpyKernel(), lc);
+    };
+    SimStats a = run();
+    SimStats b = run();
+    EXPECT_EQ(a, b); // field-wise, including the per-SM vector
+}
+
+TEST(Gpu, PerSmStatsSumToChipAggregate)
+{
+    Gpu gpu(GpuConfig::make(pipeline::PipelineMode::SBISWI, 4));
+    for (unsigned i = 0; i < 512; ++i) {
+        gpu.memory().writeF32(0x1000 + Addr(i) * 4, float(i));
+        gpu.memory().writeF32(0x2000 + Addr(i) * 4, 1.0f);
+    }
+    LaunchConfig lc;
+    lc.grid_blocks = 8;
+    lc.block_threads = 64;
+    SimStats st = gpu.launch(saxpyKernel(), lc);
+
+    EXPECT_EQ(st.num_sms, 4u);
+    ASSERT_EQ(st.per_sm.size(), 4u);
+
+    u64 insts = 0, tinsts = 0, loads = 0, stores = 0, blocks = 0,
+        threads = 0;
+    Cycle max_cycles = 0;
+    unsigned active_sms = 0;
+    for (const SimStats &s : st.per_sm) {
+        insts += s.instructions;
+        tinsts += s.thread_instructions;
+        loads += s.load_transactions;
+        stores += s.store_transactions;
+        blocks += s.blocks_launched;
+        threads += s.threads_launched;
+        max_cycles = std::max(max_cycles, s.cycles);
+        active_sms += s.blocks_launched > 0;
+        // Shared-backend counters are chip-level only.
+        EXPECT_EQ(s.dram_transactions, 0u);
+        EXPECT_EQ(s.l2_hits + s.l2_misses, 0u);
+        EXPECT_TRUE(s.per_sm.empty());
+    }
+    EXPECT_EQ(st.instructions, insts);
+    EXPECT_EQ(st.thread_instructions, tinsts);
+    EXPECT_EQ(st.load_transactions, loads);
+    EXPECT_EQ(st.store_transactions, stores);
+    EXPECT_EQ(st.blocks_launched, blocks);
+    EXPECT_EQ(st.threads_launched, threads);
+    EXPECT_EQ(st.cycles, max_cycles);
+
+    // 8 CTAs on 4 SMs, round-robin dispatch: every SM got work.
+    EXPECT_EQ(active_sms, 4u);
+    // The chip really used its shared backend.
+    EXPECT_GT(st.l2_hits + st.l2_misses, 0u);
+    EXPECT_GT(st.dram_transactions, 0u);
+}
+
+TEST(Gpu, ChipInventoryAddsSharedL2)
+{
+    using pipeline::PipelineMode;
+    u64 one = inventoryTotalBits(PipelineMode::SBISWI);
+    std::vector<StorageItem> chip =
+        chipInventory(PipelineMode::SBISWI, 4);
+    u64 total = chipInventoryTotalBits(PipelineMode::SBISWI, 4);
+    EXPECT_GT(total, 4 * one); // 4 SMs + the L2 tag array
+    EXPECT_EQ(chip.back().component, "Shared L2 tags");
+    // Single-SM chips are exactly Table 3.
+    EXPECT_EQ(chipInventoryTotalBits(PipelineMode::SBISWI, 1), one);
 }
 
 TEST(Gpu, AssembledKernelRuns)

@@ -144,7 +144,7 @@ TEST(Results, CsvHasHeaderAndOneRowPerCell)
         lines += c == '\n';
     EXPECT_EQ(lines, 1 + r.cells.size());
     EXPECT_EQ(csv.find("sweep,machine,workload"), 0u);
-    EXPECT_NE(csv.find("fig7,SBI,BFS,tiny,0,1,28.25"),
+    EXPECT_NE(csv.find("fig7,SBI,BFS,tiny,1,0,1,28.25"),
               std::string::npos);
 }
 

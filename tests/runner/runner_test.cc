@@ -60,10 +60,13 @@ TEST(Suites, FigureAndSuiteRegistry)
     for (const std::string &f : knownFigures()) {
         std::vector<SweepSpec> sweeps =
             figureSweeps(f, SizeClass::Tiny);
-        EXPECT_EQ(sweeps.size(), 2u) << f;
+        // Paper figures come as a regular/irregular panel pair;
+        // the scaling study is one mixed-panel sweep.
+        EXPECT_EQ(sweeps.size(), f == "scaling" ? 1u : 2u) << f;
         for (const SweepSpec &s : sweeps) {
             EXPECT_GT(s.machines.size(), 0u) << f;
             EXPECT_GT(s.wls.size(), 0u) << f;
+            EXPECT_GT(s.sms.size(), 0u) << f;
         }
     }
     EXPECT_TRUE(figureSweeps("nope", SizeClass::Tiny).empty());
@@ -72,14 +75,30 @@ TEST(Suites, FigureAndSuiteRegistry)
     EXPECT_TRUE(suiteSweeps("nope").empty());
 }
 
-TEST(Suites, FastSuiteIsTinyFig7)
+TEST(Suites, FastSuiteIsTinyFig7PlusMultiSmSmoke)
 {
     std::vector<SweepSpec> sweeps = suiteSweeps("fast");
-    ASSERT_EQ(sweeps.size(), 2u);
-    for (const SweepSpec &s : sweeps) {
-        EXPECT_EQ(s.size, SizeClass::Tiny);
-        EXPECT_EQ(s.machines.size(), 5u);
+    ASSERT_EQ(sweeps.size(), 3u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(sweeps[i].size, SizeClass::Tiny);
+        EXPECT_EQ(sweeps[i].machines.size(), 5u);
+        EXPECT_EQ(sweeps[i].sms, std::vector<unsigned>{1u});
     }
+    // The regression gate also watches the shared-L2 chip path;
+    // Full size, because Tiny grids are a single CTA and would
+    // leave every SM but one idle.
+    const SweepSpec &smoke = sweeps[2];
+    EXPECT_EQ(smoke.name, "scaling_smoke");
+    EXPECT_EQ(smoke.size, SizeClass::Full);
+    EXPECT_EQ(smoke.sms, (std::vector<unsigned>{2u, 4u}));
+}
+
+TEST(Suites, ScalingSweepCoversTheAcceptanceGrid)
+{
+    SweepSpec s = scalingSweep(SizeClass::Tiny);
+    EXPECT_EQ(s.sms, (std::vector<unsigned>{1u, 2u, 4u, 8u}));
+    EXPECT_GE(s.wls.size(), 4u);
+    EXPECT_EQ(s.machines.size(), 2u);
 }
 
 TEST(Runner, RunCellMatchesRunWorkload)
@@ -119,6 +138,66 @@ TEST(Runner, ResultsIdenticalAcrossThreadCounts)
     RunOptions wide = serial;
     wide.jobs = 8; // more threads than cells
     EXPECT_EQ(runSweeps(sweeps, wide), a);
+}
+
+TEST(Sweep, SmsAxisExpandsCells)
+{
+    SweepSpec s = tinyGrid();
+    s.sms = {1, 2};
+    EXPECT_EQ(s.cellCount(), 8u);
+    std::vector<CellSpec> cells = expandCells({s});
+    ASSERT_EQ(cells.size(), 8u);
+    // Workload-major, then SM count, then machine.
+    EXPECT_EQ(cells[0].sms, 0u);
+    EXPECT_EQ(cells[1].sms, 0u);
+    EXPECT_EQ(cells[2].sms, 1u);
+    EXPECT_EQ(cells[2].machine, 0u);
+    EXPECT_EQ(cells[2].wl, 0u);
+    EXPECT_EQ(cells[4].wl, 1u);
+}
+
+TEST(Runner, MultiSmCellCarriesLabelAndCount)
+{
+    setLogQuiet(true);
+    SweepSpec s = tinyGrid();
+    s.sms = {1, 2};
+    CellResult c = runCell(s, 1, 0, 1);
+    EXPECT_EQ(c.machine, "SBI@2sm");
+    EXPECT_EQ(c.num_sms, 2u);
+    EXPECT_TRUE(c.verified) << c.verify_msg;
+    EXPECT_EQ(c.stats.num_sms, 2u);
+    ASSERT_EQ(c.stats.per_sm.size(), 2u);
+
+    // Single-SM cells keep the plain label (baseline continuity).
+    CellResult one = runCell(s, 1, 0, 0);
+    EXPECT_EQ(one.machine, "SBI");
+    EXPECT_EQ(one.num_sms, 1u);
+    EXPECT_TRUE(one.stats.per_sm.empty());
+}
+
+TEST(Runner, MultiSmSweepIdenticalAcrossThreadCounts)
+{
+    setLogQuiet(true);
+    SweepSpec grid = tinyGrid();
+    grid.sms = {1, 2, 4};
+    const std::vector<SweepSpec> sweeps = {grid};
+
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.suite_label = "multi-sm determinism";
+    Results a = runSweeps(sweeps, serial);
+
+    RunOptions parallel = serial;
+    parallel.jobs = 8;
+    Results b = runSweeps(sweeps, parallel);
+
+    ASSERT_EQ(a.cells.size(), 12u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toJsonText(), b.toJsonText());
+    for (const CellResult &c : a.cells)
+        EXPECT_TRUE(c.verified)
+            << c.machine << " " << c.workload << ": "
+            << c.verify_msg;
 }
 
 TEST(Runner, CellOrderIndependentOfJobCount)

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -38,12 +39,17 @@ usage(FILE *out)
 "usage: siwi-run [options]\n"
 "\n"
 "run selection:\n"
-"  --suite NAME       fast | fig7 | full (default: fast)\n"
-"  --figure NAME      fig7 | fig8a | fig8b | fig9; repeatable,\n"
-"                     overrides --suite\n"
-"  --size SIZE        tiny | full: override the sweep size\n"
+"  --suite NAME       fast | fig7 | scaling | full "
+"(default: fast)\n"
+"  --figure NAME      fig7 | fig8a | fig8b | fig9 | scaling;\n"
+"                     repeatable, overrides --suite\n"
+"  --size SIZE        tiny | full | chip: override the sweep "
+"size\n"
 "  --machine NAME     keep only this machine (repeatable)\n"
 "  --workload NAME    keep only this workload (repeatable)\n"
+"  --sms N            override the SM-count axis of every\n"
+"                     selected sweep (repeatable, e.g.\n"
+"                     --sms 1 --sms 4)\n"
 "\n"
 "execution:\n"
 "  -j, --jobs N       worker threads (default: all cores)\n"
@@ -158,6 +164,17 @@ main(int argc, char **argv)
     bool have_size = args.option("--size", &size_str);
     std::vector<std::string> machines = args.options("--machine");
     std::vector<std::string> wl_names = args.options("--workload");
+    std::vector<unsigned> sms_axis;
+    for (const std::string &s : args.options("--sms")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(s.c_str(), &end, 10);
+        if (!end || *end != '\0' || v < 1 || v > 1024) {
+            std::fprintf(stderr, "siwi-run: bad --sms: %s\n",
+                         s.c_str());
+            return exit_usage;
+        }
+        sms_axis.push_back(unsigned(v));
+    }
     unsigned jobs = 0;
     if (!args.intOption("--jobs", &jobs))
         args.intOption("-j", &jobs);
@@ -190,8 +207,12 @@ main(int argc, char **argv)
             return false;
         });
         for (const std::string &f : figures) {
-            std::vector<SweepSpec> fs =
-                figureSweeps(f, workloads::SizeClass::Full);
+            // The scaling figure needs chip-size grids (Full is
+            // sized for one SM); paper figures default to Full.
+            // An explicit --size below still overrides either.
+            std::vector<SweepSpec> fs = figureSweeps(
+                f, f == "scaling" ? workloads::SizeClass::Chip
+                                  : workloads::SizeClass::Full);
             if (fs.empty()) {
                 std::fprintf(stderr,
                              "siwi-run: unknown figure: %s\n",
@@ -212,20 +233,26 @@ main(int argc, char **argv)
         label = suite;
     }
     if (have_size) {
-        if (size_str != "tiny" && size_str != "full") {
+        workloads::SizeClass sz;
+        if (size_str == "tiny") {
+            sz = workloads::SizeClass::Tiny;
+        } else if (size_str == "full") {
+            sz = workloads::SizeClass::Full;
+        } else if (size_str == "chip") {
+            sz = workloads::SizeClass::Chip;
+        } else {
             std::fprintf(stderr, "siwi-run: bad --size: %s\n",
                          size_str.c_str());
             return exit_usage;
         }
-        for (SweepSpec &s : sweeps) {
-            s.size = size_str == "tiny"
-                         ? workloads::SizeClass::Tiny
-                         : workloads::SizeClass::Full;
-        }
+        for (SweepSpec &s : sweeps)
+            s.size = sz;
     }
     for (SweepSpec &s : sweeps) {
         s.filterMachines(machines);
         s.filterWorkloads(wl_names);
+        if (!sms_axis.empty())
+            s.sms = sms_axis;
     }
     std::erase_if(sweeps, [](const SweepSpec &s) {
         return s.cellCount() == 0;
@@ -239,10 +266,11 @@ main(int argc, char **argv)
     if (list_only) {
         for (const CellSpec &c : expandCells(sweeps)) {
             const SweepSpec &s = sweeps[c.sweep];
-            std::printf("%s %s %s %s\n", s.name.c_str(),
+            std::printf("%s %s %s %s %usm\n", s.name.c_str(),
                         s.machines[c.machine].name.c_str(),
                         s.wls[c.wl]->name(),
-                        sizeClassName(s.size));
+                        sizeClassName(s.size),
+                        s.sms.empty() ? 1u : s.sms[c.sms]);
         }
         return exit_ok;
     }
