@@ -77,7 +77,7 @@ runAndPrint(const char *title, SMConfig cfg, Json *trace_doc)
     };
     std::vector<Ev> evs;
     sm.setTraceHook([&](const pipeline::IssueEvent &e) {
-        evs.push_back({e.cycle, e.unit, e.warp, e.pc,
+        evs.push_back({e.cycle, std::string(e.unit), e.warp, e.pc,
                        e.mask.toString(4), e.secondary});
     });
     sm.launch(kernel.program(), 2, 4);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scheduling-policy study (beyond the paper): the Figure 7
+ * machines under every primary scheduling policy of the frontend
+ * registry — oldest-first (the paper), loose round-robin,
+ * greedy-then-oldest (GTO) and minimum-PC.
+ *
+ * Prints, per machine, the IPC of each policy and its ratio to
+ * oldest-first, over the Figure 7 applications. Oldest-first
+ * cells are bit-identical to the fig7 reproduction, so any drift
+ * here is a front-end bug, not a policy effect.
+ *
+ * Flags: --regular (use the regular apps), --machine NAME
+ * (default SBI+SWI; repeatable), -j N, --json PATH.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "frontend/registry.hh"
+#include "runner/runner.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+
+int
+main(int argc, char **argv)
+{
+    ArgList args(argc, argv);
+    bool include_regular = args.flag("--regular");
+    RunOptions opts;
+    args.intOption("-j", &opts.jobs);
+    std::string json_path;
+    args.option("--json", &json_path);
+    std::vector<std::string> machines =
+        args.options("--machine");
+    if (!finishArgs(args, "fig_policy"))
+        return 2;
+    if (machines.empty())
+        machines = {"SBI+SWI"};
+
+    std::printf("Scheduling-policy study: primary-scheduler "
+                "policies across the Figure 7 applications\n"
+                "(oldest = the paper's machines; rr / gto / minpc "
+                "are beyond-the-paper variants)\n\n");
+
+    SweepSpec sweep = policySweep(
+        include_regular, workloads::SizeClass::Full);
+    sweep.filterMachines(machines);
+    if (sweep.cellCount() == 0) {
+        std::fprintf(stderr, "fig_policy: no such machine\n");
+        return 2;
+    }
+    opts.suite_label = "fig_policy";
+    Results res = runSweeps({sweep}, opts);
+    const std::string sname = sweep.name;
+
+    for (const MachineSpec &m : sweep.machines) {
+        // Columns of this machine: one per policy, labels
+        // "<machine>" (oldest) and "<machine>/<policy>".
+        std::vector<std::string> cols;
+        std::vector<std::string> col_names;
+        for (const frontend::PolicyEntry &p :
+             frontend::policyRegistry()) {
+            std::string label = m.name;
+            if (p.kind != frontend::SchedPolicyKind::OldestFirst)
+                label += std::string("/") + p.name;
+            cols.push_back(std::move(label));
+            col_names.push_back(p.name);
+        }
+
+        std::printf("=== %s: IPC by policy ===\n", m.name.c_str());
+        std::vector<std::vector<double>> ipc_cols;
+        std::vector<std::vector<bool>> timed_out;
+        for (const std::string &c : cols) {
+            SweepColumnData col = sweepColumnData(res, sname, c);
+            ipc_cols.push_back(std::move(col.ipc));
+            timed_out.push_back(std::move(col.timed_out));
+        }
+        std::fputs(formatIpcTable(sweepRows(res, sname), col_names,
+                                  ipc_cols, &timed_out)
+                       .c_str(),
+                   stdout);
+
+        std::printf("\n=== %s: speedup vs oldest ===\n",
+                    m.name.c_str());
+        std::vector<std::string> ratio_names;
+        std::vector<std::vector<double>> ratio_cols;
+        std::vector<std::vector<bool>> ratio_invalid;
+        const std::vector<double> &oldest = ipc_cols[0];
+        for (size_t i = 1; i < ipc_cols.size(); ++i) {
+            ratio_names.push_back(col_names[i]);
+            std::vector<double> r = ipc_cols[i];
+            std::vector<bool> inv(r.size(), false);
+            for (size_t j = 0; j < r.size(); ++j) {
+                // A ratio over a truncated run is meaningless in
+                // either position.
+                inv[j] = timed_out[0][j] || timed_out[i][j];
+                r[j] = oldest[j] != 0.0 ? r[j] / oldest[j] : 0.0;
+            }
+            ratio_cols.push_back(std::move(r));
+            ratio_invalid.push_back(std::move(inv));
+        }
+        std::fputs(formatRatioTable(sweepRows(res, sname),
+                                    ratio_names, ratio_cols,
+                                    &ratio_invalid)
+                       .c_str(),
+                   stdout);
+        std::printf("\n");
+    }
+
+    return finishBench(res, json_path);
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Measure fast-suite wall-clock (cells/sec), the simulator's
+# throughput headline. Runs the suite N times and keeps the best
+# run's BENCH_throughput.json (minimum wall-clock = least noise),
+# mirroring what the CI bench-regression job uploads per run.
+#
+# Usage: scripts/profile_fast_suite.sh [build-dir] [runs]
+#   build-dir  defaults to ./build (must contain siwi-run;
+#              configured Release by the default CMake setup)
+#   runs       defaults to 5
+#
+# Writes BENCH_throughput.json to the current directory and prints
+# every sample so outliers are visible.
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+runs="${2:-5}"
+
+if [ ! -x "$build/siwi-run" ]; then
+    echo "profile_fast_suite: $build/siwi-run not found;" \
+         "build first (cmake --build $build --target siwi-run)" >&2
+    exit 1
+fi
+
+best=""
+i=1
+while [ "$i" -le "$runs" ]; do
+    "$build/siwi-run" --suite fast --quiet \
+        --throughput-json ".throughput.$i.json" >/dev/null
+    secs="$(sed -n 's/.*"seconds": \([0-9.]*\).*/\1/p' \
+        ".throughput.$i.json")"
+    echo "run $i: ${secs}s"
+    if [ -z "$best" ] || \
+       awk "BEGIN{exit !($secs < $best)}"; then
+        best="$secs"
+        cp ".throughput.$i.json" BENCH_throughput.json
+    fi
+    rm -f ".throughput.$i.json"
+    i=$((i + 1))
+done
+
+echo "best: ${best}s -> BENCH_throughput.json"
+sed -n 's/^ *"cells_per_sec": \(.*\),*$/cells\/sec: \1/p' \
+    BENCH_throughput.json

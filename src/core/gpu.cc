@@ -136,7 +136,7 @@ Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
         per_sm.push_back(sm->finalizeStats());
 
     SimStats agg = SimStats::aggregate(per_sm);
-    agg.hit_cycle_limit |= hit_limit;
+    agg.timed_out |= hit_limit;
     // Chip-level backend counters: reported once, from the shared
     // backend itself (per-SM stats keep them zero).
     agg.l2_hits = backend.stats().hits;

@@ -14,7 +14,8 @@ SimStats::summary() const
     std::ostringstream os;
     os << std::fixed << std::setprecision(2);
     os << "cycles:              " << cycles
-       << (hit_cycle_limit ? "  (CYCLE LIMIT HIT)" : "") << "\n";
+       << (timed_out ? "  (TIMED OUT: cycle limit hit)" : "")
+       << "\n";
     if (num_sms > 1)
         os << "SMs:                 " << num_sms << "\n";
     os << "instructions:        " << instructions << "\n"
@@ -67,7 +68,7 @@ SimStats::aggregate(const std::vector<SimStats> &sms)
     SimStats agg;
     for (const SimStats &s : sms) {
         agg.cycles = std::max(agg.cycles, s.cycles);
-        agg.hit_cycle_limit |= s.hit_cycle_limit;
+        agg.timed_out |= s.timed_out;
         for (const StatsField &f : statsU64Fields())
             agg.*f.member += s.*f.member;
         agg.max_stack_depth =

@@ -31,7 +31,14 @@ struct UnitStats
 struct SimStats
 {
     Cycle cycles = 0;
-    bool hit_cycle_limit = false;
+    /**
+     * The run was truncated at the cycle cap: every counter below
+     * covers only the simulated prefix, and derived metrics (IPC)
+     * are not comparable with completed runs. Serialized since
+     * schema v3; the runner refuses to present such a cell as a
+     * plausible result.
+     */
+    bool timed_out = false;
 
     // --- front-end ---
     u64 fetches = 0;

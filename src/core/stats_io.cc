@@ -52,7 +52,7 @@ statsToJson(const SimStats &st)
 {
     Json j = Json::object();
     j.set("cycles", Json(st.cycles));
-    j.set("hit_cycle_limit", Json(st.hit_cycle_limit));
+    j.set("timed_out", Json(st.timed_out));
     for (const StatsField &f : u64_fields)
         j.set(f.name, Json(st.*f.member));
     j.set("max_stack_depth", Json(st.max_stack_depth));
@@ -92,7 +92,7 @@ statsFromJson(const Json &j, SimStats *out, std::string *err)
     }
     SimStats st;
     st.cycles = Cycle(j.getInt("cycles"));
-    st.hit_cycle_limit = j.getBool("hit_cycle_limit");
+    st.timed_out = j.getBool("timed_out");
     for (const StatsField &f : u64_fields)
         st.*f.member = u64(j.getInt(f.name));
     st.max_stack_depth = unsigned(j.getInt("max_stack_depth"));

@@ -27,8 +27,13 @@ namespace siwi::core {
  * v2 (multi-SM): adds write_forwards, l2_hits, l2_misses,
  * num_sms and the per_sm breakdown array to the stats object, and
  * num_sms to each results cell.
+ *
+ * v3 (front-end layer): renames hit_cycle_limit to timed_out (a
+ * truncated run is not a result, and the runner now surfaces it
+ * per cell), and adds the scheduling-policy label ("policy") to
+ * each results cell.
  */
-constexpr int stats_schema_version = 2;
+constexpr int stats_schema_version = 3;
 
 /** One u64 counter of SimStats: serialization name + member. */
 struct StatsField

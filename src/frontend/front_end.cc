@@ -1,0 +1,367 @@
+#include "frontend/front_end.hh"
+
+#include "common/log.hh"
+#include "pipeline/config.hh"
+#include "pipeline/exec_unit.hh"
+
+namespace siwi::frontend {
+
+using isa::UnitClass;
+using pipeline::IBufEntry;
+using pipeline::LookupCandidate;
+using pipeline::SMConfig;
+
+namespace {
+
+/** Execution-group class an opcode is routed to (CTRL -> MAD). */
+UnitClass
+effectiveClass(UnitClass cls)
+{
+    return cls == UnitClass::CTRL ? UnitClass::MAD : cls;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// FrontEnd base: policy selection + the simple issue stage
+// ----------------------------------------------------------------
+
+FrontEnd::FrontEnd(FrontEndHost &host) : host_(host)
+{
+    // The primary candidate domain of each pool is fixed by the
+    // machine geometry; precompute it so the per-cycle select
+    // loop never allocates.
+    const SMConfig &cfg = host_.config();
+    for (unsigned pool = 0; pool < 2; ++pool)
+        policy_[pool] = makeSchedPolicy(cfg.sched_policy,
+                                        host_.numWarps());
+    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+        unsigned pool = cfg.num_pools == 2 ? (w % 2) : 0;
+        pool_domain_[pool].push_back({w, 0});
+    }
+}
+
+std::optional<Cand>
+FrontEnd::selectPrimary(unsigned pool, std::span<const Cand> cands,
+                        bool check_group)
+{
+    return policy_[pool]->select(host_, cands, check_group);
+}
+
+void
+FrontEnd::issueSimple()
+{
+    host_.clearLastPrimary();
+    const SMConfig &cfg = host_.config();
+
+    if (cfg.num_pools == 2) {
+        // Two symmetric schedulers; alternate arbitration priority
+        // for the shared SFU/LSU groups.
+        unsigned first = unsigned(host_.now() & 1);
+        for (unsigned k = 0; k < 2; ++k) {
+            unsigned pool = (first + k) % 2;
+            auto c = selectPrimary(pool, pool_domain_[pool], true);
+            if (c && host_.issueCand(c->w, c->slot, false, nullptr,
+                                     false))
+                notifyIssued(pool, *c);
+        }
+        return;
+    }
+
+    // SBI: primary over CPC1 entries, secondary over CPC2 entries.
+    auto c = selectPrimary(0, pool_domain_[0], true);
+    if (c &&
+        host_.issueCand(c->w, c->slot, false, nullptr, false))
+        notifyIssued(0, *c);
+    issueSecondarySimple(host_.lastPrimary());
+}
+
+void
+FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
+{
+    // Secondary front-end: oldest ready CPC2 (hot slot 1) entry.
+    // Same warp as the primary may share the primary's row (their
+    // masks are disjoint by construction); any other candidate needs
+    // a free execution group.
+    std::optional<Cand> best;
+    bool best_row = false;
+    u64 best_seq = ~u64(0);
+    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+        if (!host_.ready(w, 1, false))
+            continue;
+        const IBufEntry *e = host_.entryFor(w, 1);
+        UnitClass cls = effectiveClass(e->inst.unit());
+        bool row = pinfo.valid && w == pinfo.w &&
+                   cls == pinfo.unit && cls != UnitClass::LSU;
+        if (!row && !host_.freeGroup(cls))
+            continue;
+        if (e->seq < best_seq) {
+            best_seq = e->seq;
+            best = Cand{w, 1};
+            best_row = row;
+        }
+    }
+    if (best) {
+        PrimaryIssueInfo pcopy = pinfo;
+        host_.issueCand(best->w, best->slot, true, &pcopy,
+                        best_row);
+        return;
+    }
+
+    if (!host_.config().sbi_secondary_fallback)
+        return;
+
+    // Fallback: issue another warp's primary-context instruction to
+    // a different SIMD group (docs/DESIGN.md interpretation note).
+    best.reset();
+    best_seq = ~u64(0);
+    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+        if (pinfo.valid && w == pinfo.w)
+            continue;
+        if (!host_.ready(w, 0, true))
+            continue;
+        const IBufEntry *e = host_.entryFor(w, 0);
+        if (e->seq < best_seq) {
+            best_seq = e->seq;
+            best = Cand{w, 0};
+        }
+    }
+    if (best) {
+        if (host_.issueCand(best->w, best->slot, true, nullptr,
+                            false))
+            host_.stats().fallback_issues += 1;
+    }
+}
+
+// ----------------------------------------------------------------
+// StackFrontEnd
+// ----------------------------------------------------------------
+
+StackFrontEnd::StackFrontEnd(FrontEndHost &host) : FrontEnd(host)
+{
+}
+
+void
+StackFrontEnd::issueCycle()
+{
+    issueSimple();
+}
+
+// ----------------------------------------------------------------
+// InterweaveFrontEnd
+// ----------------------------------------------------------------
+
+InterweaveFrontEnd::InterweaveFrontEnd(FrontEndHost &host)
+    : FrontEnd(host),
+      lookup_(host.numWarps(), host.config().lookup_sets, 0xdecaf),
+      rng_(0xc0ffee)
+{
+    // The substitute scheduler's domain (section 4): every CPC1
+    // slot, plus every CPC2 slot on SBI machines. Static, like
+    // the pool domains.
+    substitute_domain_ = pool_domain_[0];
+    if (host_.config().sbi) {
+        for (WarpId w = 0; w < host_.numWarps(); ++w)
+            substitute_domain_.push_back({w, 1});
+    }
+}
+
+void
+InterweaveFrontEnd::issueCycle()
+{
+    if (host_.config().cascaded())
+        issueCascaded();
+    else
+        issueSimple();
+}
+
+std::optional<Cand>
+InterweaveFrontEnd::pickSubstitute()
+{
+    // The secondary scheduler substituting for an absent primary
+    // (section 4). Its policy must stay decorrelated from the
+    // primary's oldest-first selection -- best-fit with
+    // pseudo-random tie-breaking -- or the two would keep picking
+    // the same instruction and squash each other forever.
+    std::optional<Cand> best;
+    unsigned best_count = 0;
+    unsigned ties = 0;
+    for (const Cand &c : substitute_domain_) {
+        if (!host_.ready(c.w, c.slot, true))
+            continue;
+        unsigned count =
+            host_.entryFor(c.w, c.slot)->mask.count();
+        if (!best || count > best_count) {
+            best = c;
+            best_count = count;
+            ties = 1;
+        } else if (count == best_count) {
+            ++ties;
+            if (rng_.below(ties) == 0)
+                best = c;
+        }
+    }
+    return best;
+}
+
+std::optional<Cand>
+InterweaveFrontEnd::pickSecondaryCascaded(
+    const PrimaryIssueInfo &pinfo, bool *row_share_out)
+{
+    *row_share_out = false;
+
+    if (!pinfo.valid)
+        return pickSubstitute();
+
+    // Mask-inclusion lookup (section 4): candidates either fit the
+    // free lanes of the primary's row or can go to a free group.
+    LaneMask free_lanes = ~pinfo.mask;
+    bool primary_row_shareable = pinfo.unit != UnitClass::LSU;
+
+    std::vector<LookupCandidate> &lc = lookup_scratch_;
+    std::vector<Cand> &cands = cand_scratch_;
+    lc.clear();
+    cands.clear();
+    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+        for (unsigned slot = 0; slot < 2; ++slot) {
+            if (slot == 1 && !host_.config().sbi)
+                continue;
+            if (slot == 0 && w == pinfo.w)
+                continue; // primary context just issued
+            if (!host_.ready(w, slot, false))
+                continue;
+            const IBufEntry *e = host_.entryFor(w, slot);
+            UnitClass cls = effectiveClass(e->inst.unit());
+            LookupCandidate c;
+            c.key = u32(cands.size());
+            c.warp = w;
+            c.mask = e->mask;
+            c.same_unit = primary_row_shareable && cls == pinfo.unit;
+            c.other_unit_free = host_.freeGroup(cls) != nullptr;
+            // Same-warp CPC2 co-issue is the SBI path: structural,
+            // not set-restricted (mask disjointness is guaranteed).
+            if (w == pinfo.w || lookup_.eligible(pinfo.w, w)) {
+                lc.push_back(c);
+                cands.push_back({w, slot});
+            }
+        }
+    }
+    auto picked = lookup_.pick(pinfo.w, free_lanes, lc);
+    if (!picked)
+        return std::nullopt;
+    const LookupCandidate &sel = lc[*picked];
+    *row_share_out =
+        sel.same_unit && sel.mask.subsetOf(free_lanes);
+    return cands[*picked];
+}
+
+void
+InterweaveFrontEnd::issueCascaded()
+{
+    host_.clearLastPrimary();
+
+    // Phase B snapshot: the primary scheduler selects its next pick
+    // in parallel with this cycle's issue (cascaded scheduling,
+    // section 4). Claimed entries (the parked pick) are skipped.
+    std::optional<Cand> next_pick =
+        selectPrimary(0, pool_domain_[0], false);
+    u32 next_pick_ctx = 0;
+    if (next_pick)
+        next_pick_ctx =
+            host_.entryFor(next_pick->w, next_pick->slot)->ctx_id;
+
+    // Phase A: issue the parked primary pick.
+    bool held = false;
+    if (cascade_.valid) {
+        // Re-locate the parked context (the sorter may have moved
+        // it between hot slots).
+        IBufEntry *e = host_.findCtx(cascade_.w, cascade_.ctx_id);
+        int slot = -1;
+        for (unsigned s = 0; s < 2; ++s) {
+            CtxView cv = host_.ctxView(cascade_.w, s);
+            if (cv.valid && cv.id == cascade_.ctx_id &&
+                cv.version == cascade_.ctx_version) {
+                slot = int(s);
+            }
+        }
+        if (!e || slot < 0 ||
+            e->ctx_version != cascade_.ctx_version) {
+            // The warp-split branched, merged or was demoted under
+            // the parked pick: drop it.
+            host_.stats().cascade_stale += 1;
+            if (e && e->claimed)
+                e->claimed = false;
+            cascade_.valid = false;
+        } else {
+            e->claimed = false; // allow ready() to see it
+            if (host_.ready(cascade_.w, unsigned(slot), true)) {
+                if (host_.issueCand(cascade_.w, unsigned(slot),
+                                    false, nullptr, false)) {
+                    // The pick issued for real: only now advance
+                    // the policy's cursor state.
+                    notifyIssued(
+                        0, Cand{cascade_.w, unsigned(slot)});
+                }
+                cascade_.valid = false;
+            } else {
+                // Structural stall: hold the pick, retry next cycle.
+                e->claimed = true;
+                held = true;
+            }
+        }
+    }
+
+    // Secondary scheduler (one pipeline stage behind the primary).
+    bool row_share = false;
+    std::optional<u32> sec_issued_ctx;
+    WarpId sec_issued_warp = 0;
+    auto sec =
+        pickSecondaryCascaded(host_.lastPrimary(), &row_share);
+    if (sec) {
+        u32 ctx = host_.entryFor(sec->w, sec->slot)->ctx_id;
+        PrimaryIssueInfo pcopy = host_.lastPrimary();
+        if (host_.issueCand(sec->w, sec->slot, true,
+                            pcopy.valid ? &pcopy : nullptr,
+                            row_share)) {
+            sec_issued_ctx = ctx;
+            sec_issued_warp = sec->w;
+        }
+    }
+
+    // Phase B: park the next primary pick; detect the a-posteriori
+    // conflict where the secondary issued the same instruction this
+    // cycle (the primary's copy is discarded, section 4).
+    if (held)
+        return;
+    if (!next_pick)
+        return;
+    if (sec_issued_ctx && sec_issued_warp == next_pick->w &&
+        *sec_issued_ctx == next_pick_ctx) {
+        host_.stats().conflicts_squashed += 1;
+        return;
+    }
+    IBufEntry *e = host_.entryFor(next_pick->w, next_pick->slot);
+    if (!e)
+        return; // consumed or invalidated this cycle
+    cascade_.valid = true;
+    cascade_.w = next_pick->w;
+    cascade_.ctx_id = e->ctx_id;
+    cascade_.ctx_version = e->ctx_version;
+    e->claimed = true;
+}
+
+// ----------------------------------------------------------------
+// factory
+// ----------------------------------------------------------------
+
+std::unique_ptr<FrontEnd>
+makeFrontEnd(FrontEndHost &host)
+{
+    const SMConfig &cfg = host.config();
+    if (cfg.reconv == pipeline::ReconvMode::Stack &&
+        !cfg.cascaded())
+        return std::make_unique<StackFrontEnd>(host);
+    return std::make_unique<InterweaveFrontEnd>(host);
+}
+
+} // namespace siwi::frontend

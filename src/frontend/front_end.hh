@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The SM front-end layer: instruction select + issue, decoupled
+ * from the SM's warp/block/memory state.
+ *
+ * The paper's whole contribution lives here — stack vs.
+ * thread-frontier scheduling (§3), SBI's dual issue over CPC1 and
+ * CPC2 (§3.3), and SWI's cascaded mask-fit secondary scheduler
+ * (§4) — so the front-end is a first-class layer: a FrontEnd
+ * object owns the per-cycle select/issue decision and its private
+ * scheduler state (cascade register, mask-inclusion lookup,
+ * tie-break RNG), while the hosting SM keeps warp contexts,
+ * blocks, barriers, events and the memory pipeline, exposed
+ * through the narrow FrontEndHost interface.
+ *
+ * Two concrete front-ends cover the paper's five machines:
+ *
+ *   StackFrontEnd      Fermi-like baseline — per-pool primary
+ *                      schedulers over stack-reconvergent warps.
+ *   InterweaveFrontEnd the 64-wide thread-frontier machines
+ *                      (TF64, SBI, SWI, SBI+SWI) — composes the
+ *                      split-heap context slots, the SBI second
+ *                      front-end, the mask-inclusion lookup and
+ *                      the SWI cascade register.
+ *
+ * Primary-candidate ordering is delegated to a SchedPolicy
+ * strategy (see sched_policy.hh), selected via
+ * SMConfig::sched_policy; oldest-first reproduces the paper
+ * bit-exactly.
+ */
+
+#ifndef SIWI_FRONTEND_FRONT_END_HH
+#define SIWI_FRONTEND_FRONT_END_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/lane_mask.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "core/stats.hh"
+#include "frontend/sched_policy.hh"
+#include "isa/opcode.hh"
+#include "pipeline/ibuffer.hh"
+#include "pipeline/mask_lookup.hh"
+
+namespace siwi::pipeline {
+class ExecGroup;
+struct SMConfig;
+} // namespace siwi::pipeline
+
+namespace siwi::frontend {
+
+/** Scheduling view of one warp context slot. */
+struct CtxView
+{
+    bool valid = false; //!< exists and is schedulable
+    u32 id = 0;
+    Pc pc = invalid_pc;
+    LaneMask mask;
+    u32 version = 0;
+};
+
+/** Row occupancy info of the primary issue this cycle. */
+struct PrimaryIssueInfo
+{
+    bool valid = false;
+    WarpId w = 0;
+    u32 ctx_id = 0;
+    pipeline::ExecGroup *group = nullptr;
+    LaneMask mask;
+    isa::UnitClass unit = isa::UnitClass::MAD;
+};
+
+/**
+ * What a front-end needs from its hosting SM: candidate
+ * visibility (context views, buffered entries, readiness) and the
+ * issue primitive. The host keeps ownership of warps, the
+ * instruction buffer, the scoreboard and the execution groups;
+ * the front-end only decides *what* to issue.
+ */
+class FrontEndHost
+{
+  public:
+    virtual const pipeline::SMConfig &config() const = 0;
+    virtual Cycle now() const = 0;
+    virtual unsigned numWarps() const = 0;
+
+    /** Scheduling view of context slot (w, slot). */
+    virtual CtxView ctxView(WarpId w, unsigned slot) const = 0;
+
+    /** Fresh buffered entry of the context in (w, slot), or null. */
+    virtual const pipeline::IBufEntry *entryFor(
+        WarpId w, unsigned slot) const = 0;
+    virtual pipeline::IBufEntry *entryFor(WarpId w,
+                                          unsigned slot) = 0;
+
+    /** Valid buffered entry of context @p ctx_id, or null. */
+    virtual pipeline::IBufEntry *findCtx(WarpId w, u32 ctx_id) = 0;
+
+    /** May (w, slot) issue this cycle? */
+    virtual bool ready(WarpId w, unsigned slot,
+                       bool check_group) const = 0;
+
+    /** A free execution group of class @p cls, or null. */
+    virtual pipeline::ExecGroup *freeGroup(isa::UnitClass cls) = 0;
+
+    /**
+     * Issue the instruction buffered for context slot (w, slot).
+     * @param primary row-sharing context, null for primary issues
+     * @param row_share issue onto the primary's row
+     * @return true on success
+     */
+    virtual bool issueCand(WarpId w, unsigned slot, bool secondary,
+                           PrimaryIssueInfo *primary,
+                           bool row_share) = 0;
+
+    /** Primary issued this cycle (filled by issueCand). */
+    virtual const PrimaryIssueInfo &lastPrimary() const = 0;
+
+    /** Reset lastPrimary() at the top of the issue stage. */
+    virtual void clearLastPrimary() = 0;
+
+    /** Mutable statistics (front-end counters). */
+    virtual core::SimStats &stats() = 0;
+
+  protected:
+    ~FrontEndHost() = default;
+};
+
+/**
+ * One SM front-end: selects and issues instructions for one cycle.
+ *
+ * The candidate domains (per-pool warp lists, the SBI CPC2 slots)
+ * are fixed by the machine geometry, so they are precomputed at
+ * construction and the per-cycle hot loop never allocates.
+ */
+class FrontEnd
+{
+  public:
+    virtual ~FrontEnd() = default;
+
+    /** Select + issue for one cycle (the SM issue stage). */
+    virtual void issueCycle() = 0;
+
+    const SchedPolicy &schedPolicy(unsigned pool = 0) const
+    {
+        return *policy_[pool];
+    }
+
+  protected:
+    explicit FrontEnd(FrontEndHost &host);
+
+    /**
+     * Policy-ordered pick over @p cands by @p pool's scheduler.
+     * Pure selection: the caller reports the outcome through
+     * notifyIssued() only when the pick actually issues, so
+     * stateful policies (the RR cursor, GTO's last warp) never
+     * advance past a warp that was denied by a structural stall.
+     */
+    std::optional<Cand> selectPrimary(unsigned pool,
+                                      std::span<const Cand> cands,
+                                      bool check_group);
+
+    /** Report a successful primary issue to @p pool's policy. */
+    void notifyIssued(unsigned pool, const Cand &c)
+    {
+        policy_[pool]->notifyIssued(c);
+    }
+
+    /**
+     * The simple (1-cycle scheduler) issue stage shared by the
+     * Fermi baseline and the non-cascaded interweave machines:
+     * two alternating pools, or one pool plus the SBI secondary.
+     */
+    void issueSimple();
+
+    /** Oldest ready CPC2 entry, row-shared when possible (§3.3). */
+    void issueSecondarySimple(const PrimaryIssueInfo &pinfo);
+
+    FrontEndHost &host_;
+    /**
+     * One policy instance per scheduler pool: pooled machines
+     * model two independent schedulers, so stateful policies (RR
+     * cursor, GTO last-warp) must not leak across pools.
+     * Single-pool machines only use index 0.
+     */
+    std::unique_ptr<SchedPolicy> policy_[2];
+    /** Static primary candidate domain of each scheduler pool. */
+    std::vector<Cand> pool_domain_[2];
+};
+
+/** Fermi-like baseline: stack reconvergence, per-pool schedulers. */
+class StackFrontEnd final : public FrontEnd
+{
+  public:
+    explicit StackFrontEnd(FrontEndHost &host);
+    void issueCycle() override;
+};
+
+/**
+ * Thread-frontier front-end for the 64-wide machines: TF64's
+ * pooled schedulers, SBI's dual issue, and SWI's cascaded
+ * secondary scheduler with mask-inclusion lookup.
+ */
+class InterweaveFrontEnd final : public FrontEnd
+{
+  public:
+    explicit InterweaveFrontEnd(FrontEndHost &host);
+    void issueCycle() override;
+
+    const pipeline::MaskLookup &maskLookup() const
+    {
+        return lookup_;
+    }
+
+  private:
+    /** Primary pick parked between select and issue (SWI). */
+    struct CascadeReg
+    {
+        bool valid = false;
+        WarpId w = 0;
+        u32 ctx_id = 0;
+        u32 ctx_version = 0;
+    };
+
+    void issueCascaded();
+    std::optional<Cand> pickSecondaryCascaded(
+        const PrimaryIssueInfo &pinfo, bool *row_share_out);
+    std::optional<Cand> pickSubstitute();
+
+    pipeline::MaskLookup lookup_;
+    Rng rng_;
+    CascadeReg cascade_;
+    /** Substitute-pick domain: every CPC1 (+ CPC2 under SBI). */
+    std::vector<Cand> substitute_domain_;
+    // Reusable per-cycle scratch (hot loop: no allocation).
+    std::vector<pipeline::LookupCandidate> lookup_scratch_;
+    std::vector<Cand> cand_scratch_;
+};
+
+/**
+ * Build the front-end matching @p host's configuration: cascaded
+ * or thread-frontier machines get the InterweaveFrontEnd, plain
+ * stack machines the StackFrontEnd.
+ */
+std::unique_ptr<FrontEnd> makeFrontEnd(FrontEndHost &host);
+
+} // namespace siwi::frontend
+
+#endif // SIWI_FRONTEND_FRONT_END_HH

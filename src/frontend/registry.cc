@@ -1,0 +1,93 @@
+#include "frontend/registry.hh"
+
+#include <vector>
+
+namespace siwi::frontend {
+
+using pipeline::PipelineMode;
+
+namespace {
+
+constexpr MachineEntry machines[] = {
+    {"Baseline", PipelineMode::Baseline,
+     "Figure 1 (Fermi-like, 32x32, stack reconvergence)"},
+    {"SBI", PipelineMode::SBI,
+     "section 3.3 (dual front-end over CPC1/CPC2)"},
+    {"SWI", PipelineMode::SWI,
+     "section 4 (cascaded mask-fit secondary scheduler)"},
+    {"SBI+SWI", PipelineMode::SBISWI,
+     "section 4.4 (both techniques combined)"},
+    {"Warp64", PipelineMode::Warp64,
+     "section 3 (16x64 thread-frontier reference)"},
+};
+
+const char *
+policyDescription(SchedPolicyKind kind)
+{
+    switch (kind) {
+      case SchedPolicyKind::OldestFirst:
+        return "oldest ready instruction first (the paper's "
+               "machines)";
+      case SchedPolicyKind::RoundRobin:
+        return "loose round-robin over warps";
+      case SchedPolicyKind::GreedyThenOldest:
+        return "greedy-then-oldest: last issued warp first";
+      case SchedPolicyKind::MinPc:
+        return "minimum PC first (favors trailing warp-splits)";
+    }
+    return "?";
+}
+
+/**
+ * Derived from allSchedPolicies()/schedPolicyName() — the single
+ * source of the name/kind mapping — so the names the CLI lists
+ * and the names parseSchedPolicy() accepts cannot diverge.
+ */
+const std::vector<PolicyEntry> &
+policyTable()
+{
+    static const std::vector<PolicyEntry> v = [] {
+        std::vector<PolicyEntry> out;
+        for (SchedPolicyKind k : allSchedPolicies())
+            out.push_back({schedPolicyName(k), k,
+                           policyDescription(k)});
+        return out;
+    }();
+    return v;
+}
+
+} // namespace
+
+std::span<const MachineEntry>
+machineRegistry()
+{
+    return machines;
+}
+
+const MachineEntry *
+findMachineEntry(std::string_view name)
+{
+    for (const MachineEntry &m : machines) {
+        if (name == m.name)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::span<const PolicyEntry>
+policyRegistry()
+{
+    return policyTable();
+}
+
+const PolicyEntry *
+findPolicyEntry(std::string_view name)
+{
+    for (const PolicyEntry &p : policyTable()) {
+        if (name == p.name)
+            return &p;
+    }
+    return nullptr;
+}
+
+} // namespace siwi::frontend

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Primary-scheduler selection policies.
+ *
+ * The paper's machines all select their primary instruction
+ * oldest-first (section 4: "the primary scheduler still selects
+ * the oldest ready instruction"), but the policy is orthogonal to
+ * the front-end structure: any ordering of the ready primary
+ * candidates yields a working machine. SchedPolicy is that
+ * strategy seam. Besides the paper's oldest-first it provides the
+ * classic alternatives of the GPU-scheduling literature: loose
+ * round-robin (fairness), greedy-then-oldest (GTO: stick with the
+ * last warp to exploit intra-warp locality), and minimum-PC
+ * (favor trailing warp-splits, which accelerates reconvergence on
+ * thread-frontier machines).
+ */
+
+#ifndef SIWI_FRONTEND_SCHED_POLICY_HH
+#define SIWI_FRONTEND_SCHED_POLICY_HH
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace siwi::frontend {
+
+class FrontEndHost;
+
+/**
+ * A scheduling candidate: warp + context slot (0 = primary /
+ * CPC1, 1 = secondary / CPC2). The instruction-buffer entry is
+ * resolved through the context id, so HCT re-sorting does not
+ * orphan buffered instructions.
+ */
+struct Cand
+{
+    WarpId w;
+    unsigned slot;
+};
+
+/** The selectable primary-scheduler policies. */
+enum class SchedPolicyKind {
+    OldestFirst,      //!< minimum fetch sequence (the paper)
+    RoundRobin,       //!< loose round-robin over warps
+    GreedyThenOldest, //!< GTO: last warp first, then oldest
+    MinPc,            //!< minimum PC, oldest-first tie-break
+};
+
+/** CLI name of a policy: "oldest", "rr", "gto", "minpc". */
+const char *schedPolicyName(SchedPolicyKind kind);
+
+/** Parse a CLI policy name; false when unknown. */
+bool parseSchedPolicy(std::string_view name, SchedPolicyKind *out);
+
+/** Every policy, in registry order. */
+std::span<const SchedPolicyKind> allSchedPolicies();
+
+/**
+ * Primary-candidate ordering strategy.
+ *
+ * select() scans @p cands (a precomputed, static domain — the
+ * per-pool warp lists) and returns the best candidate that is
+ * ready to issue, or nullopt. Policies with internal state (the
+ * round-robin cursor, GTO's last warp) advance it through
+ * notifyIssued(), which the front-end calls only when the pick
+ * actually issues — a selection denied by a structural stall
+ * must not advance the cursor past the stalled warp. Pooled
+ * machines get one policy instance per pool.
+ */
+class SchedPolicy
+{
+  public:
+    virtual ~SchedPolicy() = default;
+
+    virtual SchedPolicyKind kind() const = 0;
+
+    /**
+     * Pick the best ready candidate of @p cands, or nullopt.
+     * @param check_group also require a free execution group
+     */
+    virtual std::optional<Cand> select(
+        const FrontEndHost &host, std::span<const Cand> cands,
+        bool check_group) const = 0;
+
+    /** Candidate @p c issued; advance any cursor state. */
+    virtual void notifyIssued(const Cand &c) { (void)c; }
+
+  protected:
+    SchedPolicy() = default;
+};
+
+/** Build the policy strategy for @p kind. */
+std::unique_ptr<SchedPolicy> makeSchedPolicy(SchedPolicyKind kind,
+                                             unsigned num_warps);
+
+} // namespace siwi::frontend
+
+#endif // SIWI_FRONTEND_SCHED_POLICY_HH

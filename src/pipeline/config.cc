@@ -153,6 +153,8 @@ SMConfig::summary() const
        << "memory:             "
        << double(mem.dram.bytes_per_cycle_x10) / 10.0
        << " B/cycle, " << mem.dram.latency_cycles << " cycles\n"
+       << "sched policy:       "
+       << frontend::schedPolicyName(sched_policy) << "\n"
        << "SBI:                " << (sbi ? "on" : "off")
        << (sbi && sbi_constraints ? " (constraints)" : "") << "\n"
        << "SWI:                " << (swi ? "on" : "off")

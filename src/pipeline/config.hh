@@ -9,6 +9,7 @@
 #include <string>
 
 #include "divergence/split_heap.hh"
+#include "frontend/sched_policy.hh"
 #include "mem/memory_system.hh"
 
 namespace siwi::pipeline {
@@ -66,6 +67,14 @@ struct SMConfig
     /** DWS-style warp-splits on memory address divergence (3.4). */
     bool split_on_memory_divergence = true;
     divergence::SplitHeapConfig heap;
+
+    /**
+     * Primary-scheduler candidate ordering (frontend layer). The
+     * paper's machines are all oldest-first; the alternatives are
+     * an orthogonal sweep axis (siwi-run --policy).
+     */
+    frontend::SchedPolicyKind sched_policy =
+        frontend::SchedPolicyKind::OldestFirst;
 
     // --- SWI scheduler ---
     LaneShufflePolicy shuffle = LaneShufflePolicy::Identity;

@@ -10,6 +10,8 @@
 
 namespace siwi::pipeline {
 
+using frontend::CtxView;
+using frontend::PrimaryIssueInfo;
 using isa::Instruction;
 using isa::Opcode;
 using isa::UnitClass;
@@ -35,8 +37,6 @@ SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
       blocks_(cfg.max_blocks_resident),
       ibuf_(cfg.num_warps, 2),
       sb_(cfg.num_warps, cfg.scoreboard_entries),
-      lookup_(cfg.num_warps, cfg.lookup_sets, 0xdecaf),
-      rng_(0xc0ffee),
       fe_rr_(2, 0)
 {
     cfg_.validate();
@@ -49,6 +49,8 @@ SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
 
     for (WarpSlot &ws : warps_)
         ws.state = std::make_unique<exec::WarpState>(cfg_.warp_width);
+
+    frontend_ = frontend::makeFrontEnd(*this);
 }
 
 void
@@ -92,7 +94,7 @@ SM::run(Cycle max_cycles)
     while (!done()) {
         if (now_ >= max_cycles) {
             warn("SM cycle limit hit at ", now_);
-            stats_.hit_cycle_limit = true;
+            stats_.timed_out = true;
             break;
         }
         step();
@@ -111,10 +113,7 @@ SM::step()
     memsys_.tick(now_);
     processEvents();
     heapMaintenance();
-    if (cfg_.cascaded())
-        issueStageCascaded();
-    else
-        issueStageSimple();
+    frontend_->issueCycle();
     fetchStage();
     ++now_;
 }
@@ -284,10 +283,10 @@ SM::retireWarpIfDone(WarpId w)
 }
 
 // ----------------------------------------------------------------
-// context views
+// context views (FrontEndHost)
 // ----------------------------------------------------------------
 
-SM::CtxView
+CtxView
 SM::ctxView(WarpId w, unsigned slot) const
 {
     CtxView cv;
@@ -345,6 +344,12 @@ SM::entryFor(WarpId w, unsigned slot)
     return e;
 }
 
+IBufEntry *
+SM::findCtx(WarpId w, u32 ctx_id)
+{
+    return ibuf_.findCtx(w, ctx_id);
+}
+
 bool
 SM::syncGated(WarpId w, const IBufEntry &e) const
 {
@@ -397,38 +402,8 @@ SM::freeGroup(UnitClass cls)
     return nullptr;
 }
 
-std::vector<SM::Cand>
-SM::primaryDomain(unsigned pool) const
-{
-    std::vector<Cand> out;
-    for (WarpId w = 0; w < warps_.size(); ++w) {
-        if (cfg_.num_pools == 2 && (w % 2) != pool)
-            continue;
-        out.push_back({w, 0});
-    }
-    return out;
-}
-
-std::optional<SM::Cand>
-SM::selectOldest(const std::vector<Cand> &cands,
-                 bool check_group) const
-{
-    std::optional<Cand> best;
-    u64 best_seq = ~u64(0);
-    for (const Cand &c : cands) {
-        if (!ready(c.w, c.slot, check_group))
-            continue;
-        const IBufEntry *e = entryFor(c.w, c.slot);
-        if (e->seq < best_seq) {
-            best_seq = e->seq;
-            best = c;
-        }
-    }
-    return best;
-}
-
 // ----------------------------------------------------------------
-// issue
+// issue (FrontEndHost)
 // ----------------------------------------------------------------
 
 void
@@ -661,256 +636,6 @@ SM::issueCand(WarpId w, unsigned slot, bool secondary,
     return true;
 }
 
-void
-SM::issueStageSimple()
-{
-    last_primary_ = PrimaryIssueInfo{};
-
-    if (cfg_.num_pools == 2) {
-        // Two symmetric schedulers; alternate arbitration priority
-        // for the shared SFU/LSU groups.
-        unsigned first = unsigned(now_ & 1);
-        for (unsigned k = 0; k < 2; ++k) {
-            unsigned pool = (first + k) % 2;
-            auto c = selectOldest(primaryDomain(pool), true);
-            if (c)
-                issueCand(c->w, c->slot, false, nullptr, false);
-        }
-        return;
-    }
-
-    // SBI: primary over CPC1 entries, secondary over CPC2 entries.
-    auto c = selectOldest(primaryDomain(0), true);
-    if (c)
-        issueCand(c->w, c->slot, false, nullptr, false);
-    issueSecondarySimple(last_primary_);
-}
-
-void
-SM::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
-{
-    // Secondary front-end: oldest ready CPC2 (hot slot 1) entry.
-    // Same warp as the primary may share the primary's row (their
-    // masks are disjoint by construction); any other candidate needs
-    // a free execution group.
-    std::optional<Cand> best;
-    bool best_row = false;
-    u64 best_seq = ~u64(0);
-    for (WarpId w = 0; w < warps_.size(); ++w) {
-        if (!ready(w, 1, false))
-            continue;
-        const IBufEntry *e = entryFor(w, 1);
-        UnitClass cls = effectiveClass(e->inst.unit());
-        bool row = pinfo.valid && w == pinfo.w &&
-                   cls == pinfo.unit && cls != UnitClass::LSU;
-        if (!row && !freeGroup(cls))
-            continue;
-        if (e->seq < best_seq) {
-            best_seq = e->seq;
-            best = Cand{w, 1};
-            best_row = row;
-        }
-    }
-    if (best) {
-        PrimaryIssueInfo pcopy = pinfo;
-        issueCand(best->w, best->slot, true, &pcopy, best_row);
-        return;
-    }
-
-    if (!cfg_.sbi_secondary_fallback)
-        return;
-
-    // Fallback: issue another warp's primary-context instruction to
-    // a different SIMD group (docs/DESIGN.md interpretation note).
-    best.reset();
-    best_seq = ~u64(0);
-    for (WarpId w = 0; w < warps_.size(); ++w) {
-        if (pinfo.valid && w == pinfo.w)
-            continue;
-        if (!ready(w, 0, true))
-            continue;
-        const IBufEntry *e = entryFor(w, 0);
-        if (e->seq < best_seq) {
-            best_seq = e->seq;
-            best = Cand{w, 0};
-        }
-    }
-    if (best) {
-        if (issueCand(best->w, best->slot, true, nullptr, false))
-            stats_.fallback_issues += 1;
-    }
-}
-
-std::optional<SM::Cand>
-SM::pickSubstitute()
-{
-    // The secondary scheduler substituting for an absent primary
-    // (section 4). Its policy must stay decorrelated from the
-    // primary's oldest-first selection -- best-fit with
-    // pseudo-random tie-breaking -- or the two would keep picking
-    // the same instruction and squash each other forever.
-    std::vector<Cand> cands = primaryDomain(0);
-    if (cfg_.sbi) {
-        for (WarpId w = 0; w < warps_.size(); ++w)
-            cands.push_back({w, 1});
-    }
-    std::optional<Cand> best;
-    unsigned best_count = 0;
-    unsigned ties = 0;
-    for (const Cand &c : cands) {
-        if (!ready(c.w, c.slot, true))
-            continue;
-        unsigned count = entryFor(c.w, c.slot)->mask.count();
-        if (!best || count > best_count) {
-            best = c;
-            best_count = count;
-            ties = 1;
-        } else if (count == best_count) {
-            ++ties;
-            if (rng_.below(ties) == 0)
-                best = c;
-        }
-    }
-    return best;
-}
-
-std::optional<SM::Cand>
-SM::pickSecondaryCascaded(const PrimaryIssueInfo &pinfo,
-                          bool *row_share_out)
-{
-    *row_share_out = false;
-
-    if (!pinfo.valid)
-        return pickSubstitute();
-
-    // Mask-inclusion lookup (section 4): candidates either fit the
-    // free lanes of the primary's row or can go to a free group.
-    LaneMask free_lanes = ~pinfo.mask;
-    bool primary_row_shareable = pinfo.unit != UnitClass::LSU;
-
-    std::vector<LookupCandidate> lc;
-    std::vector<Cand> cands;
-    for (WarpId w = 0; w < warps_.size(); ++w) {
-        for (unsigned slot = 0; slot < 2; ++slot) {
-            if (slot == 1 && !cfg_.sbi)
-                continue;
-            if (slot == 0 && w == pinfo.w)
-                continue; // primary context just issued
-            if (!ready(w, slot, false))
-                continue;
-            const IBufEntry *e = entryFor(w, slot);
-            UnitClass cls = effectiveClass(e->inst.unit());
-            LookupCandidate c;
-            c.key = u32(cands.size());
-            c.warp = w;
-            c.mask = e->mask;
-            c.same_unit = primary_row_shareable && cls == pinfo.unit;
-            c.other_unit_free = freeGroup(cls) != nullptr;
-            // Same-warp CPC2 co-issue is the SBI path: structural,
-            // not set-restricted (mask disjointness is guaranteed).
-            if (w == pinfo.w || lookup_.eligible(pinfo.w, w)) {
-                lc.push_back(c);
-                cands.push_back({w, slot});
-            }
-        }
-    }
-    auto picked = lookup_.pick(pinfo.w, free_lanes, lc);
-    if (!picked)
-        return std::nullopt;
-    const LookupCandidate &sel = lc[*picked];
-    *row_share_out =
-        sel.same_unit && sel.mask.subsetOf(free_lanes);
-    return cands[*picked];
-}
-
-void
-SM::issueStageCascaded()
-{
-    last_primary_ = PrimaryIssueInfo{};
-
-    // Phase B snapshot: the primary scheduler selects its next pick
-    // in parallel with this cycle's issue (cascaded scheduling,
-    // section 4). Claimed entries (the parked pick) are skipped.
-    std::optional<Cand> next_pick =
-        selectOldest(primaryDomain(0), false);
-    u32 next_pick_ctx = 0;
-    if (next_pick)
-        next_pick_ctx = entryFor(next_pick->w, next_pick->slot)
-                            ->ctx_id;
-
-    // Phase A: issue the parked primary pick.
-    bool held = false;
-    if (cascade_.valid) {
-        // Re-locate the parked context (the sorter may have moved
-        // it between hot slots).
-        IBufEntry *e = ibuf_.findCtx(cascade_.w, cascade_.ctx_id);
-        int slot = -1;
-        for (unsigned s = 0; s < 2; ++s) {
-            CtxView cv = ctxView(cascade_.w, s);
-            if (cv.valid && cv.id == cascade_.ctx_id &&
-                cv.version == cascade_.ctx_version) {
-                slot = int(s);
-            }
-        }
-        if (!e || slot < 0 ||
-            e->ctx_version != cascade_.ctx_version) {
-            // The warp-split branched, merged or was demoted under
-            // the parked pick: drop it.
-            stats_.cascade_stale += 1;
-            if (e && e->claimed)
-                e->claimed = false;
-            cascade_.valid = false;
-        } else {
-            e->claimed = false; // allow ready() to see it
-            if (ready(cascade_.w, unsigned(slot), true)) {
-                issueCand(cascade_.w, unsigned(slot), false,
-                          nullptr, false);
-                cascade_.valid = false;
-            } else {
-                // Structural stall: hold the pick, retry next cycle.
-                e->claimed = true;
-                held = true;
-            }
-        }
-    }
-
-    // Secondary scheduler (one pipeline stage behind the primary).
-    bool row_share = false;
-    std::optional<u32> sec_issued_ctx;
-    WarpId sec_issued_warp = 0;
-    auto sec = pickSecondaryCascaded(last_primary_, &row_share);
-    if (sec) {
-        u32 ctx = entryFor(sec->w, sec->slot)->ctx_id;
-        PrimaryIssueInfo pcopy = last_primary_;
-        if (issueCand(sec->w, sec->slot, true,
-                      pcopy.valid ? &pcopy : nullptr, row_share)) {
-            sec_issued_ctx = ctx;
-            sec_issued_warp = sec->w;
-        }
-    }
-
-    // Phase B: park the next primary pick; detect the a-posteriori
-    // conflict where the secondary issued the same instruction this
-    // cycle (the primary's copy is discarded, section 4).
-    if (held)
-        return;
-    if (!next_pick)
-        return;
-    if (sec_issued_ctx && sec_issued_warp == next_pick->w &&
-        *sec_issued_ctx == next_pick_ctx) {
-        stats_.conflicts_squashed += 1;
-        return;
-    }
-    IBufEntry *e = entryFor(next_pick->w, next_pick->slot);
-    if (!e)
-        return; // consumed or invalidated this cycle
-    cascade_.valid = true;
-    cascade_.w = next_pick->w;
-    cascade_.ctx_id = e->ctx_id;
-    cascade_.ctx_version = e->ctx_version;
-    e->claimed = true;
-}
-
 // ----------------------------------------------------------------
 // events
 // ----------------------------------------------------------------
@@ -1051,90 +776,83 @@ SM::heapMaintenance()
 void
 SM::fetchStage()
 {
-    struct FetchCand
-    {
-        WarpId w;
-        unsigned ctx_slot;
-        unsigned ibuf_slot;
+    unsigned nw = unsigned(warps_.size());
+
+    // An entry is live while it matches a current context (by
+    // id and version) or is parked in the cascade register.
+    auto entryLive = [&](WarpId w, const IBufEntry &e) {
+        if (!e.valid)
+            return false;
+        if (e.claimed)
+            return true;
+        for (unsigned s = 0; s < 2; ++s) {
+            CtxView cv = ctxView(w, s);
+            if (cv.valid && cv.id == e.ctx_id)
+                return cv.version == e.ctx_version;
+        }
+        return false;
+    };
+
+    // Fetch for context slot (w, ctx_slot) if it needs it; true
+    // when a fetch happened (at most one per front-end per cycle).
+    auto tryFetch = [&](unsigned fe, WarpId w, unsigned ctx_slot) {
+        CtxView cv = ctxView(w, ctx_slot);
+        if (!cv.valid)
+            return false;
+        IBufEntry *have = ibuf_.findCtx(w, cv.id);
+        if (have &&
+            (have->claimed || have->ctx_version == cv.version))
+            return false; // already buffered (possibly claimed)
+        // Pick a victim slot: reuse this context's stale entry,
+        // else any dead slot.
+        IBufEntry *target = have;
+        if (!target) {
+            for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
+                IBufEntry &e = ibuf_.entry(w, s);
+                if (!entryLive(w, e)) {
+                    target = &e;
+                    break;
+                }
+            }
+        }
+        if (!target)
+            return false; // buffer full of live work
+        siwi_assert(cv.pc < prog_.size(), "fetch past program");
+        target->valid = true;
+        target->claimed = false;
+        target->ctx_id = cv.id;
+        target->ctx_version = cv.version;
+        target->inst = prog_.at(cv.pc);
+        target->pc = cv.pc;
+        target->mask = cv.mask;
+        target->seq = fetch_seq_++;
+        stats_.fetches += 1;
+        fe_rr_[fe] = WarpId((w + 1) % nw);
+        return true;
     };
 
     for (unsigned fe = 0; fe < 2; ++fe) {
-        std::vector<FetchCand> cands;
-        unsigned nw = unsigned(warps_.size());
-        for (unsigned i = 0; i < nw; ++i) {
+        bool fetched = false;
+        for (unsigned i = 0; i < nw && !fetched; ++i) {
             WarpId w = WarpId((fe_rr_[fe] + i) % nw);
             if (cfg_.num_pools == 2) {
                 if ((w % 2) != fe)
                     continue;
-                cands.push_back({w, 0, 0});
+                fetched = tryFetch(fe, w, 0);
             } else if (cfg_.sbi) {
-                if (fe == 0)
-                    cands.push_back({w, 0, 0});
-                else
-                    cands.push_back({w, 1, 1});
+                fetched = tryFetch(fe, w, fe == 0 ? 0 : 1);
             } else {
-                cands.push_back({w, 0, 0});
+                fetched = tryFetch(fe, w, 0);
             }
         }
-        if (cfg_.num_pools == 1 && cfg_.sbi && fe == 1 &&
-            cfg_.sbi_secondary_fallback) {
+        if (!fetched && cfg_.num_pools == 1 && cfg_.sbi &&
+            fe == 1 && cfg_.sbi_secondary_fallback) {
             // Secondary front-end helps fetch primary contexts when
             // it has nothing of its own to do.
-            for (unsigned i = 0; i < nw; ++i) {
+            for (unsigned i = 0; i < nw && !fetched; ++i) {
                 WarpId w = WarpId((fe_rr_[fe] + i) % nw);
-                cands.push_back({w, 0, 0});
+                fetched = tryFetch(fe, w, 0);
             }
-        }
-
-        // An entry is live while it matches a current context (by
-        // id and version) or is parked in the cascade register.
-        auto entryLive = [&](WarpId w, const IBufEntry &e) {
-            if (!e.valid)
-                return false;
-            if (e.claimed)
-                return true;
-            for (unsigned s = 0; s < 2; ++s) {
-                CtxView cv = ctxView(w, s);
-                if (cv.valid && cv.id == e.ctx_id)
-                    return cv.version == e.ctx_version;
-            }
-            return false;
-        };
-
-        for (const FetchCand &fc : cands) {
-            CtxView cv = ctxView(fc.w, fc.ctx_slot);
-            if (!cv.valid)
-                continue;
-            IBufEntry *have = ibuf_.findCtx(fc.w, cv.id);
-            if (have &&
-                (have->claimed || have->ctx_version == cv.version))
-                continue; // already buffered (possibly claimed)
-            // Pick a victim slot: reuse this context's stale entry,
-            // else any dead slot.
-            IBufEntry *target = have;
-            if (!target) {
-                for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
-                    IBufEntry &e = ibuf_.entry(fc.w, s);
-                    if (!entryLive(fc.w, e)) {
-                        target = &e;
-                        break;
-                    }
-                }
-            }
-            if (!target)
-                continue; // buffer full of live work
-            siwi_assert(cv.pc < prog_.size(), "fetch past program");
-            target->valid = true;
-            target->claimed = false;
-            target->ctx_id = cv.id;
-            target->ctx_version = cv.version;
-            target->inst = prog_.at(cv.pc);
-            target->pc = cv.pc;
-            target->mask = cv.mask;
-            target->seq = fetch_seq_++;
-            stats_.fetches += 1;
-            fe_rr_[fe] = WarpId((fc.w + 1) % nw);
-            break;
         }
     }
 }

@@ -7,6 +7,14 @@
  * the Fermi-like stack baseline, the 64-wide thread-frontier
  * reference, SBI, SWI, and SBI+SWI. See docs/DESIGN.md for the pipeline
  * structure and the interpretation notes.
+ *
+ * The SM is a policy host: it owns warp/block/barrier/event state,
+ * the instruction buffer, the scoreboard, the execution groups and
+ * the memory pipeline, and implements frontend::FrontEndHost. The
+ * per-cycle select/issue decision lives in the frontend layer (a
+ * StackFrontEnd or InterweaveFrontEnd built by
+ * frontend::makeFrontEnd from the configuration; see
+ * src/frontend/front_end.hh).
  */
 
 #ifndef SIWI_PIPELINE_SM_HH
@@ -16,19 +24,20 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/stats.hh"
 #include "divergence/reconv_stack.hh"
 #include "divergence/split_heap.hh"
 #include "exec/warp_state.hh"
+#include "frontend/front_end.hh"
 #include "isa/program.hh"
 #include "mem/memory_image.hh"
 #include "mem/memory_system.hh"
 #include "pipeline/config.hh"
 #include "pipeline/exec_unit.hh"
 #include "pipeline/ibuffer.hh"
-#include "pipeline/mask_lookup.hh"
 #include "pipeline/scoreboard.hh"
 
 namespace siwi::pipeline {
@@ -40,15 +49,24 @@ struct IssueEvent
     WarpId warp;
     Pc pc;
     LaneMask mask;
-    std::string unit;    //!< execution group name
+    /**
+     * Execution group name. A view into the group's name storage
+     * — stable while the SM lives, but the SM may not outlive
+     * the launch call (core::Gpu builds its SMs per launch), so
+     * a hook that retains events beyond the launch must copy
+     * this field (std::string(e.unit)). It is a view so that
+     * tracing never allocates and cannot perturb
+     * timing-sensitive debugging runs.
+     */
+    std::string_view unit;
     bool secondary;      //!< issued by the secondary scheduler
     unsigned occupancy;  //!< group cycles (waves / transactions)
 };
 
 /**
- * Cycle-level SM simulator.
+ * Cycle-level SM simulator (front-end host).
  */
-class SM
+class SM final : public frontend::FrontEndHost
 {
   public:
     /**
@@ -57,6 +75,10 @@ class SM
      */
     SM(const SMConfig &cfg, mem::MemoryImage &memory,
        mem::MemoryBackend *backend = nullptr);
+
+    // The front-end keeps a reference to its host SM.
+    SM(const SM &) = delete;
+    SM &operator=(const SM &) = delete;
 
     /** Start a grid of @p grid_blocks x @p block_threads threads. */
     void launch(const isa::Program &prog, unsigned grid_blocks,
@@ -87,14 +109,20 @@ class SM
      */
     core::SimStats run(Cycle max_cycles = 50'000'000);
 
-    Cycle now() const { return now_; }
-    const SMConfig &config() const { return cfg_; }
+    Cycle now() const override { return now_; }
+    const SMConfig &config() const override { return cfg_; }
 
     using TraceHook = std::function<void(const IssueEvent &)>;
     void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
 
     /** Statistics snapshot (finalized by run()). */
-    core::SimStats &stats() { return stats_; }
+    core::SimStats &stats() override { return stats_; }
+
+    /** The select/issue layer driving this SM. */
+    const frontend::FrontEnd &frontEnd() const
+    {
+        return *frontend_;
+    }
 
     /**
      * Fold warp/cache/unit counters into stats_ and return it.
@@ -133,16 +161,6 @@ class SM
         std::vector<WarpId> warps;
     };
 
-    /** Scheduling view of one warp context slot. */
-    struct CtxView
-    {
-        bool valid = false; //!< exists and is schedulable
-        u32 id = 0;
-        Pc pc = invalid_pc;
-        LaneMask mask;
-        u32 version = 0;
-    };
-
     /** Deferred completion / resolution event. */
     struct Event
     {
@@ -157,72 +175,43 @@ class SM
         Pc pc = invalid_pc;
     };
 
-    /**
-     * A scheduling candidate: warp + context slot (0 = primary /
-     * CPC1, 1 = secondary / CPC2). The instruction-buffer entry is
-     * resolved through the context id, so HCT re-sorting does not
-     * orphan buffered instructions.
-     */
-    struct Cand
+    // ------------------------------------------------------------
+    // FrontEndHost interface (the scheduling view of this SM)
+    // ------------------------------------------------------------
+    unsigned numWarps() const override
     {
-        WarpId w;
-        unsigned slot;
-    };
-
-    /** Primary pick parked between select and issue (SWI cascade). */
-    struct CascadeReg
+        return unsigned(warps_.size());
+    }
+    frontend::CtxView ctxView(WarpId w,
+                              unsigned slot) const override;
+    const IBufEntry *entryFor(WarpId w,
+                              unsigned slot) const override;
+    IBufEntry *entryFor(WarpId w, unsigned slot) override;
+    IBufEntry *findCtx(WarpId w, u32 ctx_id) override;
+    bool ready(WarpId w, unsigned slot,
+               bool check_group) const override;
+    ExecGroup *freeGroup(isa::UnitClass cls) override;
+    bool issueCand(WarpId w, unsigned slot, bool secondary,
+                   frontend::PrimaryIssueInfo *primary,
+                   bool row_share) override;
+    const frontend::PrimaryIssueInfo &lastPrimary() const override
     {
-        bool valid = false;
-        WarpId w = 0;
-        u32 ctx_id = 0;
-        u32 ctx_version = 0;
-    };
-
-    /** Row occupancy info of the primary issue this cycle. */
-    struct PrimaryIssueInfo
+        return last_primary_;
+    }
+    void clearLastPrimary() override
     {
-        bool valid = false;
-        WarpId w = 0;
-        u32 ctx_id = 0;
-        ExecGroup *group = nullptr;
-        LaneMask mask;
-        isa::UnitClass unit = isa::UnitClass::MAD;
-    };
+        last_primary_ = frontend::PrimaryIssueInfo{};
+    }
 
     // ------------------------------------------------------------
     // pipeline stages
     // ------------------------------------------------------------
     void processEvents();
     void heapMaintenance();
-    void issueStageSimple();
-    void issueStageCascaded();
     void fetchStage();
 
     // --- scheduling helpers ---
-    CtxView ctxView(WarpId w, unsigned slot) const;
-    /** Fresh buffered entry of the context in (w, slot), or null. */
-    const IBufEntry *entryFor(WarpId w, unsigned slot) const;
-    IBufEntry *entryFor(WarpId w, unsigned slot);
     bool syncGated(WarpId w, const IBufEntry &e) const;
-    bool ready(WarpId w, unsigned slot, bool check_group) const;
-    std::optional<Cand> selectOldest(const std::vector<Cand> &cands,
-                                     bool check_group) const;
-    std::vector<Cand> primaryDomain(unsigned pool) const;
-    ExecGroup *freeGroup(isa::UnitClass cls);
-
-    /**
-     * Issue the instruction buffered for context slot (w, slot).
-     * @param primary row-sharing context, null for primary issues
-     * @param row_share issue onto the primary's row
-     * @return true on success
-     */
-    bool issueCand(WarpId w, unsigned slot, bool secondary,
-                   PrimaryIssueInfo *primary, bool row_share);
-
-    void issueSecondarySimple(const PrimaryIssueInfo &pinfo);
-    std::optional<Cand> pickSecondaryCascaded(
-        const PrimaryIssueInfo &pinfo, bool *row_share_out);
-    std::optional<Cand> pickSubstitute();
 
     // --- semantics helpers ---
     void advanceCtx(WarpId w, u32 ctx_id, Pc next);
@@ -232,8 +221,9 @@ class SM
     void checkBarrierRelease(int block_slot);
     void retireWarpIfDone(WarpId w);
     void accumulateWarpStats(WarpSlot &ws);
-    bool issueMemory(WarpId w, const IBufEntry &e, const CtxView &cv,
-                     ExecGroup *group, bool row_share, Cycle when,
+    bool issueMemory(WarpId w, const IBufEntry &e,
+                     const frontend::CtxView &cv, ExecGroup *group,
+                     bool row_share, Cycle when,
                      unsigned *occupancy, LaneMask *issued_mask);
 
     // --- block management ---
@@ -261,12 +251,10 @@ class SM
     IBuffer ibuf_;
     Scoreboard sb_;
     std::vector<ExecGroup> groups_;
-    MaskLookup lookup_;
-    Rng rng_;
 
     std::multimap<Cycle, Event> events_;
-    CascadeReg cascade_;
-    PrimaryIssueInfo last_primary_; //!< issued this cycle
+    frontend::PrimaryIssueInfo last_primary_; //!< issued this cycle
+    std::unique_ptr<frontend::FrontEnd> frontend_;
 
     Cycle now_ = 0;
     u64 fetch_seq_ = 1;

@@ -51,6 +51,8 @@ compareResults(const Results &baseline, const Results &candidate,
             rep.added.push_back(cellKey(c));
         if (!c.verified)
             rep.unverified.push_back(cellKey(c));
+        if (c.timed_out)
+            rep.timed_out.push_back(cellKey(c));
     }
 
     auto worst_first = [](const CellDelta &a, const CellDelta &b) {
@@ -104,6 +106,7 @@ CompareReport::format() const
           missing);
     names("added cells (not in baseline)", added);
     names("UNVERIFIED candidate cells", unverified);
+    names("TIMED-OUT candidate cells (cycle cap hit)", timed_out);
 
     os << (pass() ? "PASS" : "FAIL") << "\n";
     return os.str();

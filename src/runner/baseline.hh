@@ -47,13 +47,15 @@ struct CompareReport
     std::vector<std::string> added;
     /** Candidate cells that failed functional verification. */
     std::vector<std::string> unverified;
+    /** Candidate cells truncated at the cycle cap. */
+    std::vector<std::string> timed_out;
 
     /** Gate verdict: no regressions, nothing missing, all
-     *  candidate cells verified. */
+     *  candidate cells verified and none timed out. */
     bool pass() const
     {
         return regressions.empty() && missing.empty() &&
-               unverified.empty();
+               unverified.empty() && timed_out.empty();
     }
 
     /** Human-readable report for the CI log. */

@@ -97,6 +97,12 @@ finishBench(const Results &res, const std::string &json_path)
             return 1;
         }
     }
+    if (res.timeouts()) {
+        std::fprintf(stderr,
+                     "%zu cell(s) timed out at the cycle cap\n",
+                     res.timeouts());
+        return 1;
+    }
     return res.verificationFailures() ? 1 : 0;
 }
 

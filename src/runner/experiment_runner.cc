@@ -27,31 +27,46 @@ effectiveJobs(unsigned jobs, size_t cells)
 
 CellResult
 runCell(const SweepSpec &sweep, size_t machine, size_t wl,
-        size_t sms)
+        size_t sms, size_t policy)
 {
     const MachineSpec &m = sweep.machines[machine];
     const workloads::Workload &w = *sweep.wls[wl];
     const unsigned num_sms =
         sweep.sms.empty() ? 1 : sweep.sms[sms];
+    const frontend::SchedPolicyKind pol =
+        sweep.policies.empty()
+            ? frontend::SchedPolicyKind::OldestFirst
+            : sweep.policies[policy];
 
+    pipeline::SMConfig cfg = m.config;
+    cfg.sched_policy = pol;
     workloads::RunResult res =
-        workloads::runWorkload(w, m.config, sweep.size, num_sms);
+        workloads::runWorkload(w, cfg, sweep.size, num_sms);
 
     CellResult c;
     c.sweep = sweep.name;
-    // The SM count is part of the cell identity (baselines and
-    // tables key on the machine label), so multi-SM cells carry
-    // it in the label; plain single-SM labels stay unchanged.
-    c.machine = num_sms == 1
-                    ? m.name
-                    : m.name + "@" + std::to_string(num_sms) +
-                          "sm";
+    // Policy and SM count are part of the cell identity (baselines
+    // and tables key on the machine label), so non-default cells
+    // carry them in the label; plain oldest-first single-SM labels
+    // stay unchanged.
+    c.machine = m.name;
+    if (pol != frontend::SchedPolicyKind::OldestFirst) {
+        c.machine += '/';
+        c.machine += frontend::schedPolicyName(pol);
+    }
+    if (num_sms != 1) {
+        c.machine += '@';
+        c.machine += std::to_string(num_sms);
+        c.machine += "sm";
+    }
     c.num_sms = num_sms;
+    c.policy = frontend::schedPolicyName(pol);
     c.workload = w.name();
     c.size = sizeClassName(sweep.size);
     c.excluded_from_means = w.excludedFromMeans();
     c.verified = res.verified;
     c.verify_msg = res.verify_msg;
+    c.timed_out = res.stats.timed_out;
     c.stats = res.stats;
     c.ipc = res.stats.ipc();
     return c;
@@ -79,23 +94,31 @@ runSweeps(const std::vector<SweepSpec> &sweeps,
                 return;
             const CellSpec &cs = cells[i];
             CellResult c = runCell(sweeps[cs.sweep], cs.machine,
-                                   cs.wl, cs.sms);
+                                   cs.wl, cs.sms, cs.policy);
             size_t n = done.fetch_add(1) + 1;
-            if (opts.progress || !c.verified) {
+            if (opts.progress || !c.verified || c.timed_out) {
                 std::lock_guard<std::mutex> lock(io_mutex);
                 if (opts.progress) {
                     std::fprintf(stderr,
-                                 "[%zu/%zu] %s %s %s  ipc %.2f%s\n",
+                                 "[%zu/%zu] %s %s %s  ipc %.2f%s%s\n",
                                  n, cells.size(), c.sweep.c_str(),
                                  c.machine.c_str(),
                                  c.workload.c_str(), c.ipc,
-                                 c.verified ? "" : "  VERIFY FAIL");
-                } else {
+                                 c.verified ? "" : "  VERIFY FAIL",
+                                 c.timed_out ? "  TIMED OUT" : "");
+                } else if (!c.verified) {
                     std::fprintf(
                         stderr,
                         "VERIFICATION FAILED: %s on %s: %s\n",
                         c.workload.c_str(), c.machine.c_str(),
                         c.verify_msg.c_str());
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "TIMED OUT: %s on %s truncated at the "
+                        "cycle cap; counters cover only the "
+                        "simulated prefix\n",
+                        c.workload.c_str(), c.machine.c_str());
                 }
             }
             out.cells[i] = std::move(c);

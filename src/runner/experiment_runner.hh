@@ -46,12 +46,13 @@ Results runSweeps(const std::vector<SweepSpec> &sweeps,
                   const RunOptions &opts = {});
 
 /**
- * Run one (workload, config, SM count) cell, the primitive the
- * benches used to call runCell() for. @p sms indexes the sweep's
- * SM-count axis (default: its first entry).
+ * Run one (workload, config, SM count, policy) cell, the
+ * primitive the benches used to call runCell() for. @p sms and
+ * @p policy index the sweep's SM-count and scheduling-policy axes
+ * (default: their first entries).
  */
 CellResult runCell(const SweepSpec &sweep, size_t machine,
-                   size_t wl, size_t sms = 0);
+                   size_t wl, size_t sms = 0, size_t policy = 0);
 
 } // namespace siwi::runner
 

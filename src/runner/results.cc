@@ -52,6 +52,15 @@ Results::verificationFailures() const
     return n;
 }
 
+size_t
+Results::timeouts() const
+{
+    size_t n = 0;
+    for (const CellResult &c : cells)
+        n += c.timed_out;
+    return n;
+}
+
 Json
 Results::toJson() const
 {
@@ -67,10 +76,12 @@ Results::toJson() const
         jc.set("workload", Json(c.workload));
         jc.set("size", Json(c.size));
         jc.set("num_sms", Json(c.num_sms));
+        jc.set("policy", Json(c.policy));
         jc.set("excluded_from_means", Json(c.excluded_from_means));
         jc.set("verified", Json(c.verified));
         if (!c.verified)
             jc.set("verify_msg", Json(c.verify_msg));
+        jc.set("timed_out", Json(c.timed_out));
         jc.set("ipc", Json(c.ipc));
         jc.set("stats", core::statsToJson(c.stats));
         arr.push(std::move(jc));
@@ -89,17 +100,20 @@ std::string
 Results::toCsv() const
 {
     std::ostringstream os;
-    os << "sweep,machine,workload,size,num_sms,"
+    os << "sweep,machine,workload,size,num_sms,policy,"
           "excluded_from_means,"
-          "verified,ipc,cycles,instructions,thread_instructions,"
+          "verified,timed_out,ipc,cycles,instructions,"
+          "thread_instructions,"
           "l1_hits,l1_misses,l2_hits,l2_misses,dram_transactions,"
           "dram_bytes\n";
     os.precision(17);
     for (const CellResult &c : cells) {
         os << c.sweep << ',' << c.machine << ',' << c.workload
            << ',' << c.size << ',' << c.num_sms << ','
+           << c.policy << ','
            << (c.excluded_from_means ? 1 : 0)
-           << ',' << (c.verified ? 1 : 0) << ',' << c.ipc << ','
+           << ',' << (c.verified ? 1 : 0) << ','
+           << (c.timed_out ? 1 : 0) << ',' << c.ipc << ','
            << c.stats.cycles << ',' << c.stats.instructions << ','
            << c.stats.thread_instructions << ',' << c.stats.l1_hits
            << ',' << c.stats.l1_misses << ',' << c.stats.l2_hits
@@ -146,10 +160,12 @@ Results::fromJson(const Json &j, Results *out, std::string *err)
         c.workload = jc.getString("workload");
         c.size = jc.getString("size");
         c.num_sms = unsigned(jc.getInt("num_sms", 1));
+        c.policy = jc.getString("policy");
         c.excluded_from_means =
             jc.getBool("excluded_from_means");
         c.verified = jc.getBool("verified");
         c.verify_msg = jc.getString("verify_msg");
+        c.timed_out = jc.getBool("timed_out");
         c.ipc = jc.getDouble("ipc");
         const Json *stats = jc.find("stats");
         if (!stats ||

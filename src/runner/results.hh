@@ -25,12 +25,23 @@ namespace siwi::runner {
 struct CellResult
 {
     std::string sweep;
-    std::string machine; //!< includes "@<n>sm" for multi-SM cells
+    /**
+     * Machine label; includes "/<policy>" for non-default
+     * scheduling policies and "@<n>sm" for multi-SM cells.
+     */
+    std::string machine;
     std::string workload;
     std::string size;      //!< "tiny" | "full" | "chip"
     unsigned num_sms = 1;  //!< chip SM count of this cell
+    std::string policy;    //!< scheduling policy ("oldest", ...)
     bool excluded_from_means = false;
     bool verified = false;
+    /**
+     * The run hit the cycle cap: stats cover only the simulated
+     * prefix and ipc is not a result. Tables render "T/O", the
+     * gate treats it like a verification failure.
+     */
+    bool timed_out = false;
     double ipc = 0.0;
     core::SimStats stats;
     std::string verify_msg; //!< diagnostic when !verified
@@ -59,6 +70,9 @@ class Results
 
     /** Number of cells that failed functional verification. */
     size_t verificationFailures() const;
+
+    /** Number of cells truncated at the cycle cap. */
+    size_t timeouts() const;
 
     Json toJson() const;
 

@@ -1,5 +1,7 @@
 #include "runner/suites.hh"
 
+#include "frontend/registry.hh"
+
 namespace siwi::runner {
 
 using pipeline::LaneShufflePolicy;
@@ -22,6 +24,17 @@ panelName(const char *figure, bool regular)
            (regular ? "_regular" : "_irregular");
 }
 
+/** The five paper machines, straight from the registry. */
+std::vector<MachineSpec>
+paperMachines()
+{
+    std::vector<MachineSpec> out;
+    for (const frontend::MachineEntry &m :
+         frontend::machineRegistry())
+        out.push_back({m.name, pipeline::SMConfig::make(m.mode)});
+    return out;
+}
+
 } // namespace
 
 SweepSpec
@@ -32,13 +45,7 @@ fig7Sweep(bool regular, workloads::SizeClass size,
     s.name = panelName("fig7", regular);
     s.size = size;
     s.wls = panelWorkloads(regular);
-    s.machines = {
-        makeMachine(PipelineMode::Baseline),
-        makeMachine(PipelineMode::SBI),
-        makeMachine(PipelineMode::SWI),
-        makeMachine(PipelineMode::SBISWI),
-        makeMachine(PipelineMode::Warp64),
-    };
+    s.machines = paperMachines();
     if (opts.ablate_sbi_fallback) {
         s.machines.push_back(makeMachine(
             "SBI-nofb", PipelineMode::SBI, [](SMConfig &c) {
@@ -117,6 +124,25 @@ fig9Sweep(bool regular, workloads::SizeClass size)
 }
 
 SweepSpec
+policySweep(bool regular, workloads::SizeClass size)
+{
+    // Policy study (beyond the paper): the Figure 7 grid crossed
+    // with every primary scheduling policy. Oldest-first cells
+    // reproduce fig7 exactly; the others show how much of each
+    // machine's gain survives a different primary ordering.
+    SweepSpec s;
+    s.name = panelName("fig_policy", regular);
+    s.size = size;
+    s.wls = panelWorkloads(regular);
+    s.machines = paperMachines();
+    s.policies.clear();
+    for (const frontend::PolicyEntry &p :
+         frontend::policyRegistry())
+        s.policies.push_back(p.kind);
+    return s;
+}
+
+SweepSpec
 scalingSweep(workloads::SizeClass size)
 {
     // The grid-scalable panel: gtid-indexed kernels with no block
@@ -170,7 +196,7 @@ const std::vector<std::string> &
 knownFigures()
 {
     static const std::vector<std::string> v = {
-        "fig7", "fig8a", "fig8b", "fig9", "scaling"};
+        "fig7", "fig8a", "fig8b", "fig9", "policy", "scaling"};
     return v;
 }
 
@@ -191,6 +217,8 @@ figureSweeps(const std::string &figure, workloads::SizeClass size)
             out.push_back(fig8bSweep(regular, size));
         else if (figure == "fig9")
             out.push_back(fig9Sweep(regular, size));
+        else if (figure == "policy")
+            out.push_back(policySweep(regular, size));
     }
     return out;
 }

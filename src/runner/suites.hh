@@ -43,6 +43,14 @@ SweepSpec fig8bSweep(bool regular, workloads::SizeClass size);
 SweepSpec fig9Sweep(bool regular, workloads::SizeClass size);
 
 /**
+ * Scheduling-policy study (beyond the paper): the Figure 7 grid
+ * crossed with every primary scheduling policy of the frontend
+ * registry (oldest / rr / gto / minpc). Oldest-first cells
+ * reproduce fig7 bit-exactly.
+ */
+SweepSpec policySweep(bool regular, workloads::SizeClass size);
+
+/**
  * Multi-SM scaling study (beyond the paper): Baseline and SBI+SWI
  * chips over num_sms in {1, 2, 4, 8} on a mixed
  * regular/irregular workload panel, sharing one L2 + DRAM channel

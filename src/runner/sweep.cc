@@ -73,9 +73,12 @@ expandCells(const std::vector<SweepSpec> &sweeps)
     for (size_t s = 0; s < sweeps.size(); ++s) {
         for (size_t w = 0; w < sweeps[s].wls.size(); ++w) {
             for (size_t n = 0; n < sweeps[s].sms.size(); ++n) {
-                for (size_t m = 0;
-                     m < sweeps[s].machines.size(); ++m)
-                    cells.push_back({s, m, w, n});
+                for (size_t p = 0;
+                     p < sweeps[s].policies.size(); ++p) {
+                    for (size_t m = 0;
+                         m < sweeps[s].machines.size(); ++m)
+                        cells.push_back({s, m, w, n, p});
+                }
             }
         }
     }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "frontend/sched_policy.hh"
 #include "pipeline/config.hh"
 #include "workloads/workload.hh"
 
@@ -71,10 +72,21 @@ struct SweepSpec
      * "@<n>sm" suffix on their machine label.
      */
     std::vector<unsigned> sms = {1};
+    /**
+     * Scheduling-policy axis: every cell runs once per entry,
+     * with SMConfig::sched_policy overridden (the front-end
+     * SchedPolicy strategy). Non-default policies carry a
+     * "/<policy>" suffix on their machine label; the default
+     * oldest-first keeps the plain label, so existing baselines
+     * stay keyed the same.
+     */
+    std::vector<frontend::SchedPolicyKind> policies = {
+        frontend::SchedPolicyKind::OldestFirst};
 
     size_t cellCount() const
     {
-        return machines.size() * wls.size() * sms.size();
+        return machines.size() * wls.size() * sms.size() *
+               policies.size();
     }
 
     /** Drop machines whose name is not in @p keep (empty = all). */
@@ -86,15 +98,16 @@ struct SweepSpec
 /**
  * One executable cell of a sweep: indices into the owning spec.
  * Expansion order (sweep-major, then workload, then SM count,
- * then machine) is the canonical result order regardless of
- * execution schedule.
+ * then policy, then machine) is the canonical result order
+ * regardless of execution schedule.
  */
 struct CellSpec
 {
     size_t sweep = 0;
     size_t machine = 0;
     size_t wl = 0;
-    size_t sms = 0; //!< index into SweepSpec::sms
+    size_t sms = 0;    //!< index into SweepSpec::sms
+    size_t policy = 0; //!< index into SweepSpec::policies
 };
 
 /** Flatten @p sweeps into cells in canonical order. */

@@ -34,7 +34,8 @@ std::string
 formatTable(const std::vector<TableRow> &rows,
             const std::vector<std::string> &col_names,
             const std::vector<std::vector<double>> &cols,
-            const char *fmt)
+            const char *fmt,
+            const std::vector<std::vector<bool>> *invalid = nullptr)
 {
     siwi_assert(cols.size() == col_names.size(),
                 "table: ", cols.size(), " columns vs ",
@@ -45,27 +46,47 @@ formatTable(const std::vector<TableRow> &rows,
                     " values vs ", rows.size(), " rows");
     }
 
+    auto cellInvalid = [&](size_t c, size_t r) {
+        return invalid && (*invalid)[c][r];
+    };
+
     std::string out;
     appendf(out, "%-22s", "");
     for (const std::string &n : col_names)
         appendf(out, "%12s", n.c_str());
     out += '\n';
 
+    bool any_invalid = false;
     for (size_t r = 0; r < rows.size(); ++r) {
         appendf(out, "%-22s", rows[r].name.c_str());
-        for (const auto &col : cols)
-            appendf(out, fmt, col[r]);
+        for (size_t c = 0; c < cols.size(); ++c) {
+            if (cellInvalid(c, r)) {
+                // A truncated run has no meaningful IPC; never
+                // print a plausible-looking number for it.
+                appendf(out, "%12s", "T/O");
+                any_invalid = true;
+            } else {
+                appendf(out, fmt, cols[c][r]);
+            }
+        }
         out += '\n';
     }
 
-    // Geomean over non-excluded rows (paper: TMD not counted).
-    std::vector<bool> excluded;
-    for (const TableRow &r : rows)
-        excluded.push_back(r.excluded);
+    // Geomean over non-excluded rows (paper: TMD not counted);
+    // timed-out cells are dropped from their column's mean.
     appendf(out, "%-22s", "Gmean");
-    for (const auto &col : cols)
-        appendf(out, fmt, geomean(excludeFromMeans(col, excluded)));
+    for (size_t c = 0; c < cols.size(); ++c) {
+        std::vector<bool> excluded;
+        for (size_t r = 0; r < rows.size(); ++r)
+            excluded.push_back(rows[r].excluded ||
+                               cellInvalid(c, r));
+        appendf(out, fmt,
+                geomean(excludeFromMeans(cols[c], excluded)));
+    }
     out += '\n';
+    if (any_invalid)
+        out += "(T/O = timed out at the cycle cap; excluded from "
+               "Gmean)\n";
     return out;
 }
 
@@ -74,17 +95,19 @@ formatTable(const std::vector<TableRow> &rows,
 std::string
 formatIpcTable(const std::vector<TableRow> &rows,
                const std::vector<std::string> &col_names,
-               const std::vector<std::vector<double>> &cols)
+               const std::vector<std::vector<double>> &cols,
+               const std::vector<std::vector<bool>> *invalid)
 {
-    return formatTable(rows, col_names, cols, "%12.2f");
+    return formatTable(rows, col_names, cols, "%12.2f", invalid);
 }
 
 std::string
 formatRatioTable(const std::vector<TableRow> &rows,
                  const std::vector<std::string> &col_names,
-                 const std::vector<std::vector<double>> &cols)
+                 const std::vector<std::vector<double>> &cols,
+                 const std::vector<std::vector<bool>> *invalid)
 {
-    return formatTable(rows, col_names, cols, "%12.3f");
+    return formatTable(rows, col_names, cols, "%12.3f", invalid);
 }
 
 std::vector<TableRow>
@@ -113,16 +136,25 @@ sweepMachines(const Results &results, const std::string &sweep)
     return names;
 }
 
+SweepColumnData
+sweepColumnData(const Results &results, const std::string &sweep,
+                const std::string &machine)
+{
+    SweepColumnData col;
+    for (const CellResult *c : results.sweepCells(sweep)) {
+        if (c->machine == machine) {
+            col.ipc.push_back(c->ipc);
+            col.timed_out.push_back(c->timed_out);
+        }
+    }
+    return col;
+}
+
 std::vector<double>
 sweepColumn(const Results &results, const std::string &sweep,
             const std::string &machine)
 {
-    std::vector<double> col;
-    for (const CellResult *c : results.sweepCells(sweep)) {
-        if (c->machine == machine)
-            col.push_back(c->ipc);
-    }
-    return col;
+    return sweepColumnData(results, sweep, machine).ipc;
 }
 
 std::string
@@ -131,10 +163,14 @@ formatSweepTable(const Results &results, const std::string &sweep)
     std::vector<std::string> machines =
         sweepMachines(results, sweep);
     std::vector<std::vector<double>> cols;
-    for (const std::string &m : machines)
-        cols.push_back(sweepColumn(results, sweep, m));
+    std::vector<std::vector<bool>> timed_out;
+    for (const std::string &m : machines) {
+        SweepColumnData col = sweepColumnData(results, sweep, m);
+        cols.push_back(std::move(col.ipc));
+        timed_out.push_back(std::move(col.timed_out));
+    }
     return formatIpcTable(sweepRows(results, sweep), machines,
-                          cols);
+                          cols, &timed_out);
 }
 
 } // namespace siwi::runner

@@ -49,7 +49,7 @@ TEST(Gpu, LaunchRunsToCompletion)
     lc.grid_blocks = 1;
     lc.block_threads = 64;
     SimStats st = gpu.launch(saxpyKernel(), lc);
-    EXPECT_FALSE(st.hit_cycle_limit);
+    EXPECT_FALSE(st.timed_out);
     EXPECT_GT(st.ipc(), 0.0);
     for (unsigned i = 0; i < 64; ++i) {
         EXPECT_FLOAT_EQ(gpu.memory().readF32(0x2000 + Addr(i) * 4),
@@ -145,7 +145,7 @@ TEST(Gpu, MultiSmProducesCorrectResults)
         lc.grid_blocks = blocks;
         lc.block_threads = threads;
         SimStats st = gpu.launch(saxpyKernel(), lc);
-        EXPECT_FALSE(st.hit_cycle_limit);
+        EXPECT_FALSE(st.timed_out);
         EXPECT_EQ(st.blocks_launched, u64(blocks));
         for (unsigned i = 0; i < n; ++i) {
             ASSERT_FLOAT_EQ(

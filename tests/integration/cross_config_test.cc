@@ -112,7 +112,7 @@ TEST_P(CrossConfig, IdenticalResultsOnAllMachines)
         lc.grid_blocks = 2;
         lc.block_threads = threads / 2;
         auto st = gpu.launch(kernel, lc);
-        ASSERT_FALSE(st.hit_cycle_limit)
+        ASSERT_FALSE(st.timed_out)
             << pipeline::pipelineModeName(m);
 
         std::vector<u32> out =

@@ -45,7 +45,7 @@ TEST_P(EveryWorkloadEveryMode, VerifiesFunctionally)
     ASSERT_NE(wl, nullptr);
     auto cfg = pipeline::SMConfig::make(GetParam().mode);
     RunResult res = runWorkload(*wl, cfg, SizeClass::Tiny);
-    EXPECT_FALSE(res.stats.hit_cycle_limit);
+    EXPECT_FALSE(res.stats.timed_out);
     EXPECT_TRUE(res.verified) << res.verify_msg;
     EXPECT_GT(res.stats.ipc(), 0.0);
 }

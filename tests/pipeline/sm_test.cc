@@ -58,7 +58,7 @@ runOn(PipelineMode mode, const isa::Program &prog, unsigned blocks,
     SM sm(cfg, mem);
     sm.launch(prog, blocks, threads);
     core::SimStats st = sm.run(2'000'000);
-    EXPECT_FALSE(st.hit_cycle_limit);
+    EXPECT_FALSE(st.timed_out);
     return st;
 }
 
@@ -307,7 +307,7 @@ TEST(SmBarrier, BarrierSynchronizesBlock)
         SM sm(cfg, mem);
         sm.launch(prog, 1, 128);
         auto st = sm.run(1'000'000);
-        EXPECT_FALSE(st.hit_cycle_limit) << pipelineModeName(m);
+        EXPECT_FALSE(st.timed_out) << pipelineModeName(m);
         EXPECT_GE(st.barrier_releases, 1u);
         for (u32 t = 0; t < 128; ++t)
             ASSERT_EQ(mem.read32(0x3000 + Addr(t) * 4), 77u)
@@ -387,7 +387,7 @@ TEST(SmLimits, CycleLimitReported)
     sm.launch(compiled(b.build()), 1, 32);
     auto st = sm.run(5000);
     setLogQuiet(false);
-    EXPECT_TRUE(st.hit_cycle_limit);
+    EXPECT_TRUE(st.timed_out);
 }
 
 TEST(SmTrace, HookSeesIssues)

@@ -48,6 +48,7 @@ sampleCell(const std::string &sweep, const std::string &machine,
     c.machine = machine;
     c.workload = workload;
     c.size = "tiny";
+    c.policy = "oldest";
     c.verified = true;
     c.ipc = ipc;
     c.stats = sampleStats(u64(ipc * 10));
@@ -72,7 +73,7 @@ sampleResults()
 TEST(StatsIo, RoundTrip)
 {
     core::SimStats st = sampleStats(7);
-    st.hit_cycle_limit = true;
+    st.timed_out = true;
     core::SimStats back;
     std::string err;
     ASSERT_TRUE(core::statsFromJson(statsToJson(st), &back, &err))
@@ -144,8 +145,36 @@ TEST(Results, CsvHasHeaderAndOneRowPerCell)
         lines += c == '\n';
     EXPECT_EQ(lines, 1 + r.cells.size());
     EXPECT_EQ(csv.find("sweep,machine,workload"), 0u);
-    EXPECT_NE(csv.find("fig7,SBI,BFS,tiny,1,0,1,28.25"),
-              std::string::npos);
+    EXPECT_NE(
+        csv.find("fig7,SBI,BFS,tiny,1,oldest,0,1,0,28.25"),
+        std::string::npos);
+}
+
+TEST(Results, TimedOutCellsAreCountedAndRoundTrip)
+{
+    Results r = sampleResults();
+    r.cells[1].timed_out = true;
+    EXPECT_EQ(r.timeouts(), 1u);
+
+    Results back;
+    std::string err;
+    ASSERT_TRUE(Results::fromJson(r.toJson(), &back, &err))
+        << err;
+    EXPECT_EQ(back, r);
+    EXPECT_TRUE(back.cells[1].timed_out);
+    EXPECT_EQ(back.cells[1].policy, "oldest");
+}
+
+TEST(Compare, TimedOutCandidateFailsTheGate)
+{
+    Results base = sampleResults();
+    base.cells.pop_back(); // drop the unverified cell
+    Results cand = base;
+    cand.cells[0].timed_out = true;
+    CompareReport rep = compareResults(base, cand, 0.02);
+    EXPECT_FALSE(rep.pass());
+    ASSERT_EQ(rep.timed_out.size(), 1u);
+    EXPECT_NE(rep.format().find("TIMED-OUT"), std::string::npos);
 }
 
 TEST(Compare, IdenticalResultsPass)

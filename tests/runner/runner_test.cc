@@ -216,6 +216,101 @@ TEST(Runner, CellOrderIndependentOfJobCount)
     EXPECT_EQ(r.cells[2].workload, "Histogram");
 }
 
+TEST(Sweep, PolicyAxisExpandsCells)
+{
+    SweepSpec s = tinyGrid();
+    s.policies = {frontend::SchedPolicyKind::OldestFirst,
+                  frontend::SchedPolicyKind::GreedyThenOldest};
+    EXPECT_EQ(s.cellCount(), 8u);
+    std::vector<CellSpec> cells = expandCells({s});
+    ASSERT_EQ(cells.size(), 8u);
+    // Workload-major, then policy, then machine.
+    EXPECT_EQ(cells[0].policy, 0u);
+    EXPECT_EQ(cells[1].policy, 0u);
+    EXPECT_EQ(cells[2].policy, 1u);
+    EXPECT_EQ(cells[2].machine, 0u);
+    EXPECT_EQ(cells[2].wl, 0u);
+    EXPECT_EQ(cells[4].wl, 1u);
+}
+
+TEST(Runner, PolicyCellCarriesLabelAndName)
+{
+    setLogQuiet(true);
+    SweepSpec s = tinyGrid();
+    s.policies = {frontend::SchedPolicyKind::OldestFirst,
+                  frontend::SchedPolicyKind::RoundRobin};
+    CellResult c = runCell(s, 1, 0, 0, 1);
+    EXPECT_EQ(c.machine, "SBI/rr");
+    EXPECT_EQ(c.policy, "rr");
+    EXPECT_TRUE(c.verified) << c.verify_msg;
+
+    // Oldest-first cells keep the plain label (baseline
+    // continuity) but still record their policy.
+    CellResult plain = runCell(s, 1, 0, 0, 0);
+    EXPECT_EQ(plain.machine, "SBI");
+    EXPECT_EQ(plain.policy, "oldest");
+}
+
+TEST(Runner, GoldenMachinePolicyGridDeterministic)
+{
+    // The golden-stats grid: one small workload under all five
+    // paper machines x all four scheduling policies, identical
+    // for any -j, all verified, with the oldest-first column
+    // reproducing the plain fig7 cells bit-exactly.
+    setLogQuiet(true);
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.name = "golden";
+    s.filterWorkloads({"BFS"});
+    s.policies.clear();
+    for (frontend::SchedPolicyKind k :
+         frontend::allSchedPolicies())
+        s.policies.push_back(k);
+    ASSERT_EQ(s.cellCount(), 20u);
+
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.suite_label = "golden";
+    Results a = runSweeps({s}, serial);
+
+    RunOptions parallel = serial;
+    parallel.jobs = 4;
+    Results b = runSweeps({s}, parallel);
+
+    ASSERT_EQ(a.cells.size(), 20u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toJsonText(), b.toJsonText());
+    EXPECT_EQ(a.toCsv(), b.toCsv());
+
+    unsigned distinct_from_oldest = 0;
+    for (const CellResult &c : a.cells) {
+        EXPECT_TRUE(c.verified)
+            << c.machine << ": " << c.verify_msg;
+        EXPECT_FALSE(c.timed_out) << c.machine;
+        if (c.policy == "oldest") {
+            // Bit-identical to the plain fig7 cell.
+            SweepSpec plain = fig7Sweep(false, SizeClass::Tiny);
+            plain.filterWorkloads({"BFS"});
+            size_t mi = 0;
+            while (plain.machines[mi].name != c.machine)
+                ++mi;
+            CellResult ref = runCell(plain, mi, 0);
+            EXPECT_EQ(c.stats, ref.stats) << c.machine;
+        } else {
+            const CellResult *oldest = a.find(
+                "golden",
+                c.machine.substr(0, c.machine.find('/')), "BFS");
+            ASSERT_NE(oldest, nullptr) << c.machine;
+            EXPECT_EQ(c.stats.threads_launched,
+                      oldest->stats.threads_launched);
+            if (c.stats.cycles != oldest->stats.cycles)
+                ++distinct_from_oldest;
+        }
+    }
+    // The policy axis must actually change schedules somewhere in
+    // the grid, or it is not a real axis.
+    EXPECT_GE(distinct_from_oldest, 3u);
+}
+
 TEST(Table, FormatsSweepWithGmeanRow)
 {
     setLogQuiet(true);
@@ -227,6 +322,27 @@ TEST(Table, FormatsSweepWithGmeanRow)
     EXPECT_NE(table.find("SBI"), std::string::npos);
     EXPECT_NE(table.find("BFS"), std::string::npos);
     EXPECT_NE(table.find("Gmean"), std::string::npos);
+}
+
+TEST(Table, TimedOutCellRendersToMarkerNotIpc)
+{
+    Results r;
+    CellResult a;
+    a.sweep = "s";
+    a.machine = "M";
+    a.workload = "A";
+    a.verified = true;
+    a.ipc = 5.0;
+    CellResult b = a;
+    b.workload = "B";
+    b.timed_out = true;
+    b.ipc = 3.33; // plausible-looking, must not be printed
+    r.cells = {a, b};
+
+    std::string table = formatSweepTable(r, "s");
+    EXPECT_NE(table.find("T/O"), std::string::npos);
+    EXPECT_EQ(table.find("3.33"), std::string::npos);
+    EXPECT_NE(table.find("timed out"), std::string::npos);
 }
 
 } // namespace

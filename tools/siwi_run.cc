@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "frontend/registry.hh"
 #include "runner/runner.hh"
 
 using namespace siwi;
@@ -41,8 +42,8 @@ usage(FILE *out)
 "run selection:\n"
 "  --suite NAME       fast | fig7 | scaling | full "
 "(default: fast)\n"
-"  --figure NAME      fig7 | fig8a | fig8b | fig9 | scaling;\n"
-"                     repeatable, overrides --suite\n"
+"  --figure NAME      fig7 | fig8a | fig8b | fig9 | policy |\n"
+"                     scaling; repeatable, overrides --suite\n"
 "  --size SIZE        tiny | full | chip: override the sweep "
 "size\n"
 "  --machine NAME     keep only this machine (repeatable)\n"
@@ -50,6 +51,8 @@ usage(FILE *out)
 "  --sms N            override the SM-count axis of every\n"
 "                     selected sweep (repeatable, e.g.\n"
 "                     --sms 1 --sms 4)\n"
+"  --policy NAME      override the scheduling-policy axis:\n"
+"                     oldest | rr | gto | minpc (repeatable)\n"
 "\n"
 "execution:\n"
 "  -j, --jobs N       worker threads (default: all cores)\n"
@@ -58,6 +61,8 @@ usage(FILE *out)
 "output:\n"
 "  --json PATH        write results as JSON\n"
 "  --csv PATH         write results as CSV\n"
+"  --throughput-json PATH  write wall-clock / cells-per-second\n"
+"                     of this run as JSON (perf trajectory)\n"
 "  --quiet            suppress the result tables\n"
 "  --list             print the selected cells and exit\n"
 "  --list-suites      print known suites, figures, machines "
@@ -123,6 +128,10 @@ main(int argc, char **argv)
         for (const workloads::Workload *w :
              workloads::allWorkloads())
             std::printf(" %s", w->name());
+        std::printf("\npolicies:");
+        for (const frontend::PolicyEntry &p :
+             frontend::policyRegistry())
+            std::printf(" %s", p.name);
         std::printf("\n");
         return exit_ok;
     }
@@ -175,6 +184,16 @@ main(int argc, char **argv)
         }
         sms_axis.push_back(unsigned(v));
     }
+    std::vector<frontend::SchedPolicyKind> policy_axis;
+    for (const std::string &p : args.options("--policy")) {
+        frontend::SchedPolicyKind kind;
+        if (!frontend::parseSchedPolicy(p, &kind)) {
+            std::fprintf(stderr, "siwi-run: bad --policy: %s\n",
+                         p.c_str());
+            return exit_usage;
+        }
+        policy_axis.push_back(kind);
+    }
     unsigned jobs = 0;
     if (!args.intOption("--jobs", &jobs))
         args.intOption("-j", &jobs);
@@ -182,9 +201,11 @@ main(int argc, char **argv)
     bool quiet = args.flag("--quiet");
     bool list_only = args.flag("--list");
     std::string json_path, csv_path, baseline_path;
+    std::string throughput_path;
     args.option("--json", &json_path);
     args.option("--csv", &csv_path);
     args.option("--baseline", &baseline_path);
+    args.option("--throughput-json", &throughput_path);
 
     if (!finishArgs(args, "siwi-run")) {
         usage(stderr);
@@ -253,6 +274,8 @@ main(int argc, char **argv)
         s.filterWorkloads(wl_names);
         if (!sms_axis.empty())
             s.sms = sms_axis;
+        if (!policy_axis.empty())
+            s.policies = policy_axis;
     }
     std::erase_if(sweeps, [](const SweepSpec &s) {
         return s.cellCount() == 0;
@@ -266,11 +289,15 @@ main(int argc, char **argv)
     if (list_only) {
         for (const CellSpec &c : expandCells(sweeps)) {
             const SweepSpec &s = sweeps[c.sweep];
-            std::printf("%s %s %s %s %usm\n", s.name.c_str(),
-                        s.machines[c.machine].name.c_str(),
-                        s.wls[c.wl]->name(),
-                        sizeClassName(s.size),
-                        s.sms.empty() ? 1u : s.sms[c.sms]);
+            std::printf(
+                "%s %s %s %s %usm %s\n", s.name.c_str(),
+                s.machines[c.machine].name.c_str(),
+                s.wls[c.wl]->name(), sizeClassName(s.size),
+                s.sms.empty() ? 1u : s.sms[c.sms],
+                frontend::schedPolicyName(
+                    s.policies.empty()
+                        ? frontend::SchedPolicyKind::OldestFirst
+                        : s.policies[c.policy]));
         }
         return exit_ok;
     }
@@ -291,6 +318,23 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "siwi-run: %zu cells on %u thread(s) in %.2fs\n",
                  total, effectiveJobs(jobs, total), secs);
+
+    if (!throughput_path.empty()) {
+        // The perf-trajectory record CI uploads as an artifact:
+        // wall-clock of the whole sweep, in cells per second.
+        Json tj = Json::object();
+        tj.set("suite", Json(label));
+        tj.set("cells", Json(u64(total)));
+        tj.set("jobs", Json(u64(effectiveJobs(jobs, total))));
+        tj.set("seconds", Json(secs));
+        tj.set("cells_per_sec",
+               Json(secs > 0.0 ? double(total) / secs : 0.0));
+        std::string terr;
+        if (!tj.writeFile(throughput_path, 2, &terr)) {
+            std::fprintf(stderr, "siwi-run: %s\n", terr.c_str());
+            return exit_io;
+        }
+    }
 
     if (!quiet) {
         for (const std::string &name : res.sweepNames()) {
@@ -326,6 +370,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "siwi-run: %zu cell(s) failed verification\n",
                      res.verificationFailures());
+        return exit_verify;
+    }
+    if (res.timeouts()) {
+        std::fprintf(
+            stderr,
+            "siwi-run: %zu cell(s) timed out at the cycle cap "
+            "(IPC not meaningful)\n",
+            res.timeouts());
         return exit_verify;
     }
 
