@@ -16,7 +16,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -35,16 +34,8 @@ main(int argc, char **argv)
     args.option("--json", &json_path);
     std::vector<std::string> machines = args.options("--machine");
     std::vector<unsigned> sms_axis;
-    for (const std::string &s : args.options("--sms")) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(s.c_str(), &end, 10);
-        if (!end || *end != '\0' || v < 1 || v > 1024) {
-            std::fprintf(stderr, "fig_scaling: bad --sms: %s\n",
-                         s.c_str());
-            return 2;
-        }
-        sms_axis.push_back(unsigned(v));
-    }
+    if (!smsAxisOption(args, "fig_scaling", &sms_axis))
+        return 2;
     if (!runner::finishArgs(args, "fig_scaling"))
         return 2;
 

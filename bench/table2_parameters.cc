@@ -9,36 +9,12 @@
 
 #include "common/json.hh"
 #include "core/siwi.hh"
+#include "pipeline/config_io.hh"
 #include "runner/cli.hh"
 
 using namespace siwi;
 using pipeline::PipelineMode;
 using pipeline::SMConfig;
-
-namespace {
-
-Json
-configJson(const SMConfig &c)
-{
-    Json j = Json::object();
-    j.set("warp_width", Json(c.warp_width));
-    j.set("num_warps", Json(c.num_warps));
-    j.set("num_pools", Json(c.num_pools));
-    j.set("mad_groups", Json(c.mad_groups));
-    j.set("mad_width", Json(c.mad_width));
-    j.set("sfu_width", Json(c.sfu_width));
-    j.set("lsu_width", Json(c.lsu_width));
-    j.set("scheduler_latency", Json(c.scheduler_latency));
-    j.set("delivery_latency", Json(c.delivery_latency));
-    j.set("exec_latency", Json(c.exec_latency));
-    j.set("scoreboard_entries", Json(c.scoreboard_entries));
-    j.set("lookup_sets", Json(c.lookup_sets));
-    j.set("sbi", Json(c.sbi));
-    j.set("swi", Json(c.swi));
-    return j;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -59,7 +35,10 @@ main(int argc, char **argv)
         SMConfig c = SMConfig::make(m);
         std::printf("\n### %s\n%s", pipelineModeName(m),
                     c.summary().c_str());
-        doc.set(pipelineModeName(m), configJson(c));
+        // The full field-table dump (pipeline/config_io.hh), so
+        // the JSON form of Table 2 carries every knob a machine
+        // file could override.
+        doc.set(pipelineModeName(m), pipeline::smConfigToJson(c));
     }
     std::printf("\nPaper Table 2 reference:\n"
                 "  Baseline: 32x32 warps, sched 1cyc, delivery "

@@ -19,6 +19,6 @@ build="${1:-$repo/build-baseline}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" --target siwi-run -j
-"$build/siwi-run" --suite fast --quiet \
+"$build/siwi-run" --spec "$repo/bench/specs/fast.json" --quiet \
     --json "$repo/bench/baseline.json"
 echo "wrote $repo/bench/baseline.json"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace siwi {
 
@@ -485,6 +486,29 @@ Json
 Json::parse(std::string_view text, std::string *err)
 {
     return Parser(text, err).run();
+}
+
+Json
+Json::parseFile(const std::string &path, std::string *err)
+{
+    if (err)
+        err->clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return Json();
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string parse_err;
+    Json j = Json::parse(buf.str(), &parse_err);
+    if (!parse_err.empty()) {
+        if (err)
+            *err = path + ": " + parse_err;
+        return Json();
+    }
+    return j;
 }
 
 } // namespace siwi

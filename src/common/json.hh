@@ -109,6 +109,15 @@ class Json
     static Json parse(std::string_view text, std::string *err);
 
     /**
+     * Read and parse a whole file (the writeFile() companion).
+     * On failure returns null and stores a diagnostic — prefixed
+     * with the path — in @p err; @p err is cleared on success so
+     * callers can test it directly.
+     */
+    static Json parseFile(const std::string &path,
+                          std::string *err);
+
+    /**
      * Write dump(@p indent) plus a trailing newline to @p path,
      * checking the final flush (a buffered write that only fails
      * at close is still reported).

@@ -1,0 +1,103 @@
+#include "core/config_io.hh"
+
+#include <vector>
+
+#include "pipeline/config_io.hh"
+
+namespace siwi::core {
+
+namespace {
+
+#define F_U32(key, member, doc) \
+    SIWI_CFG_U32(GpuConfig, key, member, doc)
+#define F_BOOL(key, member, doc) \
+    SIWI_CFG_BOOL(GpuConfig, key, member, doc)
+
+/** Chip-level fields; the nested SMConfig has its own table. */
+const std::vector<ConfigField<GpuConfig>> &
+fieldTable()
+{
+    static const std::vector<ConfigField<GpuConfig>> v = {
+        F_U32("num_sms", num_sms, "SM instances on the chip"),
+        F_BOOL("shared_backend", shared_backend,
+               "route SM misses through the chip-shared L2 + one "
+               "DRAM channel (required when num_sms > 1)"),
+        F_U32("l2_size_bytes", l2.size_bytes,
+              "shared L2 size in bytes"),
+        F_U32("l2_ways", l2.ways, "shared L2 associativity"),
+        F_U32("l2_block_bytes", l2.block_bytes,
+              "shared L2 block size (must match the L1s)"),
+        F_U32("l2_hit_latency", l2.hit_latency,
+              "interconnect + L2 access latency in cycles"),
+        F_U32("dram_bytes_per_cycle_x10",
+              dram.bytes_per_cycle_x10,
+              "chip DRAM-channel bandwidth in 0.1 byte/cycle "
+              "units (shared path)"),
+        F_U32("dram_latency_cycles", dram.latency_cycles,
+              "chip DRAM-channel flat latency in cycles"),
+    };
+    return v;
+}
+
+#undef F_U32
+#undef F_BOOL
+
+} // namespace
+
+std::span<const ConfigField<GpuConfig>>
+gpuConfigFields()
+{
+    return fieldTable();
+}
+
+Json
+gpuConfigToJson(const GpuConfig &c)
+{
+    Json j = configToJson<GpuConfig>(c, gpuConfigFields());
+    j.set("sm", pipeline::smConfigToJson(c.sm));
+    return j;
+}
+
+bool
+gpuConfigApplyJson(const Json &j, GpuConfig *c, std::string *err)
+{
+    if (!j.isObject()) {
+        if (err)
+            *err = "config: expected a JSON object";
+        return false;
+    }
+    GpuConfig tmp = *c;
+    // Split the members: "sm" goes through the SMConfig table,
+    // everything else through the chip table (which rejects
+    // unknown keys).
+    Json chip = Json::object();
+    for (const Json::Member &m : j.obj()) {
+        if (m.first == "sm") {
+            if (!pipeline::smConfigApplyJson(m.second, &tmp.sm,
+                                             err))
+                return false;
+        } else {
+            chip.set(m.first, m.second);
+        }
+    }
+    if (!configApplyJson<GpuConfig>(chip, gpuConfigFields(), &tmp,
+                                    err))
+        return false;
+    *c = tmp;
+    return true;
+}
+
+Json
+gpuConfigSchema()
+{
+    return configSchema<GpuConfig>(GpuConfig{}, gpuConfigFields());
+}
+
+bool
+operator==(const GpuConfig &a, const GpuConfig &b)
+{
+    return configEqual<GpuConfig>(a, b, gpuConfigFields()) &&
+           a.sm == b.sm;
+}
+
+} // namespace siwi::core

@@ -27,17 +27,39 @@ GpuConfig::make(const pipeline::SMConfig &sm, unsigned num_sms)
     return cfg;
 }
 
+std::string
+GpuConfig::checkInvariants() const
+{
+    std::string sm_err = sm.checkInvariants();
+    if (!sm_err.empty())
+        return sm_err;
+    if (num_sms < 1)
+        return "num_sms must be at least 1";
+    if (num_sms > 1 && !shared_backend)
+        return "a multi-SM chip requires the shared backend";
+    if (shared_backend) {
+        if (l2.block_bytes != sm.mem.l1.block_bytes)
+            return "l2_block_bytes must match l1_block_bytes";
+        // The shared L2 reuses the set-associative tag array, so
+        // mirror its constructor asserts too.
+        u32 l2_blocks = l2.size_bytes / l2.block_bytes;
+        if (l2.ways < 1 || l2_blocks < l2.ways ||
+            l2_blocks % l2.ways != 0)
+            return "l2_size_bytes must be a whole number of "
+                   "sets (a multiple of l2_ways * "
+                   "l2_block_bytes)";
+        if (dram.bytes_per_cycle_x10 < 1)
+            return "chip dram_bytes_per_cycle_x10 must be at "
+                   "least 1";
+    }
+    return {};
+}
+
 void
 GpuConfig::validate() const
 {
-    sm.validate();
-    siwi_assert(num_sms >= 1, "chip with no SMs");
-    siwi_assert(num_sms == 1 || shared_backend,
-                "multi-SM chip requires the shared backend");
-    if (shared_backend) {
-        siwi_assert(l2.block_bytes == sm.mem.l1.block_bytes,
-                    "L2 block size must match the L1s");
-    }
+    std::string err = checkInvariants();
+    siwi_assert(err.empty(), err);
 }
 
 Gpu::Gpu(const pipeline::SMConfig &cfg)

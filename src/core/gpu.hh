@@ -16,6 +16,7 @@
 #define SIWI_CORE_GPU_HH
 
 #include <memory>
+#include <string>
 
 #include "core/kernel.hh"
 #include "core/stats.hh"
@@ -64,9 +65,23 @@ struct GpuConfig
     static GpuConfig make(const pipeline::SMConfig &sm,
                           unsigned num_sms);
 
+    /**
+     * Check invariants without stopping: empty string when
+     * consistent, else a diagnostic (covers the nested SM config
+     * too). The non-fatal path serves user-supplied spec and
+     * machine files.
+     */
+    std::string checkInvariants() const;
+
     /** Sanity-check invariants; panics on nonsense. */
     void validate() const;
 };
+
+/**
+ * Field-wise equality over the GpuConfig field table plus the
+ * nested SMConfig table (see core/config_io.hh); != is derived.
+ */
+bool operator==(const GpuConfig &a, const GpuConfig &b);
 
 /**
  * The simulated device.

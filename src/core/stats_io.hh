@@ -32,8 +32,14 @@ namespace siwi::core {
  * truncated run is not a result, and the runner now surfaces it
  * per cell), and adds the scheduling-policy label ("policy") to
  * each results cell.
+ *
+ * v4 (SimSpec API): results gain a top-level "machines" array —
+ * one entry per (sweep, decorated machine label) with the fully
+ * resolved chip configuration (core/config_io.hh), so every
+ * artifact is self-describing and re-runnable. Cells are
+ * unchanged.
  */
-constexpr int stats_schema_version = 3;
+constexpr int stats_schema_version = 4;
 
 /** One u64 counter of SimStats: serialization name + member. */
 struct StatsField

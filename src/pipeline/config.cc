@@ -102,30 +102,61 @@ SMConfig::make(PipelineMode mode)
     return c;
 }
 
+std::string
+SMConfig::checkInvariants() const
+{
+    if (warp_width < 1 || warp_width > max_warp_width)
+        return "warp_width out of range (1..64)";
+    if (!isPow2(warp_width))
+        return "warp_width must be a power of two";
+    if (num_warps < 1)
+        return "need at least one warp";
+    if (num_pools != 1 && num_pools != 2)
+        return "num_pools must be 1 or 2";
+    if (num_warps % num_pools != 0)
+        return "warps must split evenly across pools";
+    if (mad_groups < 1)
+        return "need at least one MAD group";
+    if (mad_width < 1 || sfu_width < 1 || lsu_width < 1)
+        return "unit widths must be at least 1";
+    if (warp_width % sfu_width != 0 ||
+        warp_width % std::min(lsu_width, warp_width) != 0)
+        return "unit widths must divide warp_width";
+    if (sbi && reconv == ReconvMode::Stack)
+        return "sbi requires thread-frontier reconvergence";
+    if (split_on_memory_divergence && reconv == ReconvMode::Stack)
+        return "memory splits require thread-frontier "
+               "reconvergence";
+    if (swi && !cascaded())
+        return "swi requires cascaded scheduling "
+               "(scheduler_latency >= 2)";
+    if (lookup_sets < 1 || lookup_sets > num_warps)
+        return "lookup_sets out of range (1..num_warps)";
+    if (scoreboard_entries < 1)
+        return "scoreboard_entries must be at least 1";
+    if (heap.cct_capacity < 1)
+        return "cct_capacity must be at least 1";
+    if (mem.mshrs < 1)
+        return "mshrs must be at least 1";
+    if (mem.l1.block_bytes < 1 || !isPow2(mem.l1.block_bytes))
+        return "l1_block_bytes must be a power of two";
+    // Mirror the L1Cache constructor asserts: whole sets only
+    // (division first, so no u32 product can wrap).
+    u32 l1_blocks = mem.l1.size_bytes / mem.l1.block_bytes;
+    if (mem.l1.ways < 1 || l1_blocks < mem.l1.ways ||
+        l1_blocks % mem.l1.ways != 0)
+        return "l1_size_bytes must be a whole number of sets "
+               "(a multiple of l1_ways * l1_block_bytes)";
+    if (mem.dram.bytes_per_cycle_x10 < 1)
+        return "dram_bytes_per_cycle_x10 must be at least 1";
+    return {};
+}
+
 void
 SMConfig::validate() const
 {
-    siwi_assert(warp_width >= 1 && warp_width <= max_warp_width,
-                "warp width out of range");
-    siwi_assert(isPow2(warp_width), "warp width must be pow2");
-    siwi_assert(num_warps >= 1, "need at least one warp");
-    siwi_assert(num_pools == 1 || num_pools == 2, "1 or 2 pools");
-    siwi_assert(num_warps % num_pools == 0,
-                "warps must split evenly across pools");
-    siwi_assert(mad_groups >= 1, "need a MAD group");
-    siwi_assert(warp_width % sfu_width == 0 &&
-                warp_width % std::min(lsu_width, warp_width) == 0,
-                "unit widths must divide warp width");
-    siwi_assert(!(sbi && reconv == ReconvMode::Stack),
-                "SBI requires thread-frontier reconvergence");
-    siwi_assert(!(split_on_memory_divergence &&
-                  reconv == ReconvMode::Stack),
-                "memory splits require the heap");
-    siwi_assert(!swi || cascaded(),
-                "SWI requires cascaded (2-cycle) scheduling");
-    siwi_assert(lookup_sets >= 1 && lookup_sets <= num_warps,
-                "lookup_sets out of range");
-    siwi_assert(scoreboard_entries >= 1, "scoreboard too small");
+    std::string err = checkInvariants();
+    siwi_assert(err.empty(), err);
 }
 
 std::string

@@ -108,9 +108,25 @@ struct SMConfig
     /** Table 2-style multi-line summary. */
     std::string summary() const;
 
+    /**
+     * Check invariants without stopping: returns an empty string
+     * when the configuration is consistent, else a diagnostic.
+     * The non-fatal path exists for user-supplied configurations
+     * (spec files, machine files, --set) which must produce a
+     * parse error, not a simulator panic.
+     */
+    std::string checkInvariants() const;
+
     /** Sanity-check invariants; panics on nonsense. */
     void validate() const;
 };
+
+/**
+ * Field-wise equality over the SMConfig field table (see
+ * pipeline/config_io.hh); != is derived. Used to deduplicate
+ * identical machine columns in sweep expansion.
+ */
+bool operator==(const SMConfig &a, const SMConfig &b);
 
 } // namespace siwi::pipeline
 

@@ -107,6 +107,34 @@ finishBench(const Results &res, const std::string &json_path)
 }
 
 bool
+smsAxisOption(ArgList &args, const char *prog,
+              std::vector<unsigned> *out)
+{
+    for (const std::string &s : args.options("--sms")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(s.c_str(), &end, 10);
+        if (s.empty() || s[0] == '-' || !end || *end != '\0' ||
+            v < 1 || v > 1024) {
+            std::fprintf(stderr, "%s: bad --sms: %s\n", prog,
+                         s.c_str());
+            return false;
+        }
+        // A repeated count would expand to duplicate cells with
+        // colliding "@<n>sm" labels.
+        for (unsigned prev : *out) {
+            if (prev == unsigned(v)) {
+                std::fprintf(stderr,
+                             "%s: duplicate --sms %lu\n", prog,
+                             v);
+                return false;
+            }
+        }
+        out->push_back(unsigned(v));
+    }
+    return true;
+}
+
+bool
 finishArgs(const ArgList &args, const char *prog)
 {
     for (const std::string &e : args.errors())

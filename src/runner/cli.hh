@@ -68,6 +68,16 @@ class ArgList
 bool finishArgs(const ArgList &args, const char *prog);
 
 /**
+ * Consume every repeatable "--sms N" occurrence into an SM-count
+ * axis (shared by siwi-run and the scaling bench). Reports bad
+ * values to stderr under @p prog.
+ * @return false on a malformed entry; @p out untouched when the
+ *         flag is absent.
+ */
+bool smsAxisOption(ArgList &args, const char *prog,
+                   std::vector<unsigned> *out);
+
+/**
  * Shared bench epilogue: write @p json_path when non-empty, then
  * map the run outcome to a process exit code (0 = all cells
  * verified, 1 = verification or I/O failure).

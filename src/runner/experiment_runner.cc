@@ -31,12 +31,9 @@ runCell(const SweepSpec &sweep, size_t machine, size_t wl,
 {
     const MachineSpec &m = sweep.machines[machine];
     const workloads::Workload &w = *sweep.wls[wl];
-    const unsigned num_sms =
-        sweep.sms.empty() ? 1 : sweep.sms[sms];
+    const unsigned num_sms = sweep.smsAt(sms);
     const frontend::SchedPolicyKind pol =
-        sweep.policies.empty()
-            ? frontend::SchedPolicyKind::OldestFirst
-            : sweep.policies[policy];
+        effectivePolicy(sweep, machine, policy);
 
     pipeline::SMConfig cfg = m.config;
     cfg.sched_policy = pol;
@@ -49,16 +46,7 @@ runCell(const SweepSpec &sweep, size_t machine, size_t wl,
     // and tables key on the machine label), so non-default cells
     // carry them in the label; plain oldest-first single-SM labels
     // stay unchanged.
-    c.machine = m.name;
-    if (pol != frontend::SchedPolicyKind::OldestFirst) {
-        c.machine += '/';
-        c.machine += frontend::schedPolicyName(pol);
-    }
-    if (num_sms != 1) {
-        c.machine += '@';
-        c.machine += std::to_string(num_sms);
-        c.machine += "sm";
-    }
+    c.machine = cellMachineLabel(m.name, pol, num_sms);
     c.num_sms = num_sms;
     c.policy = frontend::schedPolicyName(pol);
     c.workload = w.name();
@@ -72,15 +60,45 @@ runCell(const SweepSpec &sweep, size_t machine, size_t wl,
     return c;
 }
 
+std::vector<MachineRecord>
+machineRecords(const std::vector<SweepSpec> &sweeps)
+{
+    std::vector<MachineRecord> out;
+    for (const SweepSpec &s : sweeps) {
+        for (size_t n = 0; n < s.sms.size(); ++n) {
+            for (size_t p = 0; p < s.policies.size(); ++p) {
+                for (size_t m = 0; m < s.machines.size(); ++m) {
+                    out.push_back(
+                        {s.name,
+                         cellMachineLabel(
+                             s.machines[m].name,
+                             effectivePolicy(s, m, p),
+                             s.smsAt(n)),
+                         resolvedCellConfig(s, m, n, p)});
+                }
+            }
+        }
+    }
+    return out;
+}
+
 Results
-runSweeps(const std::vector<SweepSpec> &sweeps,
+runSweeps(const std::vector<SweepSpec> &sweeps_in,
           const RunOptions &opts)
 {
+    // Normalize a private copy: identical machine columns would
+    // run identical cells, so they are dropped (with a warning)
+    // before expansion.
+    std::vector<SweepSpec> sweeps = sweeps_in;
+    for (SweepSpec &s : sweeps)
+        s.dedupeMachines();
+
     const std::vector<CellSpec> cells = expandCells(sweeps);
     const unsigned jobs = effectiveJobs(opts.jobs, cells.size());
 
     Results out;
     out.suite = opts.suite_label;
+    out.machines = machineRecords(sweeps);
     out.cells.resize(cells.size());
 
     std::atomic<size_t> next{0};

@@ -38,9 +38,19 @@ unsigned resolveJobs(unsigned jobs);
 unsigned effectiveJobs(unsigned jobs, size_t cells);
 
 /**
+ * Resolved config per (sweep, decorated machine label) of
+ * @p sweeps, in canonical order — the "machines" block of the
+ * results, also printed by siwi-run --dump-config.
+ */
+std::vector<MachineRecord> machineRecords(
+    const std::vector<SweepSpec> &sweeps);
+
+/**
  * Run every cell of @p sweeps and collect the results in
  * canonical order (see expandCells()). Thread-count and execution
- * schedule cannot affect the returned value.
+ * schedule cannot affect the returned value. Machine columns that
+ * resolve to the same configuration are deduplicated first (with
+ * a warning), so identical cells are never paid for twice.
  */
 Results runSweeps(const std::vector<SweepSpec> &sweeps,
                   const RunOptions &opts = {});

@@ -1,12 +1,37 @@
 #include "runner/results.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 
+#include "core/config_io.hh"
 #include "core/stats_io.hh"
 
 namespace siwi::runner {
+
+const MachineRecord *
+Results::findMachine(const std::string &sweep,
+                     const std::string &machine) const
+{
+    for (const MachineRecord &m : machines) {
+        if (m.sweep == sweep && m.machine == machine)
+            return &m;
+    }
+    return nullptr;
+}
+
+Json
+machinesToJson(const std::vector<MachineRecord> &machines)
+{
+    Json jm = Json::array();
+    for (const MachineRecord &m : machines) {
+        Json e = Json::object();
+        e.set("sweep", Json(m.sweep));
+        e.set("machine", Json(m.machine));
+        e.set("config", core::gpuConfigToJson(m.config));
+        jm.push(std::move(e));
+    }
+    return jm;
+}
 
 const CellResult *
 Results::find(const std::string &sweep, const std::string &machine,
@@ -68,6 +93,7 @@ Results::toJson() const
     j.set("schema_version", Json(core::stats_schema_version));
     j.set("generator", Json("siwi-run"));
     j.set("suite", Json(suite));
+    j.set("machines", machinesToJson(machines));
     Json arr = Json::array();
     for (const CellResult &c : cells) {
         Json jc = Json::object();
@@ -142,6 +168,34 @@ Results::fromJson(const Json &j, Results *out, std::string *err)
     }
     Results r;
     r.suite = j.getString("suite");
+    if (const Json *jm = j.find("machines")) {
+        if (!jm->isArray()) {
+            if (err)
+                *err = "results: 'machines' must be an array";
+            return false;
+        }
+        for (const Json &je : jm->arr()) {
+            if (!je.isObject()) {
+                if (err)
+                    *err = "results: machine entry must be an "
+                           "object";
+                return false;
+            }
+            MachineRecord m;
+            m.sweep = je.getString("sweep");
+            m.machine = je.getString("machine");
+            const Json *cfg = je.find("config");
+            if (!cfg) {
+                if (err)
+                    *err = "results: machine entry '" +
+                           m.machine + "' lacks 'config'";
+                return false;
+            }
+            if (!core::gpuConfigApplyJson(*cfg, &m.config, err))
+                return false;
+            r.machines.push_back(std::move(m));
+        }
+    }
     const Json *arr = j.find("cells");
     if (!arr || !arr->isArray()) {
         if (err)
@@ -168,8 +222,13 @@ Results::fromJson(const Json &j, Results *out, std::string *err)
         c.timed_out = jc.getBool("timed_out");
         c.ipc = jc.getDouble("ipc");
         const Json *stats = jc.find("stats");
-        if (!stats ||
-            !core::statsFromJson(*stats, &c.stats, err))
+        if (!stats) {
+            if (err)
+                *err = "results: cell '" + c.machine + "/" +
+                       c.workload + "' lacks 'stats'";
+            return false;
+        }
+        if (!core::statsFromJson(*stats, &c.stats, err))
             return false;
         r.cells.push_back(std::move(c));
     }
@@ -181,19 +240,11 @@ bool
 Results::load(const std::string &path, Results *out,
               std::string *err)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        if (err)
-            *err = "cannot open " + path;
-        return false;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
     std::string parse_err;
-    Json j = Json::parse(buf.str(), &parse_err);
+    Json j = Json::parseFile(path, &parse_err);
     if (!parse_err.empty()) {
         if (err)
-            *err = path + ": " + parse_err;
+            *err = parse_err;
         return false;
     }
     return fromJson(j, out, err);
@@ -214,6 +265,20 @@ sizeClassName(workloads::SizeClass sc)
       case workloads::SizeClass::Chip: return "chip";
     }
     return "?";
+}
+
+bool
+parseSizeClass(std::string_view name, workloads::SizeClass *out)
+{
+    for (workloads::SizeClass sc :
+         {workloads::SizeClass::Tiny, workloads::SizeClass::Full,
+          workloads::SizeClass::Chip}) {
+        if (name == sizeClassName(sc)) {
+            *out = sc;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace siwi::runner

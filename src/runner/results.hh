@@ -13,9 +13,11 @@
 #define SIWI_RUNNER_RESULTS_HH
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hh"
+#include "core/gpu.hh"
 #include "core/stats.hh"
 #include "workloads/workload.hh"
 
@@ -49,12 +51,46 @@ struct CellResult
     bool operator==(const CellResult &) const = default;
 };
 
+/**
+ * The fully-resolved configuration behind one machine column of
+ * one sweep. Embedded into the serialized results ("machines"),
+ * so an artifact carries everything needed to re-run it; cells
+ * reference records by their decorated machine label.
+ */
+struct MachineRecord
+{
+    std::string sweep;
+    std::string machine; //!< decorated label, matches cell labels
+    core::GpuConfig config;
+
+    bool operator==(const MachineRecord &rhs) const
+    {
+        return sweep == rhs.sweep && machine == rhs.machine &&
+               config == rhs.config;
+    }
+};
+
+/**
+ * Serialize machine records as the results "machines" array —
+ * shared by Results::toJson and siwi-run --dump-config so the
+ * two cannot drift.
+ */
+Json machinesToJson(const std::vector<MachineRecord> &machines);
+
 /** All cells of one runner invocation, in canonical sweep order. */
 class Results
 {
   public:
     std::string suite; //!< label of what was run, e.g. "fast"
+    /** Resolved config per (sweep, machine label), in canonical
+     *  order (sweep-major, then SM count, policy, machine). */
+    std::vector<MachineRecord> machines;
     std::vector<CellResult> cells;
+
+    /** Machine record by key; nullptr when absent. */
+    const MachineRecord *findMachine(
+        const std::string &sweep,
+        const std::string &machine) const;
 
     /** Cell lookup by key; nullptr when absent. */
     const CellResult *find(const std::string &sweep,
@@ -104,6 +140,10 @@ class Results
 
 /** "tiny" / "full" / "chip" label of a SizeClass. */
 const char *sizeClassName(workloads::SizeClass sc);
+
+/** Parse a sizeClassName() label; false when unknown. */
+bool parseSizeClass(std::string_view name,
+                    workloads::SizeClass *out);
 
 } // namespace siwi::runner
 

@@ -26,6 +26,7 @@
 #include "runner/experiment_runner.hh"
 #include "runner/metrics.hh"
 #include "runner/results.hh"
+#include "runner/spec.hh"
 #include "runner/suites.hh"
 #include "runner/sweep.hh"
 #include "runner/table.hh"

@@ -47,14 +47,15 @@ fig7Sweep(bool regular, workloads::SizeClass size,
     s.wls = panelWorkloads(regular);
     s.machines = paperMachines();
     if (opts.ablate_sbi_fallback) {
-        s.machines.push_back(makeMachine(
-            "SBI-nofb", PipelineMode::SBI, [](SMConfig &c) {
-                c.sbi_secondary_fallback = false;
-            }));
+        s.machines.push_back(
+            makeMachine("SBI-nofb", PipelineMode::SBI,
+                        {"sbi_secondary_fallback=false"}));
     }
     if (opts.no_mem_splits) {
-        for (MachineSpec &m : s.machines)
-            m.config.split_on_memory_divergence = false;
+        for (MachineSpec &m : s.machines) {
+            applyConfigSets(&m.config,
+                            {"split_on_memory_divergence=false"});
+        }
     }
     return s;
 }
@@ -62,9 +63,8 @@ fig7Sweep(bool regular, workloads::SizeClass size,
 SweepSpec
 fig8aSweep(bool regular, workloads::SizeClass size)
 {
-    auto no_constraints = [](SMConfig &c) {
-        c.sbi_constraints = false;
-    };
+    const std::vector<std::string> no_constraints = {
+        "sbi_constraints=false"};
     SweepSpec s;
     s.name = panelName("fig8a", regular);
     s.size = size;
@@ -87,9 +87,9 @@ fig8bSweep(bool regular, workloads::SizeClass size)
          {LaneShufflePolicy::Identity, LaneShufflePolicy::MirrorOdd,
           LaneShufflePolicy::MirrorHalf, LaneShufflePolicy::Xor,
           LaneShufflePolicy::XorRev}) {
+        const char *name = pipeline::laneShuffleName(p);
         shuffles.push_back(
-            {pipeline::laneShuffleName(p),
-             [p](SMConfig &c) { c.shuffle = p; }});
+            {name, {std::string("lane_shuffle=") + name}});
     }
     SweepSpec s;
     s.name = panelName("fig8b", regular);
@@ -106,10 +106,10 @@ fig9Sweep(bool regular, workloads::SizeClass size)
     // 16 warps per pool: sets 1/2/8/16 stand in for the paper's
     // full / 11-way / 3-way / direct-mapped ladder.
     const std::vector<Override> ladder = {
-        {"SWI-full", [](SMConfig &c) { c.lookup_sets = 1; }},
-        {"SWI-11way", [](SMConfig &c) { c.lookup_sets = 2; }},
-        {"SWI-3way", [](SMConfig &c) { c.lookup_sets = 8; }},
-        {"SWI-direct", [](SMConfig &c) { c.lookup_sets = 16; }},
+        {"SWI-full", {"lookup_sets=1"}},
+        {"SWI-11way", {"lookup_sets=2"}},
+        {"SWI-3way", {"lookup_sets=8"}},
+        {"SWI-direct", {"lookup_sets=16"}},
     };
     SweepSpec s;
     s.name = panelName("fig9", regular);

@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "common/log.hh"
+#include "pipeline/config_io.hh"
+
 namespace siwi::runner {
+
+void
+applyConfigSets(pipeline::SMConfig *cfg,
+                const std::vector<std::string> &sets)
+{
+    for (const std::string &kv : sets) {
+        std::string err;
+        if (!pipeline::smConfigApplyKeyValue(kv, cfg, &err))
+            panic("bad config override '", kv, "': ", err);
+    }
+}
 
 MachineSpec
 makeMachine(pipeline::PipelineMode mode)
@@ -13,11 +27,10 @@ makeMachine(pipeline::PipelineMode mode)
 
 MachineSpec
 makeMachine(std::string name, pipeline::PipelineMode mode,
-            const std::function<void(pipeline::SMConfig &)> &tweak)
+            const std::vector<std::string> &sets)
 {
     MachineSpec m{std::move(name), pipeline::SMConfig::make(mode)};
-    if (tweak)
-        tweak(m.config);
+    applyConfigSets(&m.config, sets);
     return m;
 }
 
@@ -31,8 +44,7 @@ crossMachine(const MachineSpec &base,
         MachineSpec m = base;
         m.name = label_only ? o.label
                             : base.name + "/" + o.label;
-        if (o.apply)
-            o.apply(m.config);
+        applyConfigSets(&m.config, o.sets);
         out.push_back(std::move(m));
     }
     return out;
@@ -64,6 +76,98 @@ SweepSpec::filterWorkloads(const std::vector<std::string> &keep)
     std::erase_if(wls, [&](const workloads::Workload *w) {
         return !keepName(keep, w->name());
     });
+}
+
+void
+SweepSpec::dedupeMachines()
+{
+    std::vector<MachineSpec> unique;
+    for (MachineSpec &m : machines) {
+        const MachineSpec *dup = nullptr;
+        for (const MachineSpec &u : unique) {
+            if (u.config == m.config) {
+                dup = &u;
+                break;
+            }
+        }
+        if (dup) {
+            warn("sweep '", name, "': machines '", dup->name,
+                 "' and '", m.name,
+                 "' resolve to the same configuration; dropping "
+                 "'", m.name, "'");
+        } else {
+            unique.push_back(std::move(m));
+        }
+    }
+    machines = std::move(unique);
+}
+
+std::string
+SweepSpec::checkAxes() const
+{
+    for (size_t i = 0; i < sms.size(); ++i) {
+        for (size_t j = i + 1; j < sms.size(); ++j) {
+            if (sms[i] == sms[j])
+                return "sweep '" + name +
+                       "': duplicate sms entry " +
+                       std::to_string(sms[i]);
+        }
+    }
+    for (size_t m = 0; m < machines.size(); ++m) {
+        for (size_t i = 0; i < policies.size(); ++i) {
+            for (size_t j = i + 1; j < policies.size(); ++j) {
+                if (effectivePolicy(*this, m, i) ==
+                    effectivePolicy(*this, m, j))
+                    return "sweep '" + name +
+                           "': machine '" + machines[m].name +
+                           "' runs policy '" +
+                           frontend::schedPolicyName(
+                               effectivePolicy(*this, m, i)) +
+                           "' twice (the oldest axis entry "
+                           "resolves to the machine's own "
+                           "sched_policy)";
+            }
+        }
+    }
+    return {};
+}
+
+frontend::SchedPolicyKind
+effectivePolicy(const SweepSpec &sweep, size_t machine,
+                size_t policy_idx)
+{
+    frontend::SchedPolicyKind pol = sweep.policyAt(policy_idx);
+    if (pol == frontend::SchedPolicyKind::OldestFirst)
+        return sweep.machines[machine].config.sched_policy;
+    return pol;
+}
+
+std::string
+cellMachineLabel(const std::string &machine,
+                 frontend::SchedPolicyKind policy,
+                 unsigned num_sms)
+{
+    std::string label = machine;
+    if (policy != frontend::SchedPolicyKind::OldestFirst) {
+        label += '/';
+        label += frontend::schedPolicyName(policy);
+    }
+    if (num_sms != 1) {
+        label += '@';
+        label += std::to_string(num_sms);
+        label += "sm";
+    }
+    return label;
+}
+
+core::GpuConfig
+resolvedCellConfig(const SweepSpec &sweep, size_t machine,
+                   size_t sms_idx, size_t policy_idx)
+{
+    pipeline::SMConfig cfg = sweep.machines[machine].config;
+    cfg.sched_policy = effectivePolicy(sweep, machine,
+                                       policy_idx);
+    return core::GpuConfig::make(cfg, sweep.smsAt(sms_idx));
 }
 
 std::vector<CellSpec>

@@ -14,10 +14,10 @@
 #ifndef SIWI_RUNNER_SWEEP_HH
 #define SIWI_RUNNER_SWEEP_HH
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/gpu.hh"
 #include "frontend/sched_policy.hh"
 #include "pipeline/config.hh"
 #include "workloads/workload.hh"
@@ -31,22 +31,34 @@ struct MachineSpec
     pipeline::SMConfig config;
 };
 
+/**
+ * Apply "key=value" mutations through the SMConfig field table
+ * (pipeline/config_io.hh). This is the single override path shared
+ * by the suites, the benches, spec files and the CLI --set flag.
+ * Panics on a malformed entry: callers with user-supplied strings
+ * go through smConfigApplyKeyValue() directly for a soft error.
+ */
+void applyConfigSets(pipeline::SMConfig *cfg,
+                     const std::vector<std::string> &sets);
+
 /** Canonical machine for a pipeline mode, named after the mode. */
 MachineSpec makeMachine(pipeline::PipelineMode mode);
 
-/** Canonical machine with a custom name and a config tweak. */
-MachineSpec makeMachine(
-    std::string name, pipeline::PipelineMode mode,
-    const std::function<void(pipeline::SMConfig &)> &tweak = {});
+/** Canonical machine with a custom name and key=value tweaks. */
+MachineSpec makeMachine(std::string name,
+                        pipeline::PipelineMode mode,
+                        const std::vector<std::string> &sets = {});
 
 /**
  * A named configuration mutation, used to derive machine variants
- * declaratively (e.g. the Figure 9 associativity ladder).
+ * declaratively (e.g. the Figure 9 associativity ladder): data,
+ * not code — the key=value strings go through the same applier as
+ * spec files and --set.
  */
 struct Override
 {
     std::string label;
-    std::function<void(pipeline::SMConfig &)> apply;
+    std::vector<std::string> sets; //!< "key=value" mutations
 };
 
 /**
@@ -93,7 +105,69 @@ struct SweepSpec
     void filterMachines(const std::vector<std::string> &keep);
     /** Drop workloads whose name is not in @p keep (empty = all). */
     void filterWorkloads(const std::vector<std::string> &keep);
+    /**
+     * Drop machines whose config equals an earlier column (field
+     * table operator==), warning for each duplicate: two named
+     * machines that resolve to the same configuration would run
+     * (and cost) identical cells. runSweeps() applies this to its
+     * own copy of every sweep.
+     */
+    void dedupeMachines();
+
+    /**
+     * Reject axis combinations that would expand to duplicate
+     * cells with colliding labels: duplicate sms entries, and
+     * duplicate *effective* policies for any machine (the
+     * default oldest entry resolves to the machine's own
+     * sched_policy — see effectivePolicy()). Returns a
+     * diagnostic, or empty when the axes are sound. The spec
+     * loader and siwi-run report this as a parse/usage error.
+     */
+    std::string checkAxes() const;
+
+    /** SM count of the @p sms_idx axis entry (1 when empty). */
+    unsigned smsAt(size_t sms_idx) const
+    {
+        return sms.empty() ? 1u : sms[sms_idx];
+    }
+    /** Policy of the @p policy_idx axis entry. */
+    frontend::SchedPolicyKind policyAt(size_t policy_idx) const
+    {
+        return policies.empty()
+                   ? frontend::SchedPolicyKind::OldestFirst
+                   : policies[policy_idx];
+    }
 };
+
+/**
+ * The scheduling policy one cell actually runs: the sweep's
+ * policy-axis entry, except that the default oldest-first entry
+ * respects a policy the machine itself configured (a machine
+ * file's or --set's "sched_policy" field) — an explicit
+ * non-default axis entry overrides it.
+ */
+frontend::SchedPolicyKind effectivePolicy(const SweepSpec &sweep,
+                                          size_t machine,
+                                          size_t policy_idx);
+
+/**
+ * Decorated machine label of a cell: "/<policy>" for non-default
+ * scheduling policies, "@<n>sm" for multi-SM cells. Baselines and
+ * tables key on this label, so it is part of the cell identity.
+ */
+std::string cellMachineLabel(const std::string &machine,
+                             frontend::SchedPolicyKind policy,
+                             unsigned num_sms);
+
+/**
+ * The fully-resolved chip configuration of one cell — exactly
+ * what the simulator will be built from (policy override applied,
+ * chip derived via core::GpuConfig::make). This block is embedded
+ * into results artifacts and printed by siwi-run --dump-config.
+ */
+core::GpuConfig resolvedCellConfig(const SweepSpec &sweep,
+                                   size_t machine, size_t sms_idx,
+                                   size_t policy_idx);
 
 /**
  * One executable cell of a sweep: indices into the owning spec.

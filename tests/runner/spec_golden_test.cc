@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Golden spec-file test: the checked-in bench/specs/fast.json —
+ * the grid the CI regression gate runs — must produce JSON
+ * byte-identical to the legacy compiled fastSuite() path, at one
+ * worker and at eight. This pins the spec-file route as a drop-in
+ * replacement for hand-written SweepSpec construction before the
+ * compiled path is retired, and exercises determinism of the
+ * whole spec -> expand -> run -> serialize pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/runner.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+
+namespace {
+
+TEST(SpecGolden, FastSpecMatchesLegacyFastSuiteByteForByte)
+{
+    MachineRegistry reg;
+    std::vector<SweepSpec> spec_sweeps;
+    std::string label, err;
+    ASSERT_TRUE(loadSpecFile(std::string(SIWI_SOURCE_DIR) +
+                                 "/bench/specs/fast.json",
+                             &reg, &spec_sweeps, &label, &err))
+        << err;
+    ASSERT_EQ(label, "fast");
+
+    RunOptions legacy_opts;
+    legacy_opts.jobs = 1;
+    legacy_opts.suite_label = "fast";
+    std::string legacy =
+        runSweeps(suiteSweeps("fast"), legacy_opts).toJsonText();
+
+    for (unsigned jobs : {1u, 8u}) {
+        RunOptions opts;
+        opts.jobs = jobs;
+        opts.suite_label = label;
+        std::string spec_json =
+            runSweeps(spec_sweeps, opts).toJsonText();
+        EXPECT_EQ(spec_json, legacy) << "jobs=" << jobs;
+    }
+}
+
+} // namespace

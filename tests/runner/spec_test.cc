@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Tests for the SimSpec layer: the runtime machine registry,
+ * machine files, spec-file expansion (including the drift gates
+ * that pin every checked-in bench spec file to the compiled
+ * suite it mirrors), machine-column deduplication, and the
+ * resolved-config block embedded into results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/log.hh"
+#include "core/config_io.hh"
+#include "pipeline/config_io.hh"
+#include "runner/runner.hh"
+
+using namespace siwi;
+using namespace siwi::runner;
+using workloads::SizeClass;
+
+namespace {
+
+std::string
+specPath(const std::string &name)
+{
+    return std::string(SIWI_SOURCE_DIR) + "/bench/specs/" + name;
+}
+
+Json
+parseJson(const std::string &text)
+{
+    std::string err;
+    Json j = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    return j;
+}
+
+/** Full structural equality of two sweep lists. */
+void
+expectSameSweeps(const std::vector<SweepSpec> &got,
+                 const std::vector<SweepSpec> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        const SweepSpec &g = got[i], &w = want[i];
+        EXPECT_EQ(g.name, w.name);
+        EXPECT_EQ(g.size, w.size);
+        EXPECT_EQ(g.sms, w.sms) << g.name;
+        EXPECT_EQ(g.policies, w.policies) << g.name;
+        ASSERT_EQ(g.machines.size(), w.machines.size())
+            << g.name;
+        for (size_t m = 0; m < g.machines.size(); ++m) {
+            EXPECT_EQ(g.machines[m].name, w.machines[m].name)
+                << g.name;
+            EXPECT_TRUE(g.machines[m].config ==
+                        w.machines[m].config)
+                << g.name << "/" << g.machines[m].name;
+        }
+        ASSERT_EQ(g.wls.size(), w.wls.size()) << g.name;
+        for (size_t wl = 0; wl < g.wls.size(); ++wl)
+            EXPECT_STREQ(g.wls[wl]->name(), w.wls[wl]->name())
+                << g.name;
+    }
+}
+
+TEST(MachineRegistry, SeedsThePaperMachinesCaseInsensitively)
+{
+    MachineRegistry reg;
+    EXPECT_EQ(reg.machines().size(), 5u);
+    ASSERT_NE(reg.find("SBI+SWI"), nullptr);
+    ASSERT_NE(reg.find("sbi+swi"), nullptr);
+    ASSERT_NE(reg.find("baseline"), nullptr);
+    EXPECT_EQ(reg.find("NoSuchMachine"), nullptr);
+    EXPECT_TRUE(reg.find("sbi+swi")->config ==
+                pipeline::SMConfig::make(
+                    pipeline::PipelineMode::SBISWI));
+}
+
+TEST(MachineRegistry, RejectsDuplicateNames)
+{
+    MachineRegistry reg;
+    std::string err;
+    EXPECT_TRUE(reg.add({"Custom", pipeline::SMConfig{}}, &err));
+    EXPECT_FALSE(reg.add({"custom", pipeline::SMConfig{}}, &err));
+    EXPECT_NE(err.find("custom"), std::string::npos);
+    EXPECT_FALSE(
+        reg.add({"baseline", pipeline::SMConfig{}}, &err));
+}
+
+TEST(MachineFromJson, BasePlusSetBuildsADerivedMachine)
+{
+    MachineRegistry reg;
+    MachineSpec m;
+    std::string err;
+    Json j = parseJson(R"({"name": "X", "base": "swi",
+                           "set": {"lookup_sets": 8}})");
+    ASSERT_TRUE(machineFromJson(j, "", reg, &m, &err)) << err;
+    EXPECT_EQ(m.name, "X");
+    EXPECT_EQ(m.config.lookup_sets, 8u);
+    pipeline::SMConfig want =
+        pipeline::SMConfig::make(pipeline::PipelineMode::SWI);
+    want.lookup_sets = 8;
+    EXPECT_TRUE(m.config == want);
+}
+
+TEST(MachineFromJson, ErrorsNameTheProblem)
+{
+    MachineRegistry reg;
+    MachineSpec m;
+    std::string err;
+
+    Json j = parseJson(R"({"name": "X", "base": "fermi"})");
+    EXPECT_FALSE(machineFromJson(j, "", reg, &m, &err));
+    EXPECT_NE(err.find("fermi"), std::string::npos);
+    EXPECT_NE(err.find("Baseline"), std::string::npos); // known
+
+    j = parseJson(R"({"base": "swi"})");
+    EXPECT_FALSE(machineFromJson(j, "", reg, &m, &err));
+    EXPECT_NE(err.find("name"), std::string::npos);
+
+    j = parseJson(R"({"name": "X", "base": "swi",
+                      "set": {"hct_entries": 8}})");
+    EXPECT_FALSE(machineFromJson(j, "", reg, &m, &err));
+    EXPECT_NE(err.find("hct_entries"), std::string::npos);
+
+    // A set that violates the config invariants is caught at
+    // load time, not by a simulator panic later.
+    j = parseJson(R"({"name": "X", "base": "swi",
+                      "set": {"scheduler_latency": 1}})");
+    EXPECT_FALSE(machineFromJson(j, "", reg, &m, &err));
+    EXPECT_NE(err.find("cascaded"), std::string::npos) << err;
+
+    j = parseJson(R"({"name": "X", "base": "swi",
+                      "flavor": "mild"})");
+    EXPECT_FALSE(machineFromJson(j, "", reg, &m, &err));
+    EXPECT_NE(err.find("flavor"), std::string::npos);
+}
+
+TEST(MachineFile, LoadsTheCheckedInExample)
+{
+    MachineRegistry reg;
+    MachineSpec m;
+    std::string err;
+    ASSERT_TRUE(loadMachineFile(
+        specPath("machines/sbi_swi_cct16_xor.json"), reg, &m,
+        &err))
+        << err;
+    EXPECT_EQ(m.name, "SBI+SWI-cct16-xor");
+    EXPECT_EQ(m.config.heap.cct_capacity, 16u);
+    EXPECT_EQ(m.config.shuffle,
+              pipeline::LaneShufflePolicy::Xor);
+    EXPECT_TRUE(m.config.sbi);
+    EXPECT_TRUE(m.config.swi);
+}
+
+TEST(MachineFile, NameDefaultsToTheFileStem)
+{
+    std::string path = testing::TempDir() + "my_swi.json";
+    {
+        std::ofstream out(path);
+        out << R"({"base": "swi", "set": {"lookup_sets": 2}})";
+    }
+    MachineRegistry reg;
+    MachineSpec m;
+    std::string err;
+    ASSERT_TRUE(loadMachineFile(path, reg, &m, &err)) << err;
+    EXPECT_EQ(m.name, "my_swi");
+    EXPECT_EQ(m.config.lookup_sets, 2u);
+}
+
+TEST(MachineFile, RejectsFileToFileIndirection)
+{
+    std::string path = testing::TempDir() + "indirect.json";
+    {
+        std::ofstream out(path);
+        out << R"({"file": "other.json"})";
+    }
+    MachineRegistry reg;
+    MachineSpec m;
+    std::string err;
+    EXPECT_FALSE(loadMachineFile(path, reg, &m, &err));
+    EXPECT_NE(err.find("cannot reference"), std::string::npos)
+        << err;
+}
+
+TEST(SpecFile, CheckedInSpecsMatchTheCompiledSuites)
+{
+    // The drift gates: every bench/specs file must expand to
+    // exactly the grid its compiled counterpart builds. A change
+    // to either side without the other fails here.
+    struct Case
+    {
+        const char *file;
+        const char *label;
+        std::vector<SweepSpec> want;
+    };
+    const Case cases[] = {
+        {"fast.json", "fast", suiteSweeps("fast")},
+        {"fig7.json", "fig7",
+         figureSweeps("fig7", SizeClass::Full)},
+        {"fig8a.json", "fig8a",
+         figureSweeps("fig8a", SizeClass::Full)},
+        {"fig8b.json", "fig8b",
+         figureSweeps("fig8b", SizeClass::Full)},
+        {"fig9.json", "fig9",
+         figureSweeps("fig9", SizeClass::Full)},
+        {"policy.json", "policy",
+         figureSweeps("policy", SizeClass::Full)},
+        {"scaling.json", "scaling",
+         figureSweeps("scaling", SizeClass::Chip)},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.file);
+        MachineRegistry reg;
+        std::vector<SweepSpec> sweeps;
+        std::string label, err;
+        ASSERT_TRUE(loadSpecFile(specPath(c.file), &reg, &sweeps,
+                                 &label, &err))
+            << err;
+        EXPECT_EQ(label, c.label);
+        expectSameSweeps(sweeps, c.want);
+    }
+}
+
+TEST(SpecFile, StrictErrorsNameTheOffender)
+{
+    auto load = [](const std::string &text, std::string *err) {
+        MachineRegistry reg;
+        std::vector<SweepSpec> sweeps;
+        std::string label;
+        return sweepsFromSpecJson(parseJson(text), "", &reg,
+                                  &sweeps, &label, err);
+    };
+    std::string err;
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [],
+                          "color": "red"})",
+                      &err));
+    EXPECT_NE(err.find("color"), std::string::npos);
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["NoSuchBench"]}]})",
+                      &err));
+    EXPECT_NE(err.find("NoSuchBench"), std::string::npos);
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["Fermi2"],
+         "workloads": ["regular"]}]})",
+                      &err));
+    EXPECT_NE(err.find("Fermi2"), std::string::npos);
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"],
+         "policies": ["fifo"]}]})",
+                      &err));
+    EXPECT_NE(err.find("oldest"), std::string::npos) << err;
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI", "sbi"],
+         "workloads": ["regular"]}]})",
+                      &err));
+    EXPECT_NE(err.find("duplicate machine"), std::string::npos);
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"], "sms": [0]}]})",
+                      &err));
+    EXPECT_NE(err.find("sms"), std::string::npos);
+
+    // Duplicate axis entries would expand to duplicate cells
+    // with colliding labels.
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"], "sms": [2, 2]}]})",
+                      &err));
+    EXPECT_NE(err.find("duplicate sms"), std::string::npos);
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"],
+         "policies": ["gto", "gto"]}]})",
+                      &err));
+    EXPECT_NE(err.find("twice"), std::string::npos) << err;
+    // ...including via the oldest entry resolving to a machine's
+    // own sched_policy.
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s",
+         "machines": [{"name": "G", "base": "SBI",
+                       "set": {"sched_policy": "gto"}}],
+         "workloads": ["regular"],
+         "policies": ["oldest", "gto"]}]})",
+                      &err));
+    EXPECT_NE(err.find("twice"), std::string::npos) << err;
+
+    // The mode tag is fixed by the base machine.
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s",
+         "machines": [{"name": "M", "base": "Baseline",
+                       "set": {"mode": "SBI+SWI"}}],
+         "workloads": ["regular"]}]})",
+                      &err));
+    EXPECT_NE(err.find("mode"), std::string::npos) << err;
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"],
+         "set": {"mode": "SWI"}}]})",
+                      &err));
+    EXPECT_NE(err.find("mode"), std::string::npos) << err;
+
+    EXPECT_FALSE(load(R"({"name": "x", "sweeps": [
+        {"name": "s", "machines": ["SBI"],
+         "workloads": ["regular"]},
+        {"name": "s", "machines": ["SWI"],
+         "workloads": ["regular"]}]})",
+                      &err));
+    EXPECT_NE(err.find("duplicate sweep"), std::string::npos);
+}
+
+TEST(SpecFile, SweepLevelSetAppliesToEveryMachine)
+{
+    MachineRegistry reg;
+    std::vector<SweepSpec> sweeps;
+    std::string label, err;
+    ASSERT_TRUE(sweepsFromSpecJson(
+        parseJson(R"({"name": "x", "sweeps": [
+            {"name": "s", "machines": ["Baseline", "SBI+SWI"],
+             "workloads": ["BFS"], "size": "tiny",
+             "set": {"mshrs": 16}}]})"),
+        "", &reg, &sweeps, &label, &err))
+        << err;
+    ASSERT_EQ(sweeps.size(), 1u);
+    for (const MachineSpec &m : sweeps[0].machines)
+        EXPECT_EQ(m.config.mem.mshrs, 16u) << m.name;
+    // The registry rows themselves must stay pristine.
+    EXPECT_EQ(reg.find("Baseline")->config.mem.mshrs,
+              pipeline::SMConfig{}.mem.mshrs);
+}
+
+TEST(SpecFile, InlineMachinesAndSpecMachinesSection)
+{
+    MachineRegistry reg;
+    std::vector<SweepSpec> sweeps;
+    std::string label, err;
+    ASSERT_TRUE(sweepsFromSpecJson(
+        parseJson(R"({"name": "x",
+            "machines": [{"name": "SWI-dm", "base": "SWI",
+                          "set": {"lookup_sets": 16}}],
+            "sweeps": [
+              {"name": "s",
+               "machines": ["SWI-dm",
+                            {"name": "SWI-2way", "base": "SWI",
+                             "set": {"lookup_sets": 8}}],
+               "workloads": ["BFS"], "size": "tiny"}]})"),
+        "", &reg, &sweeps, &label, &err))
+        << err;
+    ASSERT_EQ(sweeps[0].machines.size(), 2u);
+    EXPECT_EQ(sweeps[0].machines[0].name, "SWI-dm");
+    EXPECT_EQ(sweeps[0].machines[0].config.lookup_sets, 16u);
+    EXPECT_EQ(sweeps[0].machines[1].name, "SWI-2way");
+    EXPECT_EQ(sweeps[0].machines[1].config.lookup_sets, 8u);
+    // The spec "machines" section registered its row.
+    EXPECT_NE(reg.find("SWI-dm"), nullptr);
+}
+
+TEST(Dedupe, IdenticalMachineColumnsCollapseWithAWarning)
+{
+    setLogQuiet(true);
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.filterMachines({"Baseline", "SBI"});
+    MachineSpec twin = s.machines[0];
+    twin.name = "Baseline-again"; // same config, new name
+    s.machines.push_back(twin);
+    ASSERT_EQ(s.machines.size(), 3u);
+    s.dedupeMachines();
+    ASSERT_EQ(s.machines.size(), 2u);
+    EXPECT_EQ(s.machines[0].name, "Baseline");
+    EXPECT_EQ(s.machines[1].name, "SBI");
+}
+
+TEST(Dedupe, RunSweepsNeverRunsADuplicateColumn)
+{
+    setLogQuiet(true);
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.name = "dup";
+    s.filterMachines({"Baseline"});
+    s.filterWorkloads({"BFS"});
+    MachineSpec twin = s.machines[0];
+    twin.name = "Copy";
+    s.machines.push_back(twin);
+    Results res = runSweeps({s});
+    EXPECT_EQ(res.cells.size(), 1u);
+    EXPECT_EQ(res.machines.size(), 1u);
+    EXPECT_EQ(res.cells[0].machine, "Baseline");
+}
+
+TEST(Results, EmbedsTheResolvedMachineConfigs)
+{
+    setLogQuiet(true);
+    MachineRegistry reg;
+    MachineSpec custom;
+    std::string err;
+    ASSERT_TRUE(loadMachineFile(
+        specPath("machines/sbi_swi_cct16_xor.json"), reg,
+        &custom, &err))
+        << err;
+
+    SweepSpec s;
+    s.name = "custom";
+    s.size = SizeClass::Tiny;
+    s.machines = {custom};
+    s.wls = {workloads::findWorkload("BFS")};
+    s.sms = {2};
+    Results res = runSweeps({s});
+
+    ASSERT_EQ(res.machines.size(), 1u);
+    const MachineRecord &r = res.machines[0];
+    EXPECT_EQ(r.sweep, "custom");
+    EXPECT_EQ(r.machine, "SBI+SWI-cct16-xor@2sm");
+    EXPECT_EQ(r.config.num_sms, 2u);
+    EXPECT_TRUE(r.config.shared_backend);
+    EXPECT_EQ(r.config.sm.heap.cct_capacity, 16u);
+    EXPECT_EQ(r.config.sm.shuffle,
+              pipeline::LaneShufflePolicy::Xor);
+    ASSERT_EQ(res.cells.size(), 1u);
+    EXPECT_EQ(res.cells[0].machine, r.machine);
+    EXPECT_NE(res.findMachine("custom", res.cells[0].machine),
+              nullptr);
+
+    // The config block must appear verbatim in the JSON and
+    // survive a full round trip.
+    Json j = res.toJson();
+    const Json *jm = j.find("machines");
+    ASSERT_NE(jm, nullptr);
+    ASSERT_EQ(jm->arr().size(), 1u);
+    const Json *cfg = jm->arr()[0].find("config");
+    ASSERT_NE(cfg, nullptr);
+    EXPECT_EQ(*cfg, core::gpuConfigToJson(r.config));
+
+    Results parsed;
+    ASSERT_TRUE(Results::fromJson(j, &parsed, &err)) << err;
+    EXPECT_TRUE(parsed == res);
+}
+
+TEST(Results, MachineLevelSchedPolicyIsHonored)
+{
+    // A sched_policy configured on the machine itself (a machine
+    // file's "set", or --set) must actually run under the
+    // default oldest-first policy axis — and show up in the cell
+    // label and the resolved config.
+    setLogQuiet(true);
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.name = "polfield";
+    s.filterMachines({"Baseline"});
+    s.filterWorkloads({"BFS"});
+    std::string err;
+    ASSERT_TRUE(pipeline::smConfigApplyKeyValue(
+        "sched_policy=gto", &s.machines[0].config, &err))
+        << err;
+    EXPECT_EQ(effectivePolicy(s, 0, 0),
+              frontend::SchedPolicyKind::GreedyThenOldest);
+
+    Results res = runSweeps({s});
+    ASSERT_EQ(res.cells.size(), 1u);
+    EXPECT_EQ(res.cells[0].machine, "Baseline/gto");
+    EXPECT_EQ(res.cells[0].policy, "gto");
+    ASSERT_EQ(res.machines.size(), 1u);
+    EXPECT_EQ(res.machines[0].config.sm.sched_policy,
+              frontend::SchedPolicyKind::GreedyThenOldest);
+
+    // ...and match what an explicit policy-axis run produces.
+    SweepSpec axis = fig7Sweep(false, SizeClass::Tiny);
+    axis.name = "polfield";
+    axis.filterMachines({"Baseline"});
+    axis.filterWorkloads({"BFS"});
+    axis.policies = {frontend::SchedPolicyKind::GreedyThenOldest};
+    Results want = runSweeps({axis});
+    EXPECT_EQ(res.cells[0], want.cells[0]);
+
+    // An explicit non-default axis entry still overrides the
+    // machine field.
+    s.policies = {frontend::SchedPolicyKind::RoundRobin};
+    EXPECT_EQ(effectivePolicy(s, 0, 0),
+              frontend::SchedPolicyKind::RoundRobin);
+}
+
+TEST(Results, MachineRecordsFollowCanonicalOrder)
+{
+    SweepSpec s = fig7Sweep(false, SizeClass::Tiny);
+    s.filterMachines({"Baseline", "SBI"});
+    s.filterWorkloads({"BFS"});
+    s.sms = {1, 2};
+    std::vector<MachineRecord> recs = machineRecords({s});
+    ASSERT_EQ(recs.size(), 4u);
+    EXPECT_EQ(recs[0].machine, "Baseline");
+    EXPECT_EQ(recs[1].machine, "SBI");
+    EXPECT_EQ(recs[2].machine, "Baseline@2sm");
+    EXPECT_EQ(recs[3].machine, "SBI@2sm");
+    EXPECT_EQ(recs[2].config.num_sms, 2u);
+}
+
+} // namespace

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "core/config_io.hh"
 #include "frontend/registry.hh"
+#include "pipeline/config_io.hh"
 #include "runner/runner.hh"
 
 using namespace siwi;
@@ -44,6 +46,9 @@ usage(FILE *out)
 "(default: fast)\n"
 "  --figure NAME      fig7 | fig8a | fig8b | fig9 | policy |\n"
 "                     scaling; repeatable, overrides --suite\n"
+"  --spec PATH        run the experiment described by a JSON\n"
+"                     spec file (see docs/CONFIG.md and\n"
+"                     bench/specs/); excludes --suite/--figure\n"
 "  --size SIZE        tiny | full | chip: override the sweep "
 "size\n"
 "  --machine NAME     keep only this machine (repeatable)\n"
@@ -53,6 +58,20 @@ usage(FILE *out)
 "                     --sms 1 --sms 4)\n"
 "  --policy NAME      override the scheduling-policy axis:\n"
 "                     oldest | rr | gto | minpc (repeatable)\n"
+"\n"
+"configuration:\n"
+"  --machine-file PATH  add a machine loaded from a JSON\n"
+"                     machine file to every selected sweep\n"
+"                     (repeatable; see docs/CONFIG.md)\n"
+"  --set KEY=VALUE    override one config field on every\n"
+"                     machine of every selected sweep\n"
+"                     (repeatable; keys: --dump-schema)\n"
+"  --dump-config      print the fully-resolved configuration\n"
+"                     of every selected cell as JSON and exit\n"
+"  --dump-schema      print the config field schema (keys,\n"
+"                     types, defaults, docs) as JSON and exit\n"
+"  --dry-run          expand and validate the selection, print\n"
+"                     a summary, run nothing (CI spec gate)\n"
 "\n"
 "execution:\n"
 "  -j, --jobs N       worker threads (default: all cores)\n"
@@ -100,6 +119,16 @@ main(int argc, char **argv)
 
     if (args.flag("--help") || args.flag("-h")) {
         usage(stdout);
+        return exit_ok;
+    }
+    if (args.flag("--dump-schema")) {
+        // Self-describing schema of the config field tables; the
+        // reference tables in docs/CONFIG.md are generated from
+        // this dump.
+        Json j = Json::object();
+        j.set("sm", pipeline::smConfigSchema());
+        j.set("chip", core::gpuConfigSchema());
+        std::fputs((j.dump(2) + "\n").c_str(), stdout);
         return exit_ok;
     }
     if (args.flag("--list-suites")) {
@@ -167,23 +196,22 @@ main(int argc, char **argv)
     }
 
     std::string suite = "fast";
-    args.option("--suite", &suite);
+    bool have_suite = args.option("--suite", &suite);
     std::vector<std::string> figures = args.options("--figure");
+    std::string spec_path;
+    bool have_spec = args.option("--spec", &spec_path);
+    std::vector<std::string> machine_files =
+        args.options("--machine-file");
+    std::vector<std::string> set_kvs = args.options("--set");
+    bool dump_config = args.flag("--dump-config");
+    bool dry_run = args.flag("--dry-run");
     std::string size_str;
     bool have_size = args.option("--size", &size_str);
     std::vector<std::string> machines = args.options("--machine");
     std::vector<std::string> wl_names = args.options("--workload");
     std::vector<unsigned> sms_axis;
-    for (const std::string &s : args.options("--sms")) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(s.c_str(), &end, 10);
-        if (!end || *end != '\0' || v < 1 || v > 1024) {
-            std::fprintf(stderr, "siwi-run: bad --sms: %s\n",
-                         s.c_str());
-            return exit_usage;
-        }
-        sms_axis.push_back(unsigned(v));
-    }
+    if (!smsAxisOption(args, "siwi-run", &sms_axis))
+        return exit_usage;
     std::vector<frontend::SchedPolicyKind> policy_axis;
     for (const std::string &p : args.options("--policy")) {
         frontend::SchedPolicyKind kind;
@@ -212,10 +240,39 @@ main(int argc, char **argv)
         return exit_usage;
     }
 
+    // Resolve machine names against the registry: the built-in
+    // paper machines plus any --machine-file machines, loaded in
+    // order so a later file may base itself on an earlier one.
+    MachineRegistry registry;
+    std::vector<std::string> added_machines;
+    for (const std::string &path : machine_files) {
+        MachineSpec m;
+        std::string merr;
+        if (!loadMachineFile(path, registry, &m, &merr) ||
+            !registry.add(m, &merr)) {
+            std::fprintf(stderr, "siwi-run: %s\n", merr.c_str());
+            return exit_usage;
+        }
+        added_machines.push_back(m.name);
+    }
+
     // Build the sweep list.
     std::vector<SweepSpec> sweeps;
     std::string label;
-    if (!figures.empty()) {
+    if (have_spec) {
+        if (have_suite || !figures.empty()) {
+            std::fprintf(stderr,
+                         "siwi-run: --spec excludes --suite and "
+                         "--figure\n");
+            return exit_usage;
+        }
+        std::string serr;
+        if (!loadSpecFile(spec_path, &registry, &sweeps, &label,
+                          &serr)) {
+            std::fprintf(stderr, "siwi-run: %s\n", serr.c_str());
+            return exit_usage;
+        }
+    } else if (!figures.empty()) {
         // Figures default to Full size; the --size override below
         // applies to these sweeps like any others. Dedup repeats:
         // duplicate sweep names would corrupt the result tables.
@@ -269,6 +326,23 @@ main(int argc, char **argv)
         for (SweepSpec &s : sweeps)
             s.size = sz;
     }
+    // A --machine-file machine joins every selected sweep as an
+    // extra column (combine with --machine to keep only it).
+    for (SweepSpec &s : sweeps) {
+        for (const std::string &name : added_machines) {
+            bool clash = false;
+            for (const MachineSpec &m : s.machines)
+                clash = clash || m.name == name;
+            if (clash) {
+                std::fprintf(stderr,
+                             "siwi-run: machine '%s' already in "
+                             "sweep '%s'\n",
+                             name.c_str(), s.name.c_str());
+                return exit_usage;
+            }
+            s.machines.push_back(*registry.find(name));
+        }
+    }
     for (SweepSpec &s : sweeps) {
         s.filterMachines(machines);
         s.filterWorkloads(wl_names);
@@ -276,6 +350,48 @@ main(int argc, char **argv)
             s.sms = sms_axis;
         if (!policy_axis.empty())
             s.policies = policy_axis;
+    }
+    // --set mutations apply to every machine of every selected
+    // sweep, through the same field table as spec files; the
+    // result must still satisfy the config invariants.
+    for (const std::string &kv : set_kvs) {
+        if (kv.rfind("mode=", 0) == 0) {
+            std::fprintf(stderr,
+                         "siwi-run: --set mode is fixed by the "
+                         "base machine (use --machine or a "
+                         "machine file instead)\n");
+            return exit_usage;
+        }
+    }
+    for (SweepSpec &s : sweeps) {
+        for (MachineSpec &m : s.machines) {
+            for (const std::string &kv : set_kvs) {
+                std::string serr;
+                if (!pipeline::smConfigApplyKeyValue(
+                        kv, &m.config, &serr)) {
+                    std::fprintf(stderr,
+                                 "siwi-run: --set %s: %s\n",
+                                 kv.c_str(), serr.c_str());
+                    return exit_usage;
+                }
+            }
+            std::string inv = m.config.checkInvariants();
+            if (!inv.empty()) {
+                std::fprintf(
+                    stderr,
+                    "siwi-run: machine '%s' in sweep '%s': %s\n",
+                    m.name.c_str(), s.name.c_str(), inv.c_str());
+                return exit_usage;
+            }
+        }
+        // Identical columns never run twice; warn here so --list
+        // and --dump-config show what will actually execute.
+        s.dedupeMachines();
+        std::string axes = s.checkAxes();
+        if (!axes.empty()) {
+            std::fprintf(stderr, "siwi-run: %s\n", axes.c_str());
+            return exit_usage;
+        }
     }
     std::erase_if(sweeps, [](const SweepSpec &s) {
         return s.cellCount() == 0;
@@ -286,6 +402,37 @@ main(int argc, char **argv)
         return exit_usage;
     }
 
+    if (dump_config) {
+        // The same resolved-config blocks a run would embed into
+        // its results artifact (narrow with --machine/--workload
+        // etc. to inspect a single cell).
+        Json j = Json::object();
+        j.set("machines", machinesToJson(machineRecords(sweeps)));
+        std::fputs((j.dump(2) + "\n").c_str(), stdout);
+        return exit_ok;
+    }
+
+    if (dry_run) {
+        // Everything above already expanded machines, resolved
+        // spec/machine files and validated invariants — report
+        // and stop. CI runs this over every checked-in spec.
+        size_t cells = 0;
+        for (const SweepSpec &s : sweeps) {
+            std::printf("%-16s %zu machine(s) x %zu workload(s)"
+                        " x %zu sm-count(s) x %zu policy(ies) = "
+                        "%zu cells (%s)\n",
+                        s.name.c_str(), s.machines.size(),
+                        s.wls.size(), s.sms.size(),
+                        s.policies.size(), s.cellCount(),
+                        sizeClassName(s.size));
+            cells += s.cellCount();
+        }
+        std::printf("dry run: %zu cell(s) in %zu sweep(s), "
+                    "configuration OK\n",
+                    cells, sweeps.size());
+        return exit_ok;
+    }
+
     if (list_only) {
         for (const CellSpec &c : expandCells(sweeps)) {
             const SweepSpec &s = sweeps[c.sweep];
@@ -293,11 +440,9 @@ main(int argc, char **argv)
                 "%s %s %s %s %usm %s\n", s.name.c_str(),
                 s.machines[c.machine].name.c_str(),
                 s.wls[c.wl]->name(), sizeClassName(s.size),
-                s.sms.empty() ? 1u : s.sms[c.sms],
+                s.smsAt(c.sms),
                 frontend::schedPolicyName(
-                    s.policies.empty()
-                        ? frontend::SchedPolicyKind::OldestFirst
-                        : s.policies[c.policy]));
+                    effectivePolicy(s, c.machine, c.policy)));
         }
         return exit_ok;
     }
