@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Append one fast-suite throughput sample to the committed trend
+# file bench/BENCH_throughput.json and compare it with the previous
+# entry. Each sample times the suite in both stepping modes
+# (best-of-N wall clock per mode, minimum = least noise):
+#   - cycle skipping on (the default), the headline number
+#   - --no-skip, the per-cycle reference the equivalence gate runs
+# so the trend records the event-driven speedup alongside raw
+# throughput, commit by commit.
+#
+# Usage: scripts/update_throughput.sh [build-dir] [runs]
+#   build-dir  defaults to ./build (must contain siwi-run)
+#   runs       defaults to 5
+#
+# The comparison against the previous entry is informational: wall
+# clock on shared runners is too noisy to gate merges on. Accuracy
+# regressions are caught by the tolerance-0 baseline gate instead.
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+runs="${2:-5}"
+trend="$repo/bench/BENCH_throughput.json"
+
+if [ ! -x "$build/siwi-run" ]; then
+    echo "update_throughput: $build/siwi-run not found;" \
+         "build first (cmake --build $build --target siwi-run)" >&2
+    exit 1
+fi
+
+measure() {
+    # $1: extra siwi-run flags ('' or --no-skip). Prints best secs.
+    best=""
+    i=1
+    while [ "$i" -le "$runs" ]; do
+        # shellcheck disable=SC2086  # $1 is intentionally split
+        "$build/siwi-run" --suite fast --quiet $1 \
+            --throughput-json "$repo/.throughput.tmp.json" \
+            >/dev/null
+        secs="$(sed -n 's/.*"seconds": \([0-9.]*\).*/\1/p' \
+            "$repo/.throughput.tmp.json")"
+        if [ -z "$best" ] || awk "BEGIN{exit !($secs < $best)}"; then
+            best="$secs"
+        fi
+        i=$((i + 1))
+    done
+    rm -f "$repo/.throughput.tmp.json"
+    echo "$best"
+}
+
+echo "update_throughput: $runs run(s) per mode..."
+skip_secs="$(measure '')"
+echo "  skip:    best ${skip_secs}s"
+noskip_secs="$(measure --no-skip)"
+echo "  no-skip: best ${noskip_secs}s"
+
+commit="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null \
+    || echo unknown)"
+if ! git -C "$repo" diff --quiet 2>/dev/null; then
+    commit="$commit+dirty"
+fi
+
+SIWI_TREND="$trend" SIWI_COMMIT="$commit" \
+SIWI_SKIP="$skip_secs" SIWI_NOSKIP="$noskip_secs" \
+python3 - <<'EOF'
+import datetime
+import json
+import os
+
+trend_path = os.environ["SIWI_TREND"]
+skip_s = float(os.environ["SIWI_SKIP"])
+noskip_s = float(os.environ["SIWI_NOSKIP"])
+
+try:
+    with open(trend_path) as f:
+        trend = json.load(f)
+except FileNotFoundError:
+    trend = {"schema": 1, "suite": "fast", "entries": []}
+
+prev = trend["entries"][-1] if trend["entries"] else None
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "commit": os.environ["SIWI_COMMIT"],
+    "skip_seconds": round(skip_s, 4),
+    "noskip_seconds": round(noskip_s, 4),
+    "skip_speedup": round(noskip_s / skip_s, 3) if skip_s else None,
+}
+trend["entries"].append(entry)
+with open(trend_path, "w") as f:
+    json.dump(trend, f, indent=2)
+    f.write("\n")
+
+print(f"appended: {entry['commit']} skip={entry['skip_seconds']}s "
+      f"no-skip={entry['noskip_seconds']}s "
+      f"speedup={entry['skip_speedup']}x")
+if prev:
+    delta = (skip_s - prev["skip_seconds"]) / prev["skip_seconds"]
+    print(f"vs previous ({prev['commit']}, "
+          f"{prev['skip_seconds']}s): "
+          f"{delta:+.1%} wall clock", end="")
+    print(" (slower)" if delta > 0.10 else
+          " (faster)" if delta < -0.10 else " (within noise)")
+EOF

@@ -1,0 +1,30 @@
+#include "common/mask_kernels.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace siwi {
+
+u64
+maskInclusionBitmap(u64 free, const u64 *masks, size_t n)
+{
+    siwi_assert(n <= 64, "inclusion bitmap limited to 64 masks");
+    const u64 excluded = ~free;
+    u64 bitmap = 0;
+    // Flat AND + zero-test per mask, no data-dependent branches:
+    // the loop body is one vector compare per lane group under
+    // AVX2/NEON autovectorization.
+    for (size_t i = 0; i < n; ++i)
+        bitmap |= u64((masks[i] & excluded) == 0) << i;
+    return bitmap;
+}
+
+void
+maskPopcounts(const u64 *masks, size_t n, u8 *counts)
+{
+    for (size_t i = 0; i < n; ++i)
+        counts[i] = u8(std::popcount(masks[i]));
+}
+
+} // namespace siwi

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Batched 64-bit mask kernels for the scheduler hot paths.
+ *
+ * The SWI mask-inclusion lookup (paper §4) tests every candidate's
+ * activity mask for inclusion in the primary's free lanes — one
+ * AND-NOT and a zero test per candidate. Done one candidate at a
+ * time inside the selection loop the test hides behind branches;
+ * hoisted out into a flat pass over a contiguous mask array it is
+ * branch-free and auto-vectorizes (4–8 masks per SIMD op), which is
+ * what these kernels provide. They are pure bit math: callers keep
+ * full control of iteration order, statistics, and RNG draws, so
+ * using them cannot perturb simulation results.
+ */
+
+#ifndef SIWI_COMMON_MASK_KERNELS_HH
+#define SIWI_COMMON_MASK_KERNELS_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace siwi {
+
+/**
+ * Inclusion bitmap: bit i of the result is set iff
+ * `masks[i] & ~free == 0` (mask i fits entirely inside @p free).
+ *
+ * @param n number of masks, at most 64 (one result bit each)
+ */
+u64 maskInclusionBitmap(u64 free, const u64 *masks, size_t n);
+
+/**
+ * Population counts of @p n masks into @p counts. Same flat,
+ * branch-free shape as maskInclusionBitmap, for callers that rank
+ * fitting candidates by occupancy.
+ */
+void maskPopcounts(const u64 *masks, size_t n, u8 *counts);
+
+} // namespace siwi
+
+#endif // SIWI_COMMON_MASK_KERNELS_HH

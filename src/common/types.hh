@@ -26,6 +26,13 @@ using Addr = u64;
 /** Simulation time, in SM core clock cycles. */
 using Cycle = u64;
 
+/**
+ * Sentinel wake time returned by the next-event estimators
+ * (SM::nextWake and the per-component queries it folds) when a
+ * component holds no timed state: "never wakes on its own".
+ */
+constexpr Cycle no_wake = ~Cycle(0);
+
 /** Instruction address: index into a Program's instruction vector. */
 using Pc = u32;
 

@@ -83,6 +83,7 @@ SimStats
 Gpu::launchTraced(const Kernel &kernel, const LaunchConfig &lc,
                   pipeline::SM::TraceHook hook)
 {
+    skipped_cycles_ = 0;
     if (cfg_.num_sms == 1 && !cfg_.shared_backend) {
         // The paper's single-SM setup: private DRAM channel,
         // self-assigned CTAs.
@@ -91,7 +92,9 @@ Gpu::launchTraced(const Kernel &kernel, const LaunchConfig &lc,
             sm.setTraceHook(std::move(hook));
         sm.launch(kernel.program(), lc.grid_blocks,
                   lc.block_threads);
-        return sm.run(lc.max_cycles);
+        SimStats stats = sm.run(lc.max_cycles, lc.cycle_skip);
+        skipped_cycles_ = sm.skippedCycles();
+        return stats;
     }
     return launchChip(kernel, lc, hook);
 }
@@ -145,17 +148,41 @@ Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
             hit_limit = true;
             break;
         }
+        bool progress = false;
         for (auto &sm : sms) {
             if (!sm->done())
-                sm->step();
+                progress |= sm->step();
         }
         ++cycle;
+        if (lc.cycle_skip && !progress) {
+            // Every live SM is asleep: jump the whole chip to the
+            // minimum wake bound across them, which preserves the
+            // lockstep (all live SM clocks stay equal to the chip
+            // cycle; done SMs keep their frozen clocks, exactly as
+            // when they simply stop being stepped). The shared
+            // backend is passive, so it contributes no wake of its
+            // own beyond what each SM's memory system reports.
+            Cycle wake = lc.max_cycles;
+            for (const auto &sm : sms) {
+                if (!sm->done())
+                    wake = std::min(wake, sm->nextWake());
+            }
+            if (wake > cycle) {
+                for (auto &sm : sms) {
+                    if (!sm->done())
+                        sm->skipTo(wake);
+                }
+                cycle = wake;
+            }
+        }
     }
 
     std::vector<SimStats> per_sm;
     per_sm.reserve(sms.size());
-    for (auto &sm : sms)
+    for (auto &sm : sms) {
         per_sm.push_back(sm->finalizeStats());
+        skipped_cycles_ += sm->skippedCycles();
+    }
 
     SimStats agg = SimStats::aggregate(per_sm);
     agg.timed_out |= hit_limit;

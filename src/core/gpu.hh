@@ -32,6 +32,20 @@ struct LaunchConfig
     unsigned grid_blocks = 1;
     unsigned block_threads = 256;
     Cycle max_cycles = 50'000'000;
+    /**
+     * Event-driven cycle skipping: when every warp (of every SM)
+     * is stalled, jump the clock to the earliest next-event bound
+     * instead of stepping empty cycles (see SM::nextWake).
+     * Observationally equivalent — all statistics, including
+     * cycle counts and timeout detection, are bit-identical to
+     * per-cycle stepping — so it defaults on; turn it off to
+     * cross-check (siwi-run --no-skip, and the stepping-
+     * equivalence tests do exactly that). A launch-time knob, not
+     * a GpuConfig field: it cannot change results, so it is not
+     * part of the machine identity that configs and baselines key
+     * on.
+     */
+    bool cycle_skip = true;
 };
 
 /** Chip-level parameter set: SM geometry times chip topology. */
@@ -113,12 +127,21 @@ class Gpu
     SimStats launchTraced(const Kernel &kernel, const LaunchConfig &lc,
                           pipeline::SM::TraceHook hook);
 
+    /**
+     * Cycles fast-forwarded by event-driven skipping during the
+     * most recent launch, summed over SMs. Diagnostic only (not
+     * part of SimStats, which stays bit-identical across stepping
+     * modes); zero when the launch ran with cycle_skip off.
+     */
+    u64 skippedCycles() const { return skipped_cycles_; }
+
   private:
     SimStats launchChip(const Kernel &kernel, const LaunchConfig &lc,
                         const pipeline::SM::TraceHook &hook);
 
     GpuConfig cfg_;
     mem::MemoryImage memory_;
+    u64 skipped_cycles_ = 0;
 };
 
 } // namespace siwi::core

@@ -42,7 +42,7 @@ Cct::insert(u32 id, Pc pc, Cycle now)
     if (pending_) {
         // Sideband sorter busy: degrade to a stack (head push).
         ++stats_.degraded_inserts;
-        list_.push_front({id, pc});
+        list_.insert(list_.begin(), {id, pc});
     } else {
         // Walk length: entries passed before the insertion point.
         unsigned walk = 0;
@@ -58,11 +58,14 @@ Cct::insert(u32 id, Pc pc, Cycle now)
     stats_.max_size = std::max(stats_.max_size, size());
 }
 
-void
+bool
 Cct::tick(Cycle now)
 {
-    if (pending_ && now >= pending_ready_)
+    if (pending_ && now >= pending_ready_) {
         finishPending();
+        return true;
+    }
+    return false;
 }
 
 std::optional<Cct::Entry>
@@ -71,7 +74,7 @@ Cct::pop(Cycle now)
     (void)now;
     if (!list_.empty()) {
         Entry e = list_.front();
-        list_.pop_front();
+        list_.erase(list_.begin());
         ++stats_.pops;
         return e;
     }

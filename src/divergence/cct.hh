@@ -7,8 +7,8 @@
 #ifndef SIWI_DIVERGENCE_CCT_HH
 #define SIWI_DIVERGENCE_CCT_HH
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -78,8 +78,24 @@ class Cct
     /** Remove a specific context (after an external merge). */
     void eraseId(u32 id);
 
-    /** Advance the sideband sorter one cycle. */
-    void tick(Cycle now);
+    /**
+     * Advance the sideband sorter one cycle. True when the parked
+     * entry folded into the list this cycle — the only transition
+     * this table makes on its own (everything else is driven by
+     * the owning heap).
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Cycle the parked sorter entry is due to fold into the list,
+     * or no_wake when the sorter is idle. The fold changes what
+     * pop()/minPc()/findByPc() can return, so a caller skipping
+     * quiet cycles must not jump past this bound.
+     */
+    Cycle nextWake() const
+    {
+        return pending_ ? pending_ready_ : no_wake;
+    }
 
     const CctStats &stats() const { return stats_; }
     unsigned capacity() const { return capacity_; }
@@ -89,7 +105,10 @@ class Cct
 
     unsigned capacity_;
     unsigned steps_per_cycle_;
-    std::deque<Entry> list_;
+    // Capacity-bounded (a handful of entries), so a flat vector
+    // beats a node container: head is the front, inserts/erases
+    // are tiny contiguous moves, storage is reused across splits.
+    std::vector<Entry> list_;
 
     std::optional<Entry> pending_;
     Cycle pending_ready_ = 0;

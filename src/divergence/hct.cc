@@ -1,7 +1,6 @@
 #include "divergence/hct.hh"
 
-#include <algorithm>
-#include <vector>
+#include <cstddef>
 
 #include "common/log.hh"
 
@@ -13,38 +12,47 @@ hctSort(const SorterEntry &a, const SorterEntry &b,
 {
     SorterResult res;
 
-    std::vector<SorterEntry> live;
+    // This runs on the hot path of every heap restructure, so it
+    // stays allocation-free: at most three live entries in fixed
+    // storage, ordered by a stable insertion sort.
+    SorterEntry live[3];
+    size_t n = 0;
     for (const SorterEntry *e : {&a, &b, &c}) {
         if (e->valid)
-            live.push_back(*e);
+            live[n++] = *e;
     }
 
     // Sort by PC; stable so earlier inputs keep priority on ties.
-    std::stable_sort(live.begin(), live.end(),
-                     [](const SorterEntry &x, const SorterEntry &y) {
-                         return x.pc < y.pc;
-                     });
+    for (size_t i = 1; i < n; ++i) {
+        SorterEntry key = live[i];
+        size_t j = i;
+        for (; j > 0 && key.pc < live[j - 1].pc; --j)
+            live[j] = live[j - 1];
+        live[j] = key;
+    }
 
     // Compact/merge adjacent equal-PC entries (reconvergence),
     // unless either side is pinned or their barrier states differ.
-    std::vector<SorterEntry> merged;
-    for (const SorterEntry &e : live) {
-        if (!merged.empty() && merged.back().pc == e.pc &&
-            !merged.back().pinned && !e.pinned &&
-            merged.back().barrier == e.barrier) {
-            siwi_assert(!merged.back().mask.intersects(e.mask),
+    SorterEntry merged[3];
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const SorterEntry &e = live[i];
+        if (m > 0 && merged[m - 1].pc == e.pc &&
+            !merged[m - 1].pinned && !e.pinned &&
+            merged[m - 1].barrier == e.barrier) {
+            siwi_assert(!merged[m - 1].mask.intersects(e.mask),
                         "merging overlapping warp-splits");
-            merged.back().mask |= e.mask;
+            merged[m - 1].mask |= e.mask;
             ++res.merges;
         } else {
-            merged.push_back(e);
+            merged[m++] = e;
         }
     }
 
     // Keep (up to) two hot; spill the third. Prefer spilling the
     // highest-PC unpinned entry.
-    if (merged.size() > 2) {
-        siwi_assert(merged.size() == 3, "more than 3 sorter inputs");
+    if (m > 2) {
+        siwi_assert(m == 3, "more than 3 sorter inputs");
         int spill_idx = -1;
         for (int i = 2; i >= 0; --i) {
             if (!merged[size_t(i)].pinned) {
@@ -54,12 +62,14 @@ hctSort(const SorterEntry &a, const SorterEntry &b,
         }
         siwi_assert(spill_idx >= 0, "all three sorter entries pinned");
         res.spill = merged[size_t(spill_idx)];
-        merged.erase(merged.begin() + spill_idx);
+        for (size_t i = size_t(spill_idx); i + 1 < m; ++i)
+            merged[i] = merged[i + 1];
+        --m;
     }
 
-    for (size_t i = 0; i < merged.size(); ++i)
+    for (size_t i = 0; i < m; ++i)
         res.hot[i] = merged[i];
-    res.want_pop = merged.size() < 2;
+    res.want_pop = m < 2;
     return res;
 }
 

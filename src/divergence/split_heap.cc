@@ -66,6 +66,9 @@ SplitContext &
 SplitHeap::ctxMut(u32 id)
 {
     siwi_assert(id < pool_.size(), "bad context id");
+    // The caller may flip scheduling-relevant flags (barrier,
+    // branch-pending) through this reference.
+    dirty_ = true;
     return pool_[id];
 }
 
@@ -130,12 +133,16 @@ SplitHeap::toEntry(u32 id) const
     return e;
 }
 
-void
+bool
 SplitHeap::restructure(std::optional<u32> incoming, Cycle now)
 {
     // Run the sorter network over (hot0, hot1, incoming); apply the
     // result; pop from the CCT into empty slots and re-sort until
-    // stable (pops can enable further merges).
+    // stable (pops can enable further merges). The returned flag
+    // reports whether anything moved: an already-sorted heap with
+    // nothing incoming must come back false, or the SM's
+    // quiet-cycle detector would never let a stalled warp sleep.
+    bool changed = incoming.has_value();
     std::optional<u32> extra = incoming;
     for (int iter = 0; iter < 8; ++iter) {
         SorterEntry a = toEntry(hot_[0]);
@@ -154,8 +161,10 @@ SplitHeap::restructure(std::optional<u32> incoming, Cycle now)
                 if (out.valid && out.id == in->id)
                     survives = true;
             }
-            if (!survives)
+            if (!survives) {
                 freeCtx(in->id);
+                changed = true;
+            }
         }
         // Surviving merged entries absorb the freed masks.
         for (const SorterEntry &out : res.hot) {
@@ -165,25 +174,33 @@ SplitHeap::restructure(std::optional<u32> incoming, Cycle now)
             if (ctx.mask != out.mask) {
                 ctx.mask = out.mask;
                 ++ctx.version;
+                changed = true;
             }
         }
         stats_.merges += res.merges;
 
-        hot_[0] = res.hot[0].valid ? res.hot[0].id : no_ctx;
-        hot_[1] = res.hot[1].valid ? res.hot[1].id : no_ctx;
+        u32 h0 = res.hot[0].valid ? res.hot[0].id : no_ctx;
+        u32 h1 = res.hot[1].valid ? res.hot[1].id : no_ctx;
+        changed |= hot_[0] != h0 || hot_[1] != h1;
+        hot_[0] = h0;
+        hot_[1] = h1;
 
-        if (res.spill.valid)
+        if (res.spill.valid) {
             coldInsert(res.spill.id, now);
+            changed = true;
+        }
 
         if (!res.want_pop || cct_.empty())
             break;
         auto popped = cct_.pop(now);
         siwi_assert(popped, "pop from non-empty CCT failed");
         extra = popped->id;
+        changed = true;
     }
+    return changed;
 }
 
-void
+bool
 SplitHeap::promote(Cycle now)
 {
     // Keep the hot slots holding the lowest PCs: if a cold context
@@ -192,7 +209,7 @@ SplitHeap::promote(Cycle now)
     // progress when hot contexts are suspended at SYNC barriers.
     auto cold_min = cct_.minPc();
     if (!cold_min)
-        return;
+        return false;
 
     int victim = -1;
     Pc victim_pc = 0;
@@ -223,7 +240,7 @@ SplitHeap::promote(Cycle now)
         }
     }
     if (victim < 0)
-        return;
+        return false;
 
     auto popped = cct_.popMin(now);
     siwi_assert(popped, "promotion pop failed");
@@ -233,6 +250,7 @@ SplitHeap::promote(Cycle now)
     coldInsert(demoted, now);
     ++stats_.promotions;
     restructure(popped->id, now);
+    return true;
 }
 
 void
@@ -264,6 +282,7 @@ SplitHeap::coldInsert(u32 id, Cycle now)
 void
 SplitHeap::advance(u32 id, Pc next, Cycle now)
 {
+    dirty_ = true;
     SplitContext &c = pool_[id];
     siwi_assert(c.valid, "advance on dead context");
     c.pc = next;
@@ -275,6 +294,7 @@ void
 SplitHeap::branchResolve(u32 id, Pc pc_a, LaneMask m_a, Pc pc_b,
                          LaneMask m_b, Cycle now)
 {
+    dirty_ = true;
     SplitContext &c = pool_[id];
     siwi_assert(c.valid, "branchResolve on dead context");
     siwi_assert((m_a | m_b) == c.mask && !m_a.intersects(m_b),
@@ -308,6 +328,7 @@ SplitHeap::branchResolve(u32 id, Pc pc_a, LaneMask m_a, Pc pc_b,
 void
 SplitHeap::exitResolve(u32 id, Cycle now)
 {
+    dirty_ = true;
     SplitContext &c = pool_[id];
     siwi_assert(c.valid, "exitResolve on dead context");
     c.branch_pending = false;
@@ -322,6 +343,7 @@ SplitHeap::exitResolve(u32 id, Cycle now)
 void
 SplitHeap::memorySplit(u32 id, LaneMask advancing, Pc next, Cycle now)
 {
+    dirty_ = true;
     SplitContext &c = pool_[id];
     siwi_assert(c.valid, "memorySplit on dead context");
     siwi_assert(advancing.any() && advancing.subsetOf(c.mask) &&
@@ -337,6 +359,7 @@ SplitHeap::memorySplit(u32 id, LaneMask advancing, Pc next, Cycle now)
 void
 SplitHeap::barrierRelease(Cycle now)
 {
+    dirty_ = true;
     for (SplitContext &c : pool_) {
         if (c.valid && c.barrier_blocked) {
             c.barrier_blocked = false;
@@ -347,12 +370,20 @@ SplitHeap::barrierRelease(Cycle now)
     restructure(std::nullopt, now);
 }
 
-void
+bool
 SplitHeap::tick(Cycle now)
 {
-    cct_.tick(now);
-    restructure(std::nullopt, now);
-    promote(now);
+    bool changed = cct_.tick(now);
+    if (changed)
+        dirty_ = true;
+    if (!dirty_)
+        return false;
+    changed |= restructure(std::nullopt, now);
+    changed |= promote(now);
+    // A pass that moved something may have enabled another (e.g. a
+    // promotion freeing a slot): stay dirty and settle next tick.
+    dirty_ = changed;
+    return changed;
 }
 
 } // namespace siwi::divergence

@@ -80,6 +80,7 @@ class SplitHeap
     u32 hotId(unsigned slot) const;
 
     const SplitContext &ctx(u32 id) const;
+    /** Mutable context access; marks the heap for re-sorting. */
     SplitContext &ctxMut(u32 id);
 
     /** All threads exited? */
@@ -119,8 +120,21 @@ class SplitHeap
     /** Release every barrier-blocked context to @p next-of-its-pc. */
     void barrierRelease(Cycle now);
 
-    /** Per-cycle maintenance: CCT sorter step, promotion rule. */
-    void tick(Cycle now);
+    /**
+     * Per-cycle maintenance: CCT sorter step, promotion rule.
+     * @return true when any heap state changed (a sorter fold,
+     *         merge, spill, pop, hot-slot move or promotion) —
+     *         the SM's quiet-cycle detector keys on this.
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Earliest future cycle this heap changes state on its own:
+     * the parked CCT sorter entry's fold time, or no_wake. Every
+     * other transition is driven by the pipeline (advance, branch
+     * and exit resolution, memory splits, barrier release).
+     */
+    Cycle nextWake() const { return cct_.nextWake(); }
 
     const SplitHeapStats &stats() const { return stats_; }
     const CctStats &cctStats() const { return cct_.stats(); }
@@ -128,8 +142,8 @@ class SplitHeap
   private:
     u32 alloc(Pc pc, LaneMask mask);
     void freeCtx(u32 id);
-    void restructure(std::optional<u32> incoming, Cycle now);
-    void promote(Cycle now);
+    bool restructure(std::optional<u32> incoming, Cycle now);
+    bool promote(Cycle now);
     /** Insert into the CCT, compacting with an equal-PC entry. */
     void coldInsert(u32 id, Cycle now);
     SorterEntry toEntry(u32 id) const;
@@ -140,6 +154,15 @@ class SplitHeap
     std::array<u32, num_hot> hot_;
     Cct cct_;
     SplitHeapStats stats_;
+
+    /**
+     * Set by every mutation, cleared when a full tick() pass finds
+     * nothing to do. A no-change pass is side-effect-free and pure
+     * in the heap state, so until the next mutation (or a sideband
+     * sorter fold, which tick() checks first) repeating it must
+     * return false again — tick() short-circuits to exactly that.
+     */
+    bool dirty_ = true;
 };
 
 } // namespace siwi::divergence

@@ -48,11 +48,12 @@ FrontEnd::selectPrimary(unsigned pool, std::span<const Cand> cands,
     return policy_[pool]->select(host_, cands, check_group);
 }
 
-void
+bool
 FrontEnd::issueSimple()
 {
     host_.clearLastPrimary();
     const SMConfig &cfg = host_.config();
+    bool issued = false;
 
     if (cfg.num_pools == 2) {
         // Two symmetric schedulers; alternate arbitration priority
@@ -62,21 +63,26 @@ FrontEnd::issueSimple()
             unsigned pool = (first + k) % 2;
             auto c = selectPrimary(pool, pool_domain_[pool], true);
             if (c && host_.issueCand(c->w, c->slot, false, nullptr,
-                                     false))
+                                     false)) {
                 notifyIssued(pool, *c);
+                issued = true;
+            }
         }
-        return;
+        return issued;
     }
 
     // SBI: primary over CPC1 entries, secondary over CPC2 entries.
     auto c = selectPrimary(0, pool_domain_[0], true);
     if (c &&
-        host_.issueCand(c->w, c->slot, false, nullptr, false))
+        host_.issueCand(c->w, c->slot, false, nullptr, false)) {
         notifyIssued(0, *c);
-    issueSecondarySimple(host_.lastPrimary());
+        issued = true;
+    }
+    issued |= issueSecondarySimple(host_.lastPrimary());
+    return issued;
 }
 
-void
+bool
 FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
 {
     // Secondary front-end: oldest ready CPC2 (hot slot 1) entry.
@@ -103,13 +109,12 @@ FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
     }
     if (best) {
         PrimaryIssueInfo pcopy = pinfo;
-        host_.issueCand(best->w, best->slot, true, &pcopy,
-                        best_row);
-        return;
+        return host_.issueCand(best->w, best->slot, true, &pcopy,
+                               best_row);
     }
 
     if (!host_.config().sbi_secondary_fallback)
-        return;
+        return false;
 
     // Fallback: issue another warp's primary-context instruction to
     // a different SIMD group (docs/DESIGN.md interpretation note).
@@ -128,9 +133,12 @@ FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
     }
     if (best) {
         if (host_.issueCand(best->w, best->slot, true, nullptr,
-                            false))
+                            false)) {
             host_.stats().fallback_issues += 1;
+            return true;
+        }
     }
+    return false;
 }
 
 // ----------------------------------------------------------------
@@ -141,10 +149,10 @@ StackFrontEnd::StackFrontEnd(FrontEndHost &host) : FrontEnd(host)
 {
 }
 
-void
+bool
 StackFrontEnd::issueCycle()
 {
-    issueSimple();
+    return issueSimple();
 }
 
 // ----------------------------------------------------------------
@@ -166,13 +174,12 @@ InterweaveFrontEnd::InterweaveFrontEnd(FrontEndHost &host)
     }
 }
 
-void
+bool
 InterweaveFrontEnd::issueCycle()
 {
     if (host_.config().cascaded())
-        issueCascaded();
-    else
-        issueSimple();
+        return issueCascaded();
+    return issueSimple();
 }
 
 std::optional<Cand>
@@ -255,10 +262,16 @@ InterweaveFrontEnd::pickSecondaryCascaded(
     return cands[*picked];
 }
 
-void
+bool
 InterweaveFrontEnd::issueCascaded()
 {
     host_.clearLastPrimary();
+
+    // Activity tracking for the cycle-skipping loop: issues, the
+    // cascade-register transitions (stale drop, park) and squashed
+    // conflicts all mutate state and count; a held pick is a net
+    // no-op (claimed toggles off and back on) and does not.
+    bool activity = false;
 
     // Phase B snapshot: the primary scheduler selects its next pick
     // in parallel with this cycle's issue (cascaded scheduling,
@@ -292,6 +305,7 @@ InterweaveFrontEnd::issueCascaded()
             if (e && e->claimed)
                 e->claimed = false;
             cascade_.valid = false;
+            activity = true;
         } else {
             e->claimed = false; // allow ready() to see it
             if (host_.ready(cascade_.w, unsigned(slot), true)) {
@@ -303,6 +317,7 @@ InterweaveFrontEnd::issueCascaded()
                         0, Cand{cascade_.w, unsigned(slot)});
                 }
                 cascade_.valid = false;
+                activity = true;
             } else {
                 // Structural stall: hold the pick, retry next cycle.
                 e->claimed = true;
@@ -325,6 +340,7 @@ InterweaveFrontEnd::issueCascaded()
                             row_share)) {
             sec_issued_ctx = ctx;
             sec_issued_warp = sec->w;
+            activity = true;
         }
     }
 
@@ -332,22 +348,23 @@ InterweaveFrontEnd::issueCascaded()
     // conflict where the secondary issued the same instruction this
     // cycle (the primary's copy is discarded, section 4).
     if (held)
-        return;
+        return activity;
     if (!next_pick)
-        return;
+        return activity;
     if (sec_issued_ctx && sec_issued_warp == next_pick->w &&
         *sec_issued_ctx == next_pick_ctx) {
         host_.stats().conflicts_squashed += 1;
-        return;
+        return true;
     }
     IBufEntry *e = host_.entryFor(next_pick->w, next_pick->slot);
     if (!e)
-        return; // consumed or invalidated this cycle
+        return activity; // consumed or invalidated this cycle
     cascade_.valid = true;
     cascade_.w = next_pick->w;
     cascade_.ctx_id = e->ctx_id;
     cascade_.ctx_version = e->ctx_version;
     e->claimed = true;
+    return true;
 }
 
 // ----------------------------------------------------------------

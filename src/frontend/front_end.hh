@@ -141,8 +141,17 @@ class FrontEnd
   public:
     virtual ~FrontEnd() = default;
 
-    /** Select + issue for one cycle (the SM issue stage). */
-    virtual void issueCycle() = 0;
+    /**
+     * Select + issue for one cycle (the SM issue stage).
+     * @return true when the front-end made progress or mutated any
+     *         state: an issue, a cascade-register park or
+     *         stale-drop, or a squashed conflict. False means the
+     *         cycle was a pure (state-free) selection pass, so an
+     *         identical cycle would repeat until something else in
+     *         the SM changes — the contract the event-driven
+     *         cycle-skipping loop relies on.
+     */
+    virtual bool issueCycle() = 0;
 
     const SchedPolicy &schedPolicy(unsigned pool = 0) const
     {
@@ -173,11 +182,15 @@ class FrontEnd
      * The simple (1-cycle scheduler) issue stage shared by the
      * Fermi baseline and the non-cascaded interweave machines:
      * two alternating pools, or one pool plus the SBI secondary.
+     * @return true when any instruction issued
      */
-    void issueSimple();
+    bool issueSimple();
 
-    /** Oldest ready CPC2 entry, row-shared when possible (§3.3). */
-    void issueSecondarySimple(const PrimaryIssueInfo &pinfo);
+    /**
+     * Oldest ready CPC2 entry, row-shared when possible (§3.3).
+     * @return true when an instruction issued
+     */
+    bool issueSecondarySimple(const PrimaryIssueInfo &pinfo);
 
     FrontEndHost &host_;
     /**
@@ -196,7 +209,7 @@ class StackFrontEnd final : public FrontEnd
 {
   public:
     explicit StackFrontEnd(FrontEndHost &host);
-    void issueCycle() override;
+    bool issueCycle() override;
 };
 
 /**
@@ -208,7 +221,7 @@ class InterweaveFrontEnd final : public FrontEnd
 {
   public:
     explicit InterweaveFrontEnd(FrontEndHost &host);
-    void issueCycle() override;
+    bool issueCycle() override;
 
     const pipeline::MaskLookup &maskLookup() const
     {
@@ -225,7 +238,7 @@ class InterweaveFrontEnd final : public FrontEnd
         u32 ctx_version = 0;
     };
 
-    void issueCascaded();
+    bool issueCascaded();
     std::optional<Cand> pickSecondaryCascaded(
         const PrimaryIssueInfo &pinfo, bool *row_share_out);
     std::optional<Cand> pickSubstitute();

@@ -44,6 +44,23 @@ class MemoryBackend
     /** Drop cached residency (kernel boundary; stats persist). */
     virtual void invalidate() = 0;
 
+    /**
+     * Earliest cycle after @p now at which this backend changes
+     * state on its own, or no_wake. Backends are passive — all
+     * latency is carried by the ready cycles read() returns, and
+     * internal state only advances inside read()/write() calls —
+     * so the default "never" is exact. An implementation that
+     * grows autonomous timed state (a refresh scheduler, a
+     * delayed-fill queue) must override this, or the
+     * cycle-skipping SM loop stops being equivalent to per-cycle
+     * stepping.
+     */
+    virtual Cycle nextWake(Cycle now) const
+    {
+        (void)now;
+        return no_wake;
+    }
+
     /** DRAM-channel statistics of this backend. */
     virtual const DramStats &dramStats() const = 0;
 };

@@ -38,6 +38,19 @@ MemorySystem::tick(Cycle now)
     }
 }
 
+Cycle
+MemorySystem::nextWake(Cycle now) const
+{
+    Cycle wake = backend_->nextWake(now);
+    // A fill retires in tick(fill), freeing its MSHR before issue
+    // in that same cycle — so the wake is the fill cycle itself.
+    // Overdue fills (possible only if tick was not called every
+    // cycle) retire at the very next tick, hence the clamp to now.
+    for (const auto &[blk, m] : inflight_)
+        wake = std::min(wake, std::max(m.fill, now));
+    return wake;
+}
+
 unsigned
 MemorySystem::mshrOccupancy(Cycle now) const
 {

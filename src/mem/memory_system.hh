@@ -85,6 +85,20 @@ class MemorySystem
     void tick(Cycle now);
 
     /**
+     * Earliest cycle at or after @p now at which this system
+     * changes state on its own: the minimum pending
+     * fill-completion time (a fill retires in tick(fill), before
+     * issue in that cycle; overdue fills clamp to @p now), or
+     * no_wake when nothing is in flight. Everything else in here
+     * is demand-driven — load/store calls — so a caller that
+     * sleeps until the returned cycle and ticks then observes
+     * exactly the behavior of one ticking every cycle: fills
+     * retire in a batch, and no query can see the difference in
+     * between.
+     */
+    Cycle nextWake(Cycle now) const;
+
+    /**
      * Reset cache/tags between kernels (stats persist). The write
      * buffer drains at @p now — the drain traffic competes for
      * backend bandwidth from the current cycle onward.

@@ -43,6 +43,9 @@ class ExecGroup
     /** Can a new instruction start at @p now? */
     bool canAccept(Cycle now) const { return now >= busy_until_; }
 
+    /** First cycle a new instruction can start (next-event bound). */
+    Cycle busyUntil() const { return busy_until_; }
+
     /**
      * Occupy the group for @p cycles starting at @p now, executing
      * @p threads thread-instructions.

@@ -62,6 +62,13 @@ class MaskLookup
      * population), breaking ties pseudo-randomly (section 4,
      * "scheduler conflict avoidance").
      *
+     * Internally the set filter gathers the eligible masks into a
+     * contiguous scratch array and runs the inclusion tests as one
+     * batched, branch-free pass (common/mask_kernels.hh); the
+     * selection walk, the examined-entry count, and the RNG
+     * tie-break sequence are identical to testing one candidate at
+     * a time.
+     *
      * @return index into @p cands, or nullopt.
      */
     std::optional<size_t> pick(WarpId primary_warp,
@@ -78,6 +85,12 @@ class MaskLookup
     Rng rng_;
     u64 searches_ = 0;
     u64 examined_ = 0;
+
+    // Gather scratch reused across pick() calls (no per-cycle
+    // allocation once warmed up).
+    std::vector<u32> elig_idx_;
+    std::vector<u64> elig_bits_;
+    std::vector<u8> elig_cnt_;
 };
 
 } // namespace siwi::pipeline

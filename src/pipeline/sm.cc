@@ -89,7 +89,7 @@ SM::done() const
 }
 
 core::SimStats
-SM::run(Cycle max_cycles)
+SM::run(Cycle max_cycles, bool cycle_skip)
 {
     while (!done()) {
         if (now_ >= max_cycles) {
@@ -97,25 +97,90 @@ SM::run(Cycle max_cycles)
             stats_.timed_out = true;
             break;
         }
-        step();
+        bool progress = step();
+        if (cycle_skip && !progress) {
+            // Everything is stalled: jump straight to the next
+            // event. Clamping to max_cycles keeps the timeout path
+            // (and its cycles counter) identical to per-cycle
+            // stepping; the wake can equal now_ (an event due this
+            // very cycle), in which case there is nothing to skip.
+            Cycle wake = std::min(nextWake(), max_cycles);
+            if (wake > now_)
+                skipTo(wake);
+        }
     }
     finalizeStats();
     return stats_;
 }
 
-void
+bool
 SM::step()
 {
+    bool progress = false;
+
     // Under a chip CTA scheduler, poll for work every cycle: slots
-    // may be free while other SMs still drain the grid.
-    if (cta_source_ && !cta_source_dry_)
+    // may be free while other SMs still drain the grid. Taking a
+    // CTA — or discovering the grid just ran dry, which flips
+    // done() — is progress.
+    if (cta_source_ && !cta_source_dry_) {
+        u64 blocks_before = stats_.blocks_launched;
         launchBlocks();
+        progress |= stats_.blocks_launched != blocks_before ||
+                    cta_source_dry_;
+    }
+
+    // Fill retirement is batch-equivalent under time jumps (no
+    // query can observe a fill before the next load, which only
+    // happens on an issue), so it does not count as progress.
     memsys_.tick(now_);
-    processEvents();
-    heapMaintenance();
-    frontend_->issueCycle();
+
+    progress |= processEvents();
+    progress |= heapMaintenance();
+
+    // The front-end reports issues and scheduler-state mutations
+    // itself; SYNC-suspension attempts are statistics bumped per
+    // ready() probe, so a cycle that moved the counter must not be
+    // skipped over or the counts would diverge from per-cycle
+    // stepping.
+    u64 sync_before = stats_.sync_suspensions;
+    progress |= frontend_->issueCycle();
+    progress |= stats_.sync_suspensions != sync_before;
+
+    u64 fetches_before = stats_.fetches;
     fetchStage();
+    progress |= stats_.fetches != fetches_before;
+
     ++now_;
+    return progress;
+}
+
+Cycle
+SM::nextWake() const
+{
+    Cycle wake = no_wake;
+    if (!events_.empty())
+        wake = std::min(wake, events_.begin()->first);
+    for (const ExecGroup &g : groups_) {
+        // canAccept(c) is c >= busyUntil(), so a group that was
+        // busy during the just-stepped cycle (busyUntil == now_)
+        // frees exactly at the next cycle: >= here, not >.
+        if (g.busyUntil() >= now_)
+            wake = std::min(wake, g.busyUntil());
+    }
+    wake = std::min(wake, memsys_.nextWake(now_));
+    for (const WarpSlot &ws : warps_) {
+        if (ws.active && ws.heap)
+            wake = std::min(wake, ws.heap->nextWake());
+    }
+    return wake;
+}
+
+void
+SM::skipTo(Cycle target)
+{
+    siwi_assert(target >= now_, "skipTo into the past");
+    skipped_cycles_ += target - now_;
+    now_ = target;
 }
 
 // ----------------------------------------------------------------
@@ -640,12 +705,14 @@ SM::issueCand(WarpId w, unsigned slot, bool secondary,
 // events
 // ----------------------------------------------------------------
 
-void
+bool
 SM::processEvents()
 {
+    bool fired = false;
     while (!events_.empty() && events_.begin()->first <= now_) {
         Event ev = events_.begin()->second;
         events_.erase(events_.begin());
+        fired = true;
         switch (ev.kind) {
           case Event::Kind::Writeback:
             sb_.release(ev.warp, unsigned(ev.sb_entry));
@@ -658,6 +725,7 @@ SM::processEvents()
             break;
         }
     }
+    return fired;
 }
 
 void
@@ -764,13 +832,15 @@ SM::checkBarrierRelease(int block_slot)
 // heap upkeep + fetch
 // ----------------------------------------------------------------
 
-void
+bool
 SM::heapMaintenance()
 {
+    bool changed = false;
     for (WarpSlot &ws : warps_) {
         if (ws.active && ws.heap)
-            ws.heap->tick(now_);
+            changed |= ws.heap->tick(now_);
     }
+    return changed;
 }
 
 void

@@ -101,13 +101,57 @@ class SM final : public frontend::FrontEndHost
     /** All blocks retired? */
     bool done() const;
 
-    /** Advance one cycle. */
-    void step();
+    /**
+     * Advance one cycle.
+     * @return true when the cycle made progress: an event fired, a
+     *         heap restructured, the front-end issued or mutated
+     *         scheduler state, a fetch or CTA launch happened, or
+     *         a statistic that counts per-cycle attempts (SYNC
+     *         suspensions) moved. A false return means the SM is
+     *         fully asleep — re-stepping it changes nothing until
+     *         nextWake(), so the caller may jump time there.
+     */
+    bool step();
+
+    /**
+     * Conservative next-event estimate: the earliest cycle at
+     * which anything in this SM can change — the next deferred
+     * event (writebacks, branch/exit resolutions and their
+     * retries), the earliest execution-group release, the next L1
+     * fill or backend wake, and the next CCT sorter fold. Every
+     * other transition (scoreboard, barriers, fetch, CTA launch)
+     * happens only as a consequence of one of these, so after a
+     * quiet step() the SM provably re-enters the same quiet state
+     * on every cycle before the returned bound. no_wake when no
+     * timed state is pending (the SM is dead in the water until
+     * the cycle limit).
+     */
+    Cycle nextWake() const;
+
+    /**
+     * Jump the SM clock to @p target (>= now()) without stepping,
+     * accounting the difference in skippedCycles(). Only valid
+     * after a quiet step() and for target <= nextWake(): the SM
+     * state is by construction identical to having stepped every
+     * intervening cycle.
+     */
+    void skipTo(Cycle target);
+
+    /**
+     * Cycles fast-forwarded by skipTo() so far. Diagnostic only —
+     * deliberately not part of SimStats, so skip-enabled and
+     * per-cycle runs produce identical statistics blocks.
+     */
+    u64 skippedCycles() const { return skipped_cycles_; }
 
     /**
      * Run to completion (or @p max_cycles) and return statistics.
+     * @param cycle_skip fast-forward over quiet stretches (see
+     *        step()/nextWake()); observationally equivalent to
+     *        per-cycle stepping, bit-identical statistics included
      */
-    core::SimStats run(Cycle max_cycles = 50'000'000);
+    core::SimStats run(Cycle max_cycles = 50'000'000,
+                       bool cycle_skip = true);
 
     Cycle now() const override { return now_; }
     const SMConfig &config() const override { return cfg_; }
@@ -206,8 +250,8 @@ class SM final : public frontend::FrontEndHost
     // ------------------------------------------------------------
     // pipeline stages
     // ------------------------------------------------------------
-    void processEvents();
-    void heapMaintenance();
+    bool processEvents();
+    bool heapMaintenance();
     void fetchStage();
 
     // --- scheduling helpers ---
@@ -257,6 +301,7 @@ class SM final : public frontend::FrontEndHost
     std::unique_ptr<frontend::FrontEnd> frontend_;
 
     Cycle now_ = 0;
+    u64 skipped_cycles_ = 0;
     u64 fetch_seq_ = 1;
     std::vector<WarpId> fe_rr_; //!< per-front-end round-robin cursor
 

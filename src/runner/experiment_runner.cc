@@ -27,7 +27,7 @@ effectiveJobs(unsigned jobs, size_t cells)
 
 CellResult
 runCell(const SweepSpec &sweep, size_t machine, size_t wl,
-        size_t sms, size_t policy)
+        size_t sms, size_t policy, bool cycle_skip)
 {
     const MachineSpec &m = sweep.machines[machine];
     const workloads::Workload &w = *sweep.wls[wl];
@@ -37,8 +37,8 @@ runCell(const SweepSpec &sweep, size_t machine, size_t wl,
 
     pipeline::SMConfig cfg = m.config;
     cfg.sched_policy = pol;
-    workloads::RunResult res =
-        workloads::runWorkload(w, cfg, sweep.size, num_sms);
+    workloads::RunResult res = workloads::runWorkload(
+        w, cfg, sweep.size, num_sms, cycle_skip);
 
     CellResult c;
     c.sweep = sweep.name;
@@ -111,8 +111,9 @@ runSweeps(const std::vector<SweepSpec> &sweeps_in,
             if (i >= cells.size())
                 return;
             const CellSpec &cs = cells[i];
-            CellResult c = runCell(sweeps[cs.sweep], cs.machine,
-                                   cs.wl, cs.sms, cs.policy);
+            CellResult c =
+                runCell(sweeps[cs.sweep], cs.machine, cs.wl,
+                        cs.sms, cs.policy, opts.cycle_skip);
             size_t n = done.fetch_add(1) + 1;
             if (opts.progress || !c.verified || c.timed_out) {
                 std::lock_guard<std::mutex> lock(io_mutex);

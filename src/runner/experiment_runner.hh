@@ -29,6 +29,13 @@ struct RunOptions
     bool progress = false;
     /** Label copied into Results::suite. */
     std::string suite_label;
+    /**
+     * Event-driven cycle skipping (core::LaunchConfig::cycle_skip).
+     * Results are bit-identical either way; off (siwi-run
+     * --no-skip) is the cross-check mode the stepping-equivalence
+     * gate runs.
+     */
+    bool cycle_skip = true;
 };
 
 /** Number of workers @p jobs resolves to on this host. */
@@ -59,10 +66,11 @@ Results runSweeps(const std::vector<SweepSpec> &sweeps,
  * Run one (workload, config, SM count, policy) cell, the
  * primitive the benches used to call runCell() for. @p sms and
  * @p policy index the sweep's SM-count and scheduling-policy axes
- * (default: their first entries).
+ * (default: their first entries); @p cycle_skip as in RunOptions.
  */
 CellResult runCell(const SweepSpec &sweep, size_t machine,
-                   size_t wl, size_t sms = 0, size_t policy = 0);
+                   size_t wl, size_t sms = 0, size_t policy = 0,
+                   bool cycle_skip = true);
 
 } // namespace siwi::runner
 

@@ -62,7 +62,7 @@ runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
 
 RunResult
 runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
-            SizeClass sc, unsigned num_sms)
+            SizeClass sc, unsigned num_sms, bool cycle_skip)
 {
     Instance inst = wl.instance(sc);
     core::Kernel kernel = core::Kernel::compile(inst.raw,
@@ -74,11 +74,13 @@ runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
     core::LaunchConfig lc;
     lc.grid_blocks = inst.grid_blocks;
     lc.block_threads = inst.block_threads;
+    lc.cycle_skip = cycle_skip;
 
     RunResult res;
     res.stats = gpu.launch(kernel, lc);
     res.layout_violations = kernel.layoutViolations();
     res.verified = wl.verify(gpu.memory(), sc, &res.verify_msg);
+    res.skipped_cycles = gpu.skippedCycles();
     return res;
 }
 

@@ -93,6 +93,13 @@ struct RunResult
     bool verified = false;
     std::string verify_msg;
     unsigned layout_violations = 0;
+    /**
+     * Cycles fast-forwarded by event-driven skipping (see
+     * core::LaunchConfig::cycle_skip). Diagnostic only — stats is
+     * bit-identical whether or not skipping ran; zero when
+     * cycle_skip was off or every cycle had work.
+     */
+    u64 skipped_cycles = 0;
 };
 
 /** Compile, initialize, launch and verify one workload. */
@@ -102,11 +109,13 @@ RunResult runWorkload(const Workload &wl,
 /**
  * As above on a chip of @p num_sms SMs (core::GpuConfig::make):
  * num_sms == 1 is the paper's private-channel single-SM setup,
- * more SMs share the chip L2 + DRAM channel.
+ * more SMs share the chip L2 + DRAM channel. @p cycle_skip
+ * forwards to core::LaunchConfig::cycle_skip (observationally
+ * equivalent either way; off is the cross-check mode).
  */
 RunResult runWorkload(const Workload &wl,
                       const pipeline::SMConfig &cfg, SizeClass sc,
-                      unsigned num_sms);
+                      unsigned num_sms, bool cycle_skip = true);
 
 } // namespace siwi::workloads
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Differential stepping-equivalence harness.
+ *
+ * Event-driven cycle skipping (core::LaunchConfig::cycle_skip)
+ * promises observational equivalence: the complete SimStats block —
+ * cycle counts, IPC denominators, per-SM breakdowns, timeout flags
+ * — must be bit-identical to stepping every cycle. These tests run
+ * the whole fast suite plus randomized machine mutations both ways
+ * and compare with SimStats::operator==, so any wake-bound bug that
+ * changes *anything* observable fails loudly rather than skewing
+ * results quietly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pipeline/config_io.hh"
+#include "runner/runner.hh"
+#include "workloads/workload.hh"
+
+namespace siwi {
+namespace {
+
+using runner::CellSpec;
+using runner::SweepSpec;
+using workloads::RunResult;
+using workloads::SizeClass;
+
+/** Run one (workload, config) both ways and compare everything. */
+void
+expectEquivalent(const workloads::Workload &wl,
+                 const pipeline::SMConfig &cfg, SizeClass sc,
+                 unsigned num_sms, const std::string &label)
+{
+    RunResult skip = workloads::runWorkload(wl, cfg, sc, num_sms,
+                                            /*cycle_skip=*/true);
+    RunResult step = workloads::runWorkload(wl, cfg, sc, num_sms,
+                                            /*cycle_skip=*/false);
+    EXPECT_TRUE(skip.stats == step.stats)
+        << label << ": SimStats differ between skip and no-skip "
+        << "(skip cycles=" << skip.stats.cycles
+        << " step cycles=" << step.stats.cycles << ")";
+    EXPECT_EQ(skip.verified, step.verified) << label;
+    EXPECT_EQ(skip.verify_msg, step.verify_msg) << label;
+    EXPECT_EQ(step.skipped_cycles, 0u)
+        << label << ": no-skip run must never fast-forward";
+}
+
+/**
+ * Every cell of the fast suite: all five machines x the full
+ * workload list at Tiny size, exactly what CI's bench gate runs.
+ */
+TEST(SteppingEquivalence, FastSuiteCells)
+{
+    std::vector<SweepSpec> sweeps = runner::suiteSweeps("fast");
+    ASSERT_FALSE(sweeps.empty());
+    for (const CellSpec &cs : runner::expandCells(sweeps)) {
+        const SweepSpec &s = sweeps[cs.sweep];
+        runner::CellResult a =
+            runner::runCell(s, cs.machine, cs.wl, cs.sms,
+                            cs.policy, /*cycle_skip=*/true);
+        runner::CellResult b =
+            runner::runCell(s, cs.machine, cs.wl, cs.sms,
+                            cs.policy, /*cycle_skip=*/false);
+        EXPECT_TRUE(a.stats == b.stats)
+            << s.name << " " << a.machine << " " << a.workload
+            << ": SimStats differ between skip and no-skip";
+        EXPECT_EQ(a.verified, b.verified) << a.workload;
+        EXPECT_EQ(a.ipc, b.ipc) << a.workload;
+    }
+}
+
+/**
+ * Multi-SM chips take the lockstep skip path in Gpu::launchChip
+ * (min wake across live SMs) rather than SM::run; cover it on
+ * every pipeline mode.
+ */
+TEST(SteppingEquivalence, MultiSmChips)
+{
+    const workloads::Workload *wl =
+        workloads::findWorkload("BFS");
+    if (!wl)
+        wl = workloads::allWorkloads().front();
+    for (pipeline::PipelineMode mode :
+         {pipeline::PipelineMode::Baseline,
+          pipeline::PipelineMode::Warp64,
+          pipeline::PipelineMode::SBI, pipeline::PipelineMode::SWI,
+          pipeline::PipelineMode::SBISWI}) {
+        pipeline::SMConfig cfg = pipeline::SMConfig::make(mode);
+        expectEquivalent(*wl, cfg, SizeClass::Tiny, 4,
+                         std::string("4-SM chip mode ") +
+                             pipeline::pipelineModeName(mode));
+    }
+}
+
+/**
+ * Randomized machine mutations: start from each canonical machine,
+ * apply a handful of random config key=value overrides (through
+ * the same field table spec files use), keep only configurations
+ * that pass checkInvariants, and demand stepping equivalence on a
+ * barrier-heavy and a divergent workload. This sweeps wake-source
+ * corner cases (tiny MSHR counts, deep latencies, small CCTs) that
+ * the canonical machines never exercise.
+ */
+TEST(SteppingEquivalence, RandomizedMachines)
+{
+    struct KeyPool
+    {
+        const char *key;
+        std::vector<const char *> values;
+    };
+    const std::vector<KeyPool> pool = {
+        {"mshrs", {"1", "2", "4", "64"}},
+        {"write_buffer_entries", {"1", "2", "8"}},
+        {"l1_hit_latency", {"1", "3", "9"}},
+        {"dram_latency_cycles", {"10", "100", "700"}},
+        {"dram_bytes_per_cycle_x10", {"5", "40", "100"}},
+        {"exec_latency", {"1", "8", "24"}},
+        {"scoreboard_entries", {"1", "2", "6"}},
+        {"cct_capacity", {"2", "8", "16"}},
+        {"cct_steps_per_cycle", {"1", "2"}},
+        {"scheduler_latency", {"1", "4"}},
+        {"delivery_latency", {"0", "2"}},
+        {"max_blocks_resident", {"1", "4", "8"}},
+        {"lookup_sets", {"1", "2", "4"}},
+        {"sched_policy", {"oldest", "rr", "gto", "minpc"}},
+    };
+    const workloads::Workload *barrier =
+        workloads::findWorkload("FastWalshTransform");
+    const workloads::Workload *divergent =
+        workloads::findWorkload("BFS");
+    ASSERT_NE(barrier, nullptr);
+    ASSERT_NE(divergent, nullptr);
+
+    Rng rng(20260808);
+    int accepted = 0;
+    for (int trial = 0; accepted < 12 && trial < 200; ++trial) {
+        pipeline::PipelineMode mode = static_cast<
+            pipeline::PipelineMode>(rng.below(5));
+        pipeline::SMConfig cfg = pipeline::SMConfig::make(mode);
+        unsigned muts = 1 + unsigned(rng.below(4));
+        std::string label = std::string("mode ") +
+                            pipeline::pipelineModeName(mode);
+        for (unsigned m = 0; m < muts; ++m) {
+            const KeyPool &kp = pool[rng.below(
+                unsigned(pool.size()))];
+            const char *val =
+                kp.values[rng.below(unsigned(kp.values.size()))];
+            std::string kv =
+                std::string(kp.key) + "=" + val;
+            std::string err;
+            if (!pipeline::smConfigApplyKeyValue(kv, &cfg, &err))
+                continue; // key invalid for this mode: skip it
+            label += " " + kv;
+        }
+        if (!cfg.checkInvariants().empty())
+            continue;
+        ++accepted;
+        const workloads::Workload *wl =
+            (accepted % 2) ? barrier : divergent;
+        expectEquivalent(*wl, cfg, SizeClass::Tiny, 1,
+                         label + " on " + wl->name());
+    }
+    // The acceptance filter must not starve the test.
+    EXPECT_GE(accepted, 8);
+}
+
+/**
+ * The skip machinery must actually engage: a memory-bound kernel
+ * spends most of its cycles waiting on DRAM, so a skip-enabled run
+ * must fast-forward a significant share of them (this guards
+ * against a silent regression that turns skipping into a no-op —
+ * equivalence would still hold, speed would not).
+ */
+TEST(SteppingEquivalence, SkipEngagesOnMemoryBoundKernel)
+{
+    const workloads::Workload *wl =
+        workloads::findWorkload("FastWalshTransform");
+    ASSERT_NE(wl, nullptr);
+    pipeline::SMConfig cfg =
+        pipeline::SMConfig::make(pipeline::PipelineMode::Baseline);
+    RunResult res = workloads::runWorkload(
+        *wl, cfg, SizeClass::Tiny, 1, /*cycle_skip=*/true);
+    ASSERT_TRUE(res.verified) << res.verify_msg;
+    EXPECT_GT(res.skipped_cycles, res.stats.cycles / 4)
+        << "cycle skipping barely engaged on a memory-bound "
+           "kernel";
+}
+
+} // namespace
+} // namespace siwi

@@ -76,6 +76,9 @@ usage(FILE *out)
 "execution:\n"
 "  -j, --jobs N       worker threads (default: all cores)\n"
 "  --progress         per-cell progress lines on stderr\n"
+"  --no-skip          step every cycle instead of event-driven\n"
+"                     cycle skipping (bit-identical results;\n"
+"                     the stepping-equivalence cross-check)\n"
 "\n"
 "output:\n"
 "  --json PATH        write results as JSON\n"
@@ -226,6 +229,7 @@ main(int argc, char **argv)
     if (!args.intOption("--jobs", &jobs))
         args.intOption("-j", &jobs);
     bool progress = args.flag("--progress");
+    bool no_skip = args.flag("--no-skip");
     bool quiet = args.flag("--quiet");
     bool list_only = args.flag("--list");
     std::string json_path, csv_path, baseline_path;
@@ -451,6 +455,7 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     opts.progress = progress;
     opts.suite_label = label;
+    opts.cycle_skip = !no_skip;
 
     size_t total = 0;
     for (const SweepSpec &s : sweeps)
@@ -471,6 +476,7 @@ main(int argc, char **argv)
         tj.set("suite", Json(label));
         tj.set("cells", Json(u64(total)));
         tj.set("jobs", Json(u64(effectiveJobs(jobs, total))));
+        tj.set("cycle_skip", Json(!no_skip));
         tj.set("seconds", Json(secs));
         tj.set("cells_per_sec",
                Json(secs > 0.0 ? double(total) / secs : 0.0));
