@@ -1,12 +1,17 @@
 /**
  * @file
- * Multi-SM scaling study (beyond the paper): IPC of Baseline and
- * SBI+SWI chips with 1, 2, 4 and 8 SMs behind a shared L2 and a
- * single DRAM channel, over a mixed regular/irregular workload
- * panel. The 1-SM column is the paper's single-SM methodology
- * (private DRAM channel); the chip channel's bandwidth scales
- * linearly up to 4 SMs and then saturates, so the 8-SM column
- * shows bandwidth contention (see core::GpuConfig::make).
+ * Multi-SM scaling study (beyond the paper), two chips per
+ * machine:
+ *
+ *  - fig_scaling: the legacy single-pipe chip (monolithic shared
+ *    L2, one DRAM channel whose bandwidth saturates at 4 SMs —
+ *    see core::GpuConfig::make) over 1..8 SMs;
+ *  - fig_scaling_banked: the banked chip memory system (8 L2
+ *    slices, 4 DRAM channels at the same aggregate bandwidth,
+ *    contended SM<->L2 interconnect) out to 64 SMs, locating the
+ *    scaling knee past the legacy backend's 8-SM wall.
+ *
+ * The 1-SM legacy column is the paper's single-SM methodology.
  *
  * Flags:
  *   --machine NAME    keep only this machine (repeatable)
@@ -39,43 +44,51 @@ main(int argc, char **argv)
     if (!runner::finishArgs(args, "fig_scaling"))
         return 2;
 
-    SweepSpec sweep = scalingSweep(workloads::SizeClass::Chip);
-    sweep.filterMachines(machines);
-    if (!sms_axis.empty())
-        sweep.sms = sms_axis;
+    std::vector<SweepSpec> sweeps = {
+        scalingSweep(workloads::SizeClass::Chip),
+        scalingBankedSweep(workloads::SizeClass::Chip),
+    };
+    for (SweepSpec &sweep : sweeps) {
+        sweep.filterMachines(machines);
+        if (!sms_axis.empty())
+            sweep.sms = sms_axis;
+    }
 
-    std::printf("Multi-SM scaling study (shared L2 + one DRAM "
-                "channel)\n");
-    std::printf("chips: ");
-    for (unsigned n : sweep.sms)
-        std::printf("%usm ", n);
-    std::printf("\n");
+    std::printf("Multi-SM scaling study (legacy single-pipe chip "
+                "vs banked memory system)\n");
 
     opts.suite_label = "scaling";
-    Results res = runSweeps({sweep}, opts);
+    Results res = runSweeps(sweeps, opts);
 
-    std::printf("\n=== Scaling: IPC per chip ===\n");
-    std::fputs(formatSweepTable(res, sweep.name).c_str(), stdout);
+    for (const SweepSpec &sweep : sweeps) {
+        std::printf("\n=== %s: IPC per chip ===\n",
+                    sweep.name.c_str());
+        std::fputs(formatSweepTable(res, sweep.name).c_str(),
+                   stdout);
 
-    // Parallel efficiency: chip IPC relative to num_sms x the
-    // same machine's 1-SM IPC.
-    std::printf("\n--- scaling vs 1 SM (gmean IPC ratio) ---\n");
-    for (const MachineSpec &m : sweep.machines) {
-        std::vector<double> base =
-            sweepColumn(res, sweep.name, m.name);
-        double base_gm = geomean(base);
-        if (base_gm <= 0.0)
-            continue;
-        for (unsigned n : sweep.sms) {
-            if (n == 1)
+        // Parallel efficiency: chip IPC relative to num_sms x
+        // the same machine's 1-SM IPC.
+        std::printf(
+            "\n--- %s vs 1 SM (gmean IPC ratio) ---\n",
+            sweep.name.c_str());
+        for (const MachineSpec &m : sweep.machines) {
+            std::vector<double> base =
+                sweepColumn(res, sweep.name, m.name);
+            double base_gm = geomean(base);
+            if (base_gm <= 0.0)
                 continue;
-            std::string label =
-                m.name + "@" + std::to_string(n) + "sm";
-            double gm =
-                geomean(sweepColumn(res, sweep.name, label));
-            std::printf("  %-16s %5.2fx  (efficiency %5.1f%%)\n",
-                        label.c_str(), gm / base_gm,
-                        100.0 * gm / base_gm / double(n));
+            for (unsigned n : sweep.sms) {
+                if (n == 1)
+                    continue;
+                std::string label =
+                    m.name + "@" + std::to_string(n) + "sm";
+                double gm = geomean(
+                    sweepColumn(res, sweep.name, label));
+                std::printf(
+                    "  %-16s %5.2fx  (efficiency %5.1f%%)\n",
+                    label.c_str(), gm / base_gm,
+                    100.0 * gm / base_gm / double(n));
+            }
         }
     }
 

@@ -8,15 +8,30 @@
 # so the trend records the event-driven speedup alongside raw
 # throughput, commit by commit.
 #
-# Usage: scripts/update_throughput.sh [build-dir] [runs]
+# Usage: scripts/update_throughput.sh [--compare] [build-dir] [runs]
+#   --compare  measure and report the delta against the last
+#              committed trend entry without appending (the CI
+#              mode: the working tree stays clean, the job log
+#              carries the numbers)
 #   build-dir  defaults to ./build (must contain siwi-run)
 #   runs       defaults to 5
+#
+# Extra siwi-run flags (e.g. chip overrides like
+# "--set l2.slices=8 --set dram.channels=4") can be passed through
+# the SIWI_RUN_FLAGS environment variable; they apply to both
+# stepping modes so the speedup column stays apples-to-apples.
 #
 # The comparison against the previous entry is informational: wall
 # clock on shared runners is too noisy to gate merges on. Accuracy
 # regressions are caught by the tolerance-0 baseline gate instead.
 
 set -eu
+
+compare_only=0
+if [ "${1:-}" = "--compare" ]; then
+    compare_only=1
+    shift
+fi
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
@@ -34,8 +49,9 @@ measure() {
     best=""
     i=1
     while [ "$i" -le "$runs" ]; do
-        # shellcheck disable=SC2086  # $1 is intentionally split
+        # shellcheck disable=SC2086  # flags intentionally split
         "$build/siwi-run" --suite fast --quiet $1 \
+            ${SIWI_RUN_FLAGS:-} \
             --throughput-json "$repo/.throughput.tmp.json" \
             >/dev/null
         secs="$(sed -n 's/.*"seconds": \([0-9.]*\).*/\1/p' \
@@ -63,6 +79,7 @@ fi
 
 SIWI_TREND="$trend" SIWI_COMMIT="$commit" \
 SIWI_SKIP="$skip_secs" SIWI_NOSKIP="$noskip_secs" \
+SIWI_COMPARE_ONLY="$compare_only" \
 python3 - <<'EOF'
 import datetime
 import json
@@ -71,6 +88,7 @@ import os
 trend_path = os.environ["SIWI_TREND"]
 skip_s = float(os.environ["SIWI_SKIP"])
 noskip_s = float(os.environ["SIWI_NOSKIP"])
+compare_only = os.environ["SIWI_COMPARE_ONLY"] == "1"
 
 try:
     with open(trend_path) as f:
@@ -86,17 +104,23 @@ entry = {
     "noskip_seconds": round(noskip_s, 4),
     "skip_speedup": round(noskip_s / skip_s, 3) if skip_s else None,
 }
-trend["entries"].append(entry)
-with open(trend_path, "w") as f:
-    json.dump(trend, f, indent=2)
-    f.write("\n")
-
-print(f"appended: {entry['commit']} skip={entry['skip_seconds']}s "
-      f"no-skip={entry['noskip_seconds']}s "
-      f"speedup={entry['skip_speedup']}x")
+if compare_only:
+    print(f"measured: {entry['commit']} "
+          f"skip={entry['skip_seconds']}s "
+          f"no-skip={entry['noskip_seconds']}s "
+          f"speedup={entry['skip_speedup']}x (not appended)")
+else:
+    trend["entries"].append(entry)
+    with open(trend_path, "w") as f:
+        json.dump(trend, f, indent=2)
+        f.write("\n")
+    print(f"appended: {entry['commit']} "
+          f"skip={entry['skip_seconds']}s "
+          f"no-skip={entry['noskip_seconds']}s "
+          f"speedup={entry['skip_speedup']}x")
 if prev:
     delta = (skip_s - prev["skip_seconds"]) / prev["skip_seconds"]
-    print(f"vs previous ({prev['commit']}, "
+    print(f"vs last committed ({prev['commit']}, "
           f"{prev['skip_seconds']}s): "
           f"{delta:+.1%} wall clock", end="")
     print(" (slower)" if delta > 0.10 else

@@ -29,12 +29,36 @@ fieldTable()
               "shared L2 block size (must match the L1s)"),
         F_U32("l2_hit_latency", l2.hit_latency,
               "interconnect + L2 access latency in cycles"),
+        F_U32("l2_slices", l2.slices,
+              "address-interleaved L2 slices (power of two "
+              "dividing the set count; 1 = monolithic legacy L2)"),
+        F_U32("l2_mshrs_per_slice", l2.mshrs_per_slice,
+              "in-flight misses tracked per L2 slice (fills "
+              "install tags on completion, same-block requests "
+              "merge; 0 = legacy immediate tag install)"),
+        F_U32("l2_tag_cycles", l2.tag_cycles,
+              "cycles a slice tag pipeline is busy per lookup "
+              "(0 = fully pipelined)"),
         F_U32("dram_bytes_per_cycle_x10",
               dram.bytes_per_cycle_x10,
-              "chip DRAM-channel bandwidth in 0.1 byte/cycle "
+              "per-channel chip DRAM bandwidth in 0.1 byte/cycle "
               "units (shared path)"),
         F_U32("dram_latency_cycles", dram.latency_cycles,
               "chip DRAM-channel flat latency in cycles"),
+        F_U32("dram_channels", dram.channels,
+              "interleaved chip DRAM channels (power of two; "
+              "total bandwidth scales with the channel count)"),
+        F_U32("dram_queue_depth", dram.queue_depth,
+              "outstanding transactions per DRAM channel before "
+              "new requests stall (0 = unbounded)"),
+        F_U32("noc_request_latency", noc.request_latency,
+              "SM->L2 interconnect request latency in cycles"),
+        F_U32("noc_response_latency", noc.response_latency,
+              "L2->SM interconnect response latency in cycles"),
+        F_U32("noc_port_bytes_per_cycle_x10",
+              noc.port_bytes_per_cycle_x10,
+              "per-SM interconnect-port injection bandwidth in "
+              "0.1 byte/cycle units (0 = unlimited crossbar)"),
     };
     return v;
 }
@@ -85,6 +109,14 @@ gpuConfigApplyJson(const Json &j, GpuConfig *c, std::string *err)
         return false;
     *c = tmp;
     return true;
+}
+
+bool
+gpuConfigApplyKeyValue(std::string_view kv, GpuConfig *c,
+                       std::string *err)
+{
+    return configApplyKeyValue<GpuConfig>(kv, gpuConfigFields(), c,
+                                          err);
 }
 
 Json

@@ -34,6 +34,15 @@ Json gpuConfigToJson(const GpuConfig &c);
 bool gpuConfigApplyJson(const Json &j, GpuConfig *c,
                         std::string *err);
 
+/**
+ * Apply one "key=value" chip-level override through the table
+ * (the companion of pipeline::smConfigApplyKeyValue for GpuConfig
+ * fields). Unknown keys and bad values are soft errors; @p c is
+ * unchanged on failure.
+ */
+bool gpuConfigApplyKeyValue(std::string_view kv, GpuConfig *c,
+                            std::string *err);
+
 /** Schema dump of the chip-level fields. */
 Json gpuConfigSchema();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bits.hh"
 #include "common/log.hh"
 
 namespace siwi::core {
@@ -51,6 +52,18 @@ GpuConfig::checkInvariants() const
         if (dram.bytes_per_cycle_x10 < 1)
             return "chip dram_bytes_per_cycle_x10 must be at "
                    "least 1";
+        // Banked topology: the interleaving hashes XOR-fold
+        // power-of-two digits, and each slice must own a whole
+        // number of sets of the shared capacity.
+        if (!isPow2(l2.slices))
+            return "l2_slices must be a nonzero power of two";
+        u32 l2_sets = l2_blocks / l2.ways;
+        if (l2_sets % l2.slices != 0)
+            return "l2_slices must divide the shared L2 set "
+                   "count (l2_size_bytes / l2_block_bytes / "
+                   "l2_ways)";
+        if (!isPow2(dram.channels))
+            return "dram_channels must be a nonzero power of two";
     }
     return {};
 }
@@ -103,7 +116,8 @@ SimStats
 Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
                 const pipeline::SM::TraceHook &hook)
 {
-    mem::SharedL2 backend(cfg_.l2, cfg_.dram);
+    mem::BankedL2 backend(cfg_.l2, cfg_.dram, cfg_.noc,
+                          cfg_.num_sms);
 
     // Chip-level CTA scheduler: a shared cursor over the grid.
     // Every SM pulls at most one CTA per cycle and SMs are stepped
@@ -119,7 +133,7 @@ Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
     sms.reserve(cfg_.num_sms);
     for (unsigned i = 0; i < cfg_.num_sms; ++i) {
         auto sm = std::make_unique<pipeline::SM>(cfg_.sm, memory_,
-                                                 &backend);
+                                                 &backend, i);
         if (hook)
             sm->setTraceHook(hook);
         sm->setCtaSource(source);
@@ -160,8 +174,9 @@ Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
             // lockstep (all live SM clocks stay equal to the chip
             // cycle; done SMs keep their frozen clocks, exactly as
             // when they simply stop being stepped). The shared
-            // backend is passive, so it contributes no wake of its
-            // own beyond what each SM's memory system reports.
+            // backend's own wake bounds (per-slice MSHR issue and
+            // fill boundaries) flow in through each SM's
+            // MemorySystem::nextWake, which queries the backend.
             Cycle wake = lc.max_cycles;
             for (const auto &sm : sms) {
                 if (!sm->done())
@@ -187,11 +202,19 @@ Gpu::launchChip(const Kernel &kernel, const LaunchConfig &lc,
     SimStats agg = SimStats::aggregate(per_sm);
     agg.timed_out |= hit_limit;
     // Chip-level backend counters: reported once, from the shared
-    // backend itself (per-SM stats keep them zero).
+    // backend itself (per-SM stats keep them zero), with the
+    // schema-v5 per-slice/channel/port breakdowns alongside the
+    // scalar totals.
     agg.l2_hits = backend.stats().hits;
     agg.l2_misses = backend.stats().misses;
     agg.dram_transactions = backend.dramStats().transactions;
     agg.dram_bytes = backend.dramStats().bytes;
+    for (u32 s = 0; s < backend.numSlices(); ++s)
+        agg.l2_slices.push_back(backend.sliceStats(s));
+    for (u32 c = 0; c < backend.numChannels(); ++c)
+        agg.dram_channels.push_back(backend.channelStats(c));
+    for (unsigned p = 0; p < backend.numPorts(); ++p)
+        agg.noc_ports.push_back(backend.portStats(p));
     return agg;
 }
 

@@ -6,8 +6,11 @@
  * CTA scheduler, plus a global memory image shared across launches.
  * The paper simulates a single SM with a private DRAM channel, and
  * that remains the default (`Gpu(SMConfig)`); a multi-SM GpuConfig
- * puts per-SM private L1s/write buffers in front of a shared L2
- * and a single DRAM channel the SMs contend for. Each launch runs
+ * puts per-SM private L1s/write buffers in front of the banked
+ * chip memory system (mem/banked_l2.hh): an SM<->L2 interconnect,
+ * address-interleaved L2 slices, and multi-channel DRAM the SMs
+ * contend for (one slice/one channel by default, which matches
+ * the legacy monolithic model bit-identically). Each launch runs
  * a grid to completion on freshly initialized pipelines and
  * returns its statistics (with per-SM breakdowns on a chip).
  */
@@ -21,6 +24,7 @@
 #include "core/kernel.hh"
 #include "core/stats.hh"
 #include "mem/backend.hh"
+#include "mem/banked_l2.hh"
 #include "mem/memory_image.hh"
 #include "pipeline/sm.hh"
 
@@ -63,8 +67,9 @@ struct GpuConfig
      */
     bool shared_backend = false;
 
-    mem::L2Config l2;      //!< shared L2 geometry/timing
-    mem::DramConfig dram;  //!< chip DRAM channel (shared path)
+    mem::L2Config l2;     //!< shared L2 geometry/timing/slicing
+    mem::DramConfig dram; //!< chip DRAM channels (shared path)
+    mem::NocConfig noc;   //!< SM<->L2 interconnect (shared path)
 
     /**
      * Canonical chip for a pipeline mode: SMConfig::make(mode)

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/banked_l2.hh"
 
 namespace siwi::core {
 
@@ -79,6 +80,20 @@ struct SimStats
     u64 dram_transactions = 0;
     u64 dram_bytes = 0;
 
+    // --- chip memory topology breakdowns (schema v5) ---
+    /**
+     * Per-L2-slice / per-DRAM-channel / per-interconnect-port
+     * counters of the banked chip memory system, in index order.
+     * Chip-level like l2_* and dram_*: filled only on the
+     * aggregate of a shared-backend launch (empty for single-SM
+     * private runs and in per_sm entries), and their sums match
+     * the chip scalars — sum of slice hits == l2_hits, sum of
+     * channel transactions == dram_transactions.
+     */
+    std::vector<mem::L2SliceStats> l2_slices;
+    std::vector<mem::DramStats> dram_channels;
+    std::vector<mem::NocPortStats> noc_ports;
+
     // --- work ---
     u64 threads_launched = 0;
     u64 blocks_launched = 0;
@@ -122,7 +137,9 @@ struct SimStats
      * per_sm. Backend counters (l2_*, dram_*) are summed like the
      * rest, which is correct for private backends; a chip with a
      * *shared* backend overwrites them from the backend's own
-     * statistics afterwards.
+     * statistics afterwards, and fills the per-slice/channel/port
+     * breakdown vectors (always empty in per-SM inputs) the same
+     * way.
      */
     static SimStats aggregate(const std::vector<SimStats> &sms);
 

@@ -70,6 +70,48 @@ statsToJson(const SimStats &st)
     }
     j.set("units", std::move(units));
 
+    // Chip memory-topology breakdowns (schema v5): only present
+    // on shared-backend aggregates, omitted otherwise so
+    // single-SM result files stay compact.
+    if (!st.l2_slices.empty()) {
+        Json arr = Json::array();
+        for (const mem::L2SliceStats &s : st.l2_slices) {
+            Json js = Json::object();
+            js.set("hits", Json(s.hits));
+            js.set("misses", Json(s.misses));
+            js.set("writes", Json(s.writes));
+            js.set("mshr_merges", Json(s.mshr_merges));
+            js.set("mshr_stalls", Json(s.mshr_stalls));
+            js.set("tag_stall_cycles", Json(s.tag_stall_cycles));
+            arr.push(std::move(js));
+        }
+        j.set("l2_slices", std::move(arr));
+    }
+    if (!st.dram_channels.empty()) {
+        Json arr = Json::array();
+        for (const mem::DramStats &c : st.dram_channels) {
+            Json jc = Json::object();
+            jc.set("transactions", Json(c.transactions));
+            jc.set("bytes", Json(c.bytes));
+            jc.set("stall_tenths", Json(c.stall_tenths));
+            jc.set("queue_full_stall_tenths",
+                   Json(c.queue_full_stall_tenths));
+            arr.push(std::move(jc));
+        }
+        j.set("dram_channels", std::move(arr));
+    }
+    if (!st.noc_ports.empty()) {
+        Json arr = Json::array();
+        for (const mem::NocPortStats &p : st.noc_ports) {
+            Json jp = Json::object();
+            jp.set("requests", Json(p.requests));
+            jp.set("bytes", Json(p.bytes));
+            jp.set("stall_tenths", Json(p.stall_tenths));
+            arr.push(std::move(jp));
+        }
+        j.set("noc_ports", std::move(arr));
+    }
+
     // The per-SM breakdown only exists on multi-SM chip
     // aggregates; omit the key entirely for the common case so
     // single-SM result files stay compact.
@@ -118,6 +160,69 @@ statsFromJson(const Json &j, SimStats *out, std::string *err)
             u.thread_instructions =
                 u64(ju.getInt("thread_instructions"));
             st.units.push_back(std::move(u));
+        }
+    }
+
+    if (const Json *slices = j.find("l2_slices")) {
+        if (!slices->isArray()) {
+            if (err)
+                *err = "stats: 'l2_slices' must be an array";
+            return false;
+        }
+        for (const Json &js : slices->arr()) {
+            if (!js.isObject()) {
+                if (err)
+                    *err = "stats: slice entry must be an object";
+                return false;
+            }
+            mem::L2SliceStats s;
+            s.hits = u64(js.getInt("hits"));
+            s.misses = u64(js.getInt("misses"));
+            s.writes = u64(js.getInt("writes"));
+            s.mshr_merges = u64(js.getInt("mshr_merges"));
+            s.mshr_stalls = u64(js.getInt("mshr_stalls"));
+            s.tag_stall_cycles = u64(js.getInt("tag_stall_cycles"));
+            st.l2_slices.push_back(s);
+        }
+    }
+    if (const Json *chans = j.find("dram_channels")) {
+        if (!chans->isArray()) {
+            if (err)
+                *err = "stats: 'dram_channels' must be an array";
+            return false;
+        }
+        for (const Json &jc : chans->arr()) {
+            if (!jc.isObject()) {
+                if (err)
+                    *err = "stats: channel entry must be an object";
+                return false;
+            }
+            mem::DramStats c;
+            c.transactions = u64(jc.getInt("transactions"));
+            c.bytes = u64(jc.getInt("bytes"));
+            c.stall_tenths = u64(jc.getInt("stall_tenths"));
+            c.queue_full_stall_tenths =
+                u64(jc.getInt("queue_full_stall_tenths"));
+            st.dram_channels.push_back(c);
+        }
+    }
+    if (const Json *ports = j.find("noc_ports")) {
+        if (!ports->isArray()) {
+            if (err)
+                *err = "stats: 'noc_ports' must be an array";
+            return false;
+        }
+        for (const Json &jp : ports->arr()) {
+            if (!jp.isObject()) {
+                if (err)
+                    *err = "stats: port entry must be an object";
+                return false;
+            }
+            mem::NocPortStats p;
+            p.requests = u64(jp.getInt("requests"));
+            p.bytes = u64(jp.getInt("bytes"));
+            p.stall_tenths = u64(jp.getInt("stall_tenths"));
+            st.noc_ports.push_back(p);
         }
     }
 

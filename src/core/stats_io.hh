@@ -38,8 +38,14 @@ namespace siwi::core {
  * resolved chip configuration (core/config_io.hh), so every
  * artifact is self-describing and re-runnable. Cells are
  * unchanged.
+ *
+ * v5 (banked chip memory system): stats objects of shared-backend
+ * launches gain the "l2_slices", "dram_channels" and "noc_ports"
+ * breakdown arrays (omitted when empty, like "per_sm"), and DRAM
+ * entries carry the new queue_full_stall_tenths counter. Existing
+ * scalar counters are unchanged and remain the totals.
  */
-constexpr int stats_schema_version = 4;
+constexpr int stats_schema_version = 5;
 
 /** One u64 counter of SimStats: serialization name + member. */
 struct StatsField

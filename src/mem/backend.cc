@@ -23,8 +23,9 @@ SharedL2::SharedL2(const L2Config &cfg, const DramConfig &dram)
 }
 
 Cycle
-SharedL2::read(Cycle now, Addr block, u32 bytes)
+SharedL2::read(Cycle now, Addr block, u32 bytes, unsigned port)
 {
+    (void)port;
     if (tags_.access(block)) {
         ++stats_.hits;
         return now + cfg_.hit_latency;
@@ -39,8 +40,9 @@ SharedL2::read(Cycle now, Addr block, u32 bytes)
 }
 
 void
-SharedL2::write(Cycle now, Addr block, u32 bytes)
+SharedL2::write(Cycle now, Addr block, u32 bytes, unsigned port)
 {
+    (void)port;
     ++stats_.writes;
     // Write-through no-allocate, like the L1s in front: the write
     // crosses the L2 and consumes DRAM bandwidth.

@@ -4,10 +4,13 @@
  *
  * A MemoryBackend is whatever sits behind an SM's private L1 and
  * write buffer: either a private DRAM channel (the paper's
- * single-SM methodology, DramBackend) or a chip-level shared L2 in
- * front of one DRAM channel that all SMs contend for (SharedL2,
- * the multi-SM scaling configuration). MemorySystem owns a private
- * DramBackend unless the chip injects a shared one.
+ * single-SM methodology, DramBackend), a chip-level shared L2 in
+ * front of one DRAM channel (SharedL2, the legacy multi-SM
+ * configuration), or the banked chip memory system (BankedL2, see
+ * mem/banked_l2.hh) with address-interleaved L2 slices,
+ * multi-channel DRAM and a contended SM<->L2 interconnect.
+ * MemorySystem owns a private DramBackend unless the chip injects
+ * a shared one.
  */
 
 #ifndef SIWI_MEM_BACKEND_HH
@@ -23,6 +26,8 @@ namespace siwi::mem {
  * structures. Calls are made in simulated-time order per SM; when
  * shared, the chip steps its SMs in lockstep so requests of one
  * cycle arrive in SM order (deterministic for a fixed config).
+ * @p port identifies the requesting SM's interconnect port on a
+ * shared backend; private backends ignore it.
  */
 class MemoryBackend
 {
@@ -30,16 +35,19 @@ class MemoryBackend
     virtual ~MemoryBackend() = default;
 
     /**
-     * Serve a block read (an L1 miss refill) issued at @p now.
+     * Serve a block read (an L1 miss refill) issued at @p now
+     * through interconnect port @p port.
      * @return the cycle the data is available at the SM.
      */
-    virtual Cycle read(Cycle now, Addr block, u32 bytes) = 0;
+    virtual Cycle read(Cycle now, Addr block, u32 bytes,
+                       unsigned port) = 0;
 
     /**
      * Serve a write-through of @p bytes to @p block at @p now.
      * Fire-and-forget: only consumes backend bandwidth.
      */
-    virtual void write(Cycle now, Addr block, u32 bytes) = 0;
+    virtual void write(Cycle now, Addr block, u32 bytes,
+                       unsigned port) = 0;
 
     /** Drop cached residency (kernel boundary; stats persist). */
     virtual void invalidate() = 0;
@@ -49,11 +57,13 @@ class MemoryBackend
      * state on its own, or no_wake. Backends are passive — all
      * latency is carried by the ready cycles read() returns, and
      * internal state only advances inside read()/write() calls —
-     * so the default "never" is exact. An implementation that
-     * grows autonomous timed state (a refresh scheduler, a
-     * delayed-fill queue) must override this, or the
-     * cycle-skipping SM loop stops being equivalent to per-cycle
-     * stepping.
+     * so the default "never" is exact for a backend without timed
+     * internal structures. An implementation that tracks
+     * outstanding requests of its own (BankedL2's per-slice
+     * MSHRs: queued-but-unissued channel requests and pending
+     * fills) must override this with the earliest such boundary,
+     * or the cycle-skipping SM loop stops being equivalent to
+     * per-cycle stepping.
      */
     virtual Cycle nextWake(Cycle now) const
     {
@@ -61,7 +71,7 @@ class MemoryBackend
         return no_wake;
     }
 
-    /** DRAM-channel statistics of this backend. */
+    /** DRAM-channel statistics of this backend (all channels). */
     virtual const DramStats &dramStats() const = 0;
 };
 
@@ -71,11 +81,11 @@ class DramBackend final : public MemoryBackend
   public:
     explicit DramBackend(const DramConfig &cfg) : dram_(cfg) {}
 
-    Cycle read(Cycle now, Addr, u32 bytes) override
+    Cycle read(Cycle now, Addr, u32 bytes, unsigned) override
     {
         return dram_.serve(now, bytes);
     }
-    void write(Cycle now, Addr, u32 bytes) override
+    void write(Cycle now, Addr, u32 bytes, unsigned) override
     {
         dram_.serve(now, bytes);
     }
@@ -96,6 +106,32 @@ struct L2Config
     u32 ways = 16;
     u32 block_bytes = 128;
     u32 hit_latency = 30; //!< interconnect + L2 access
+    /**
+     * Address-interleaved L2 slices (BankedL2 only). Each slice
+     * owns size_bytes/slices of capacity, its own tag pipeline and
+     * MSHR file, and serves an interleaved share of the block
+     * address space. Must be a power of two dividing the set
+     * count. 1 reproduces the legacy monolithic SharedL2 timing
+     * bit-identically.
+     */
+    u32 slices = 1;
+    /**
+     * In-flight misses a slice tracks in its own MSHR file: fills
+     * install tags when they complete (not at request time), and
+     * same-block requests merge onto the outstanding fill. When
+     * the file is full a new miss waits for the earliest slot. 0
+     * keeps the legacy immediate-tag-install approximation (a
+     * miss installs its tag at lookup time; no slice-level
+     * occupancy is tracked).
+     */
+    u32 mshrs_per_slice = 0;
+    /**
+     * Cycles a slice's tag pipeline is busy per lookup: back-to-
+     * back requests to one slice serialize at this rate while
+     * other slices proceed in parallel (the point of banking). 0
+     * models a fully pipelined tag array (legacy behavior).
+     */
+    u32 tag_cycles = 0;
 };
 
 /** Shared-L2 statistics (chip level, not per SM). */
@@ -104,6 +140,8 @@ struct L2Stats
     u64 hits = 0;
     u64 misses = 0;
     u64 writes = 0; //!< write-throughs passed to DRAM
+
+    bool operator==(const L2Stats &) const = default;
 };
 
 /**
@@ -115,14 +153,20 @@ struct L2Stats
  * miss is carried by the returned ready cycle, not by a delayed tag
  * update, which keeps the shared structure usable by several SMs
  * without an event queue.
+ *
+ * Kept as the reference monolithic model: BankedL2 with one slice,
+ * one channel and a free interconnect must match it bit-identically
+ * (tested), and chips now always instantiate BankedL2.
  */
 class SharedL2 final : public MemoryBackend
 {
   public:
     SharedL2(const L2Config &cfg, const DramConfig &dram);
 
-    Cycle read(Cycle now, Addr block, u32 bytes) override;
-    void write(Cycle now, Addr block, u32 bytes) override;
+    Cycle read(Cycle now, Addr block, u32 bytes,
+               unsigned port) override;
+    void write(Cycle now, Addr block, u32 bytes,
+               unsigned port) override;
     void invalidate() override;
 
     const L2Stats &stats() const { return stats_; }

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Banked chip-level memory system: interleaved L2 slices,
+ * multi-channel DRAM, and a contended SM<->L2 interconnect.
+ *
+ * The legacy SharedL2 funnels every SM through one tag array and
+ * one DRAM pipe, so chip results above a few SMs measure that toy
+ * backend rather than the pipeline mechanisms under study. BankedL2
+ * replaces it with the structure of a real chip:
+ *
+ *           SM 0      SM 1     ...     SM N-1
+ *            |port 0   |port 1         |port N-1
+ *         [ NoC: per-port injection bandwidth,
+ *           request/response latency ]
+ *            |          |               |
+ *         slice 0    slice 1   ...   slice S-1   (XOR-fold hash
+ *         tags+MSHRs tags+MSHRs       tags+MSHRs  of block bits)
+ *            \          |               /
+ *         channel 0  channel 1 ...  channel C-1  (XOR-fold of the
+ *         queue+pipe queue+pipe     queue+pipe    remaining bits)
+ *
+ * Everything stays *passive* — all latency is carried by the ready
+ * cycles returned from read()/write() and internal state advances
+ * only inside calls — so lockstep multi-SM stepping remains
+ * deterministic and event-driven cycle skipping stays exact. The
+ * one piece of autonomous timed state, the per-slice MSHR files
+ * (pending fills and queued-but-unissued channel requests), is
+ * reported through nextWake() so the skipping chip loop never
+ * sleeps past a state change.
+ *
+ * Arbitration: within a lockstep cycle SMs are stepped in index
+ * order, so same-cycle requests reach a slice in port order — a
+ * round-robin rotation across ports (0..N-1, 0..N-1, ...) with no
+ * port ever served twice before all others had their turn that
+ * cycle. Requests issued with a future start time (MSHR-queued L1
+ * misses) reserve bandwidth at call time, in call order, like
+ * every other pipe in the simulator.
+ *
+ * Defaults are chosen so that BankedL2 with one slice, one channel
+ * and a free interconnect is arithmetically identical to SharedL2
+ * in front of one Dram — the tag array, the DRAM pipe and every
+ * returned cycle see the exact same call sequence — which keeps
+ * the committed multi-SM baselines bit-identical (tested).
+ */
+
+#ifndef SIWI_MEM_BANKED_L2_HH
+#define SIWI_MEM_BANKED_L2_HH
+
+#include <map>
+#include <vector>
+
+#include "mem/backend.hh"
+
+namespace siwi::mem {
+
+/** SM<->L2 interconnect parameters. */
+struct NocConfig
+{
+    /** Cycles a request takes from SM port to L2 slice. */
+    u32 request_latency = 0;
+    /** Cycles a response takes from L2 slice back to the SM. */
+    u32 response_latency = 0;
+    /**
+     * Injection bandwidth of one SM port in 0.1 byte/cycle units:
+     * an SM's block transfers serialize through its port at this
+     * rate before reaching the slices. 0 = unlimited (a free
+     * crossbar, the legacy model).
+     */
+    u32 port_bytes_per_cycle_x10 = 0;
+};
+
+/** Per-L2-slice statistics. */
+struct L2SliceStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writes = 0;       //!< write-throughs passed to a channel
+    u64 mshr_merges = 0;  //!< requests merged onto in-flight fills
+    u64 mshr_stalls = 0;  //!< misses that waited for an MSHR slot
+    u64 tag_stall_cycles = 0; //!< cycles lost to tag-pipe conflicts
+
+    bool operator==(const L2SliceStats &) const = default;
+};
+
+/** Per-interconnect-port statistics. */
+struct NocPortStats
+{
+    u64 requests = 0;
+    u64 bytes = 0;
+    u64 stall_tenths = 0; //!< injection serialization (0.1 cyc)
+
+    bool operator==(const NocPortStats &) const = default;
+};
+
+/**
+ * The banked chip memory system (see file comment).
+ *
+ * Slice selection XOR-folds the block-number bits base `slices`,
+ * channel selection XOR-folds the remaining bits base `channels`:
+ * any aligned window of slices*channels consecutive blocks maps
+ * bijectively onto the (slice, channel) pairs, so strided streams
+ * spread across both levels instead of camping on one bank.
+ */
+class BankedL2 final : public MemoryBackend
+{
+  public:
+    /**
+     * @p ports is the number of SM-side interconnect ports (one
+     * per SM); @p dram describes one channel, replicated
+     * dram.channels times.
+     */
+    BankedL2(const L2Config &cfg, const DramConfig &dram,
+             const NocConfig &noc, unsigned ports);
+
+    Cycle read(Cycle now, Addr block, u32 bytes,
+               unsigned port) override;
+    void write(Cycle now, Addr block, u32 bytes,
+               unsigned port) override;
+    void invalidate() override;
+    Cycle nextWake(Cycle now) const override;
+
+    /** Aggregate over all channels (interface contract). */
+    const DramStats &dramStats() const override;
+
+    /** Home slice of a block address. */
+    static u32 sliceOf(Addr block, u32 block_bytes, u32 slices);
+    /** Home channel of a block address. */
+    static u32 channelOf(Addr block, u32 block_bytes, u32 slices,
+                         u32 channels);
+
+    /** Chip totals (sum over slices). */
+    const L2Stats &stats() const { return totals_; }
+
+    u32 numSlices() const { return u32(slices_.size()); }
+    u32 numChannels() const { return u32(channels_.size()); }
+    unsigned numPorts() const { return unsigned(ports_.size()); }
+
+    const L2SliceStats &sliceStats(u32 s) const
+    {
+        return slices_[s].stats;
+    }
+    const DramStats &channelStats(u32 c) const
+    {
+        return channels_[c].stats();
+    }
+    const NocPortStats &portStats(unsigned p) const
+    {
+        return ports_[p].stats;
+    }
+
+    /**
+     * MSHRs of slice @p s busy at @p now: misses whose channel
+     * request has started and whose fill has not completed. Never
+     * exceeds config().mshrs_per_slice (0 = untracked, always 0).
+     */
+    unsigned sliceMshrOccupancy(u32 s, Cycle now) const;
+
+    const L2Config &config() const { return cfg_; }
+
+  private:
+    /** One in-flight slice miss: slot held over [start, fill). */
+    struct Miss
+    {
+        Cycle start = 0; //!< channel request issue cycle
+        Cycle fill = 0;  //!< fill (tag install) cycle
+    };
+
+    struct Slice
+    {
+        L1Cache tags;
+        Cycle busy_until = 0; //!< tag pipeline free again
+        std::map<Addr, Miss> inflight;
+        L2SliceStats stats;
+
+        explicit Slice(const CacheConfig &c) : tags(c) {}
+    };
+
+    struct Port
+    {
+        u64 next_free_tenths = 0;
+        NocPortStats stats;
+    };
+
+    /** NoC request leg: cycle the request reaches its slice. */
+    Cycle inject(Cycle now, u32 bytes, unsigned port);
+    /** Tag-pipeline leg: cycle the slice lookup happens. */
+    Cycle tagLookup(Slice &sl, Cycle arrive);
+    /** Install fills that completed at or before @p now. */
+    void installCompleted(Slice &sl, Cycle now);
+
+    L2Config cfg_;
+    NocConfig noc_;
+    std::vector<Slice> slices_;
+    std::vector<Dram> channels_;
+    std::vector<Port> ports_;
+    L2Stats totals_;
+    /** Scratch for the MSHR-full slot search (reused). */
+    std::vector<Cycle> pending_scratch_;
+    /** Channel aggregate, refreshed by dramStats(). */
+    mutable DramStats dram_totals_;
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_BANKED_L2_HH

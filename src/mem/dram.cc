@@ -11,6 +11,16 @@ Dram::serve(Cycle now, u32 bytes)
     siwi_assert(cfg_.bytes_per_cycle_x10 > 0, "zero dram bandwidth");
     u64 now_tenths = now * 10;
     u64 start = std::max(now_tenths, next_free_tenths_);
+    if (cfg_.queue_depth > 0) {
+        // The oldest of the last queue_depth transactions must have
+        // returned (completed its flat latency) before this one may
+        // occupy a queue slot.
+        u64 oldest = completions_[completions_head_];
+        if (oldest > start) {
+            stats_.queue_full_stall_tenths += oldest - start;
+            start = oldest;
+        }
+    }
     stats_.stall_tenths += start - now_tenths;
     // duration = bytes / (bw/10) cycles = bytes*100/bw tenths.
     u64 duration = divCeil(u64(bytes) * 100, cfg_.bytes_per_cycle_x10);
@@ -19,7 +29,13 @@ Dram::serve(Cycle now, u32 bytes)
     ++stats_.transactions;
     stats_.bytes += bytes;
 
-    return divCeil(start + duration, 10) + cfg_.latency_cycles;
+    Cycle ready = divCeil(start + duration, 10) + cfg_.latency_cycles;
+    if (cfg_.queue_depth > 0) {
+        completions_[completions_head_] = ready * 10;
+        completions_head_ =
+            (completions_head_ + 1) % completions_.size();
+    }
+    return ready;
 }
 
 } // namespace siwi::mem

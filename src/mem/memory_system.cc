@@ -17,8 +17,8 @@ MemorySystem::MemorySystem(const MemConfig &cfg)
 }
 
 MemorySystem::MemorySystem(const MemConfig &cfg,
-                           MemoryBackend &backend)
-    : cfg_(cfg), l1_(cfg.l1), backend_(&backend),
+                           MemoryBackend &backend, unsigned port)
+    : cfg_(cfg), l1_(cfg.l1), backend_(&backend), port_(port),
       wbuf_(cfg.write_buffer_entries)
 {
     siwi_assert(cfg_.mshrs >= 1, "memory system with no MSHRs");
@@ -112,7 +112,7 @@ MemorySystem::load(Cycle now, Addr block)
     }
 
     Cycle fill = backend_->read(start, block,
-                                l1_.config().block_bytes);
+                                l1_.config().block_bytes, port_);
     inflight_[block] = {start, fill};
     siwi_assert(mshrOccupancy(start) <= cfg_.mshrs,
                 "MSHR over-admission");
@@ -124,7 +124,7 @@ MemorySystem::drainWriteBuf(Cycle now, WriteBufEntry &e)
 {
     if (!e.valid)
         return;
-    backend_->write(now, e.block, e.bytes);
+    backend_->write(now, e.block, e.bytes, port_);
     e.valid = false;
 }
 
@@ -135,7 +135,7 @@ MemorySystem::store(Cycle now, Addr block, u32 bytes)
 
     if (wbuf_.empty()) {
         // No write buffer: plain write-through.
-        backend_->write(now, block, bytes);
+        backend_->write(now, block, bytes, port_);
         return now + 1;
     }
 

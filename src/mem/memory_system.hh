@@ -61,8 +61,12 @@ class MemorySystem
     /** Private backend: one DRAM channel from @p cfg.dram. */
     explicit MemorySystem(const MemConfig &cfg);
 
-    /** Shared backend injected by the chip (not owned). */
-    MemorySystem(const MemConfig &cfg, MemoryBackend &backend);
+    /**
+     * Shared backend injected by the chip (not owned); @p port is
+     * this SM's interconnect port on it (the SM index).
+     */
+    MemorySystem(const MemConfig &cfg, MemoryBackend &backend,
+                 unsigned port = 0);
 
     /**
      * Issue a load transaction for @p block at @p now.
@@ -145,6 +149,7 @@ class MemorySystem
     L1Cache l1_;
     std::unique_ptr<DramBackend> owned_backend_;
     MemoryBackend *backend_;
+    unsigned port_ = 0; //!< interconnect port on a shared backend
     /** In-flight missed blocks. */
     std::map<Addr, Miss> inflight_;
     /** Reused buffer for the MSHR-full slot search in load(). */

@@ -28,10 +28,10 @@ effectiveClass(UnitClass cls)
 } // namespace
 
 SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
-       mem::MemoryBackend *backend)
+       mem::MemoryBackend *backend, unsigned port)
     : cfg_(cfg),
       memory_(memory),
-      memsys_(backend ? mem::MemorySystem(cfg.mem, *backend)
+      memsys_(backend ? mem::MemorySystem(cfg.mem, *backend, port)
                       : mem::MemorySystem(cfg.mem)),
       warps_(cfg.num_warps),
       blocks_(cfg.max_blocks_resident),

@@ -72,9 +72,11 @@ class SM final : public frontend::FrontEndHost
     /**
      * @param backend chip-shared memory backend; null for a
      *        private DRAM channel (the paper's single-SM setup)
+     * @param port this SM's interconnect port on a shared backend
+     *        (its SM index); ignored for a private channel
      */
     SM(const SMConfig &cfg, mem::MemoryImage &memory,
-       mem::MemoryBackend *backend = nullptr);
+       mem::MemoryBackend *backend = nullptr, unsigned port = 0);
 
     // The front-end keeps a reference to its host SM.
     SM(const SM &) = delete;

@@ -35,10 +35,12 @@ runCell(const SweepSpec &sweep, size_t machine, size_t wl,
     const frontend::SchedPolicyKind pol =
         effectivePolicy(sweep, machine, policy);
 
-    pipeline::SMConfig cfg = m.config;
-    cfg.sched_policy = pol;
+    // The exact chip the machineRecords block advertises — chip
+    // overrides (L2 slicing, DRAM channels, NoC) included.
+    core::GpuConfig chip =
+        resolvedCellConfig(sweep, machine, sms, policy);
     workloads::RunResult res = workloads::runWorkload(
-        w, cfg, sweep.size, num_sms, cycle_skip);
+        w, chip, sweep.size, cycle_skip);
 
     CellResult c;
     c.sweep = sweep.name;

@@ -150,7 +150,7 @@ machineFromJson(const Json &j, const std::string &base_dir,
                        "(pick a different 'base' instead)";
             return false;
         }
-        if (!pipeline::smConfigApplyJson(*set, &m.config, err)) {
+        if (!machineApplyJson(&m, *set, err)) {
             if (err)
                 *err = "machine '" + m.name + "': " + *err;
             return false;
@@ -348,8 +348,7 @@ sweepFromJson(const Json &j, const std::string &base_dir,
                         "(pick a different 'base' instead)");
         for (MachineSpec &m : s.machines) {
             std::string serr;
-            if (!pipeline::smConfigApplyJson(*set, &m.config,
-                                             &serr))
+            if (!machineApplyJson(&m, *set, &serr))
                 return fail(serr);
         }
     }
@@ -362,6 +361,16 @@ sweepFromJson(const Json &j, const std::string &base_dir,
     if (!axes.empty()) {
         if (err)
             *err = axes;
+        return false;
+    }
+    // Chip-level overrides can violate invariants that only
+    // materialize on the resolved chip (e.g. more L2 slices than
+    // sets), so check every cell configuration the sweep expands
+    // to.
+    std::string chips = checkResolvedConfigs(s);
+    if (!chips.empty()) {
+        if (err)
+            *err = chips;
         return false;
     }
     *out = std::move(s);

@@ -146,7 +146,7 @@ SweepSpec
 scalingSweep(workloads::SizeClass size)
 {
     // The grid-scalable panel: gtid-indexed kernels with no block
-    // cooperation, so their Chip-size grids (16-32 CTAs) spread
+    // cooperation, so their Chip-size grids (64-128 CTAs) spread
     // over any SM count. Three regular (streaming, MAD-bound,
     // LSU-bound) and two irregular (boundary-divergent,
     // data-dependent-branch) applications.
@@ -169,6 +169,37 @@ scalingSweep(workloads::SizeClass size)
         makeMachine(PipelineMode::SBISWI),
     };
     s.sms = {1, 2, 4, 8};
+    return s;
+}
+
+SweepSpec
+scalingBankedSweep(workloads::SizeClass size)
+{
+    // The chip-scale memory system: the same workload panel and
+    // machines as fig_scaling, but behind 8 L2 slices with
+    // per-slice MSHRs and tag pipelines, 4 DRAM channels with
+    // bounded queues, and a latency/bandwidth-modeled SM<->L2
+    // interconnect. dram_bytes_per_cycle_x10 is pinned per
+    // channel, so aggregate DRAM bandwidth (4 x 10 B/cyc) equals
+    // the legacy chip's 4-SM saturation point — any separation
+    // between the two sweeps' knees is memory-system concurrency,
+    // not extra raw bandwidth.
+    const std::vector<std::string> banked = {
+        "l2_slices=8",
+        "l2_mshrs_per_slice=32",
+        "l2_tag_cycles=1",
+        "dram_channels=4",
+        "dram_queue_depth=16",
+        "dram_bytes_per_cycle_x10=100",
+        "noc_request_latency=2",
+        "noc_response_latency=2",
+        "noc_port_bytes_per_cycle_x10=320",
+    };
+    SweepSpec s = scalingSweep(size);
+    s.name = "fig_scaling_banked";
+    for (MachineSpec &m : s.machines)
+        applyMachineSets(&m, banked);
+    s.sms = {1, 2, 4, 8, 16, 32, 64};
     return s;
 }
 
@@ -206,6 +237,7 @@ figureSweeps(const std::string &figure, workloads::SizeClass size)
     std::vector<SweepSpec> out;
     if (figure == "scaling") {
         out.push_back(scalingSweep(size));
+        out.push_back(scalingBankedSweep(size));
         return out;
     }
     for (bool regular : {true, false}) {

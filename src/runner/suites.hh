@@ -58,6 +58,16 @@ SweepSpec policySweep(bool regular, workloads::SizeClass size);
  */
 SweepSpec scalingSweep(workloads::SizeClass size);
 
+/**
+ * The banked-memory scaling study: the scalingSweep() panel on
+ * chips with 8 L2 slices, 4 DRAM channels (aggregate bandwidth
+ * pinned to the legacy chip's 4-SM saturation point) and a
+ * modeled SM<->L2 interconnect, out to 64 SMs — where the
+ * single-pipe chip's knee sits versus a memory system whose
+ * concurrency scales.
+ */
+SweepSpec scalingBankedSweep(workloads::SizeClass size);
+
 /** Names accepted by figureSweeps(). */
 const std::vector<std::string> &knownFigures();
 

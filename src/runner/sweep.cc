@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "core/config_io.hh"
 #include "pipeline/config_io.hh"
 
 namespace siwi::runner {
@@ -18,6 +19,91 @@ applyConfigSets(pipeline::SMConfig *cfg,
     }
 }
 
+bool
+machineApplyKeyValue(MachineSpec *m, std::string_view kv,
+                     std::string *err)
+{
+    // Accept "l2.slices=4" for "l2_slices=4": the dotted spelling
+    // reads naturally on a command line, the flat one is the
+    // canonical field-table key.
+    std::string norm(kv);
+    size_t eq = norm.find('=');
+    size_t key_end = eq == std::string::npos ? norm.size() : eq;
+    std::replace(norm.begin(), norm.begin() + long(key_end), '.',
+                 '_');
+    std::string_view key = std::string_view(norm).substr(0,
+                                                         key_end);
+
+    bool chip_key = false;
+    for (const ConfigField<core::GpuConfig> &f :
+         core::gpuConfigFields()) {
+        if (key == f.key) {
+            chip_key = true;
+            break;
+        }
+    }
+    if (!chip_key)
+        return pipeline::smConfigApplyKeyValue(norm, &m->config,
+                                               err);
+    if (key == "num_sms" || key == "shared_backend") {
+        if (err)
+            *err = "'" + std::string(key) +
+                   "' is not a machine override: the SM count is "
+                   "the sweep's sms axis, and the backend choice "
+                   "is derived from it";
+        return false;
+    }
+    // Validate the value now (on a scratch chip), record the
+    // normalized override for application after GpuConfig::make().
+    core::GpuConfig scratch;
+    if (!core::gpuConfigApplyKeyValue(norm, &scratch, err))
+        return false;
+    m->chip_sets.push_back(std::move(norm));
+    return true;
+}
+
+void
+applyMachineSets(MachineSpec *m,
+                 const std::vector<std::string> &sets)
+{
+    for (const std::string &kv : sets) {
+        std::string err;
+        if (!machineApplyKeyValue(m, kv, &err))
+            panic("bad config override '", kv, "': ", err);
+    }
+}
+
+bool
+machineApplyJson(MachineSpec *m, const Json &set,
+                 std::string *err)
+{
+    if (!set.isObject()) {
+        if (err)
+            *err = "'set' must be a JSON object";
+        return false;
+    }
+    for (const Json::Member &member : set.obj()) {
+        const Json &v = member.second;
+        std::string val;
+        if (v.isInt()) {
+            val = std::to_string(v.integer());
+        } else if (v.isBool()) {
+            val = v.boolean() ? "true" : "false";
+        } else if (v.isString()) {
+            val = v.str();
+        } else {
+            if (err)
+                *err = "config key '" + member.first +
+                       "' needs a scalar value";
+            return false;
+        }
+        if (!machineApplyKeyValue(m, member.first + "=" + val,
+                                  err))
+            return false;
+    }
+    return true;
+}
+
 MachineSpec
 makeMachine(pipeline::PipelineMode mode)
 {
@@ -30,7 +116,7 @@ makeMachine(std::string name, pipeline::PipelineMode mode,
             const std::vector<std::string> &sets)
 {
     MachineSpec m{std::move(name), pipeline::SMConfig::make(mode)};
-    applyConfigSets(&m.config, sets);
+    applyMachineSets(&m, sets);
     return m;
 }
 
@@ -44,7 +130,7 @@ crossMachine(const MachineSpec &base,
         MachineSpec m = base;
         m.name = label_only ? o.label
                             : base.name + "/" + o.label;
-        applyConfigSets(&m.config, o.sets);
+        applyMachineSets(&m, o.sets);
         out.push_back(std::move(m));
     }
     return out;
@@ -85,7 +171,8 @@ SweepSpec::dedupeMachines()
     for (MachineSpec &m : machines) {
         const MachineSpec *dup = nullptr;
         for (const MachineSpec &u : unique) {
-            if (u.config == m.config) {
+            if (u.config == m.config &&
+                u.chip_sets == m.chip_sets) {
                 dup = &u;
                 break;
             }
@@ -167,7 +254,37 @@ resolvedCellConfig(const SweepSpec &sweep, size_t machine,
     pipeline::SMConfig cfg = sweep.machines[machine].config;
     cfg.sched_policy = effectivePolicy(sweep, machine,
                                        policy_idx);
-    return core::GpuConfig::make(cfg, sweep.smsAt(sms_idx));
+    core::GpuConfig chip = core::GpuConfig::make(
+        cfg, sweep.smsAt(sms_idx));
+    for (const std::string &kv :
+         sweep.machines[machine].chip_sets) {
+        std::string err;
+        bool ok = core::gpuConfigApplyKeyValue(kv, &chip, &err);
+        // chip_sets entries were validated when recorded; only a
+        // programming error gets here.
+        siwi_assert(ok, err);
+    }
+    return chip;
+}
+
+std::string
+checkResolvedConfigs(const SweepSpec &sweep)
+{
+    for (size_t m = 0; m < sweep.machines.size(); ++m) {
+        for (size_t n = 0; n < std::max<size_t>(
+                                   sweep.sms.size(), 1);
+             ++n) {
+            std::string inv =
+                resolvedCellConfig(sweep, m, n, 0)
+                    .checkInvariants();
+            if (!inv.empty())
+                return "sweep '" + sweep.name + "' machine '" +
+                       sweep.machines[m].name + "' @" +
+                       std::to_string(sweep.smsAt(n)) +
+                       "sm: " + inv;
+        }
+    }
+    return {};
 }
 
 std::vector<CellSpec>

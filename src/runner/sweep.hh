@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "core/gpu.hh"
 #include "frontend/sched_policy.hh"
 #include "pipeline/config.hh"
@@ -29,17 +30,59 @@ struct MachineSpec
 {
     std::string name;
     pipeline::SMConfig config;
+    /**
+     * Chip-level "key=value" overrides (GpuConfig field table:
+     * l2_slices, dram_channels, noc_*, ...), validated when
+     * recorded and applied on top of core::GpuConfig::make() when
+     * each cell's chip is resolved — the SM-level config cannot
+     * express them, and make()'s derived defaults must see the SM
+     * config first. Part of the machine identity (dedupe compares
+     * them alongside the SM config).
+     */
+    std::vector<std::string> chip_sets;
 };
 
 /**
  * Apply "key=value" mutations through the SMConfig field table
- * (pipeline/config_io.hh). This is the single override path shared
- * by the suites, the benches, spec files and the CLI --set flag.
- * Panics on a malformed entry: callers with user-supplied strings
- * go through smConfigApplyKeyValue() directly for a soft error.
+ * (pipeline/config_io.hh). Panics on a malformed entry: callers
+ * with user-supplied strings go through machineApplyKeyValue() for
+ * a soft error.
  */
 void applyConfigSets(pipeline::SMConfig *cfg,
                      const std::vector<std::string> &sets);
+
+/**
+ * Route one "key=value" override onto a machine: SM-level keys
+ * mutate the SMConfig immediately; chip-level keys (the GpuConfig
+ * field table) are validated and recorded in chip_sets for
+ * deferred application. Dots in the key are accepted as
+ * underscores ("l2.slices=4" == "l2_slices=4"). This is the
+ * single override path shared by the suites, spec files and the
+ * CLI --set flag. num_sms and shared_backend are rejected: the
+ * SM count is the sweep's sms axis, and the backend choice is
+ * derived from it. A key present in both tables
+ * (dram_bytes_per_cycle_x10, dram_latency_cycles) routes to the
+ * chip: the override then pins the resolved chip's value, exempt
+ * from GpuConfig::make()'s SM-count bandwidth scaling.
+ * @return false and set @p err on a malformed entry.
+ */
+bool machineApplyKeyValue(MachineSpec *m, std::string_view kv,
+                          std::string *err);
+
+/** machineApplyKeyValue over a list; panics on a malformed entry
+ *  (trusted compiled-in suite definitions). */
+void applyMachineSets(MachineSpec *m,
+                      const std::vector<std::string> &sets);
+
+/**
+ * Apply a JSON "set" object (machine-file / spec-file overrides)
+ * onto a machine through the same chip/SM routing as
+ * machineApplyKeyValue: each member becomes one "key=value"
+ * mutation. Values must be scalars matching the field's type.
+ * @return false and set @p err on the first bad member.
+ */
+bool machineApplyJson(MachineSpec *m, const Json &set,
+                      std::string *err);
 
 /** Canonical machine for a pipeline mode, named after the mode. */
 MachineSpec makeMachine(pipeline::PipelineMode mode);
@@ -162,12 +205,24 @@ std::string cellMachineLabel(const std::string &machine,
 /**
  * The fully-resolved chip configuration of one cell — exactly
  * what the simulator will be built from (policy override applied,
- * chip derived via core::GpuConfig::make). This block is embedded
- * into results artifacts and printed by siwi-run --dump-config.
+ * chip derived via core::GpuConfig::make, then the machine's
+ * chip_sets applied on top). This block is embedded into results
+ * artifacts and printed by siwi-run --dump-config.
  */
 core::GpuConfig resolvedCellConfig(const SweepSpec &sweep,
                                    size_t machine, size_t sms_idx,
                                    size_t policy_idx);
+
+/**
+ * Validate every chip configuration @p sweep resolves to
+ * (machines x sms axis): chip_sets can request topologies that
+ * violate chip invariants (e.g. more L2 slices than sets), which
+ * only materialize after GpuConfig::make(). Returns a diagnostic
+ * naming the machine and SM count, or empty when all are sound.
+ * The spec loader and siwi-run report this as a parse/usage
+ * error.
+ */
+std::string checkResolvedConfigs(const SweepSpec &sweep);
 
 /**
  * One executable cell of a sweep: indices into the owning spec.

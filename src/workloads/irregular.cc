@@ -220,8 +220,8 @@ class ConvSep final : public Workload
 
     unsigned n(SizeClass sc) const
     {
-        // Chip: 32 CTAs, enough to keep an 8-SM chip busy.
-        return sc == SizeClass::Chip   ? 32768
+        // Chip: 128 CTAs, enough to keep a 64-SM chip busy.
+        return sc == SizeClass::Chip   ? 131072
                : sc == SizeClass::Full ? 4096
                                        : 256;
     }
@@ -1141,8 +1141,8 @@ class Srad final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        // Chip: 128x128 image = 16 CTAs of 1024 threads.
-        return sc == SizeClass::Chip   ? 128
+        // Chip: 256x256 image = 64 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 256
                : sc == SizeClass::Full ? 64
                                        : 16;
     }

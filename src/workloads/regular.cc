@@ -85,8 +85,8 @@ class BlackScholes final : public Workload
 
     unsigned n(SizeClass sc) const
     {
-        // Chip: 32 CTAs, enough to keep an 8-SM chip busy.
-        return sc == SizeClass::Chip   ? 32768
+        // Chip: 128 CTAs, enough to keep a 64-SM chip busy.
+        return sc == SizeClass::Chip   ? 131072
                : sc == SizeClass::Full ? 4096
                                        : 256;
     }
@@ -189,8 +189,8 @@ class MatrixMul final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        // Chip: 128x128 output = 16 CTAs of 1024 threads.
-        return sc == SizeClass::Chip   ? 128
+        // Chip: 256x256 output = 64 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 256
                : sc == SizeClass::Full ? 64
                                        : 16;
     }
@@ -290,8 +290,8 @@ class Transpose final : public Workload
 
     unsigned dim(SizeClass sc) const
     {
-        // Chip: 128x128 matrix = 16 CTAs of 1024 threads.
-        return sc == SizeClass::Chip   ? 128
+        // Chip: 256x256 matrix = 64 CTAs of 1024 threads.
+        return sc == SizeClass::Chip   ? 256
                : sc == SizeClass::Full ? 64
                                        : 16;
     }

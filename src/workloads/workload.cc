@@ -64,11 +64,19 @@ RunResult
 runWorkload(const Workload &wl, const pipeline::SMConfig &cfg,
             SizeClass sc, unsigned num_sms, bool cycle_skip)
 {
+    return runWorkload(wl, core::GpuConfig::make(cfg, num_sms),
+                       sc, cycle_skip);
+}
+
+RunResult
+runWorkload(const Workload &wl, const core::GpuConfig &chip,
+            SizeClass sc, bool cycle_skip)
+{
     Instance inst = wl.instance(sc);
     core::Kernel kernel = core::Kernel::compile(inst.raw,
                                                 inst.compile);
 
-    core::Gpu gpu(core::GpuConfig::make(cfg, num_sms));
+    core::Gpu gpu(chip);
     wl.init(gpu.memory(), sc);
 
     core::LaunchConfig lc;

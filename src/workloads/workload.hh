@@ -30,7 +30,7 @@ namespace siwi::workloads {
  * Problem size: Tiny for unit tests, Full for the single-SM paper
  * benches (grids sized for one SM), Chip for the multi-SM scaling
  * study — the same kernels over working sets large enough to keep
- * an 8-SM chip busy (>=16 CTAs). Only the workloads named by
+ * a 64-SM chip busy (>=64 CTAs). Only the workloads named by
  * runner::scalingSweep() implement Chip; the rest fall back to
  * their Tiny size.
  */
@@ -116,6 +116,16 @@ RunResult runWorkload(const Workload &wl,
 RunResult runWorkload(const Workload &wl,
                       const pipeline::SMConfig &cfg, SizeClass sc,
                       unsigned num_sms, bool cycle_skip = true);
+
+/**
+ * As above from a fully-resolved chip configuration — the runner
+ * uses this so chip-level overrides (L2 slicing, DRAM channels,
+ * the interconnect) reach the simulator instead of being
+ * re-derived from the SM config alone.
+ */
+RunResult runWorkload(const Workload &wl,
+                      const core::GpuConfig &chip, SizeClass sc,
+                      bool cycle_skip = true);
 
 } // namespace siwi::workloads
 

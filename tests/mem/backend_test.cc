@@ -17,8 +17,8 @@ TEST(DramBackend, MatchesPrivateChannelTiming)
     DramConfig cfg;
     DramBackend be(cfg);
     Dram ref(cfg);
-    EXPECT_EQ(be.read(0, 0x1000, 128), ref.serve(0, 128));
-    be.write(100, 0x2000, 64);
+    EXPECT_EQ(be.read(0, 0x1000, 128, 0), ref.serve(0, 128));
+    be.write(100, 0x2000, 64, 0);
     EXPECT_EQ(be.dramStats().transactions, 2u);
     EXPECT_EQ(be.dramStats().bytes, 192u);
 }
@@ -26,10 +26,10 @@ TEST(DramBackend, MatchesPrivateChannelTiming)
 TEST(SharedL2, MissThenHit)
 {
     SharedL2 l2(L2Config{}, DramConfig{});
-    Cycle miss = l2.read(0, 0x1000, 128);
+    Cycle miss = l2.read(0, 0x1000, 128, 0);
     // Lookup + DRAM round trip.
     EXPECT_GT(miss, Cycle(l2.config().hit_latency + 330));
-    Cycle hit = l2.read(miss, 0x1000, 128);
+    Cycle hit = l2.read(miss, 0x1000, 128, 0);
     EXPECT_EQ(hit, miss + l2.config().hit_latency);
     EXPECT_EQ(l2.stats().hits, 1u);
     EXPECT_EQ(l2.stats().misses, 1u);
@@ -39,9 +39,9 @@ TEST(SharedL2, MissThenHit)
 TEST(SharedL2, InvalidateDropsResidency)
 {
     SharedL2 l2(L2Config{}, DramConfig{});
-    l2.read(0, 0x1000, 128);
+    l2.read(0, 0x1000, 128, 0);
     l2.invalidate();
-    l2.read(1000, 0x1000, 128);
+    l2.read(1000, 0x1000, 128, 0);
     EXPECT_EQ(l2.stats().misses, 2u);
     EXPECT_EQ(l2.stats().hits, 0u);
 }
@@ -49,11 +49,11 @@ TEST(SharedL2, InvalidateDropsResidency)
 TEST(SharedL2, WritesPassThroughToDram)
 {
     SharedL2 l2(L2Config{}, DramConfig{});
-    l2.write(0, 0x3000, 128);
+    l2.write(0, 0x3000, 128, 0);
     EXPECT_EQ(l2.stats().writes, 1u);
     EXPECT_EQ(l2.dramStats().transactions, 1u);
     // No-allocate: a later read still misses.
-    l2.read(1000, 0x3000, 128);
+    l2.read(1000, 0x3000, 128, 0);
     EXPECT_EQ(l2.stats().misses, 1u);
 }
 

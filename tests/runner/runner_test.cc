@@ -61,8 +61,9 @@ TEST(Suites, FigureAndSuiteRegistry)
         std::vector<SweepSpec> sweeps =
             figureSweeps(f, SizeClass::Tiny);
         // Paper figures come as a regular/irregular panel pair;
-        // the scaling study is one mixed-panel sweep.
-        EXPECT_EQ(sweeps.size(), f == "scaling" ? 1u : 2u) << f;
+        // the scaling study pairs the legacy single-pipe chip
+        // with the banked-memory chip over one mixed panel.
+        EXPECT_EQ(sweeps.size(), 2u) << f;
         for (const SweepSpec &s : sweeps) {
             EXPECT_GT(s.machines.size(), 0u) << f;
             EXPECT_GT(s.wls.size(), 0u) << f;
@@ -99,6 +100,25 @@ TEST(Suites, ScalingSweepCoversTheAcceptanceGrid)
     EXPECT_EQ(s.sms, (std::vector<unsigned>{1u, 2u, 4u, 8u}));
     EXPECT_GE(s.wls.size(), 4u);
     EXPECT_EQ(s.machines.size(), 2u);
+
+    SweepSpec b = scalingBankedSweep(SizeClass::Tiny);
+    EXPECT_EQ(b.sms, (std::vector<unsigned>{1u, 2u, 4u, 8u, 16u,
+                                            32u, 64u}));
+    EXPECT_EQ(b.machines.size(), 2u);
+    for (const MachineSpec &m : b.machines) {
+        EXPECT_FALSE(m.chip_sets.empty()) << m.name;
+        // The overrides must survive resolution onto the chip.
+        core::GpuConfig chip =
+            resolvedCellConfig(b, 0, b.sms.size() - 1, 0);
+        EXPECT_EQ(chip.l2.slices, 8u);
+        EXPECT_EQ(chip.dram.channels, 4u);
+        EXPECT_EQ(chip.num_sms, 64u);
+        // Aggregate DRAM bandwidth is pinned per channel, exempt
+        // from the legacy min(num_sms, 4) scaling.
+        EXPECT_EQ(chip.dram.bytes_per_cycle_x10, 100u);
+        EXPECT_TRUE(chip.checkInvariants().empty())
+            << chip.checkInvariants();
+    }
 }
 
 TEST(Runner, RunCellMatchesRunWorkload)
@@ -198,6 +218,55 @@ TEST(Runner, MultiSmSweepIdenticalAcrossThreadCounts)
         EXPECT_TRUE(c.verified)
             << c.machine << " " << c.workload << ": "
             << c.verify_msg;
+}
+
+TEST(Runner, BankedChipIdenticalAcrossThreadCounts)
+{
+    setLogQuiet(true);
+    // 16-SM cells over the banked chip topology (8 L2 slices, 4
+    // DRAM channels, contended NoC) — the configuration class the
+    // scaling CI smoke runs. Identity across worker-thread counts
+    // gates that the lockstep SM stepping order (port order = SM
+    // index order) and the passive banked backend leave cells
+    // pure: no shared state, no run-order sensitivity.
+    SweepSpec s = scalingBankedSweep(SizeClass::Full);
+    s.name = "banked_grid";
+    s.filterWorkloads({"MatrixMul", "ConvolutionSeparable"});
+    s.sms = {4, 16};
+    const std::vector<SweepSpec> sweeps = {s};
+
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.suite_label = "banked determinism";
+    Results a = runSweeps(sweeps, serial);
+
+    RunOptions parallel = serial;
+    parallel.jobs = 8;
+    Results b = runSweeps(sweeps, parallel);
+
+    ASSERT_EQ(a.cells.size(), 8u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toJsonText(), b.toJsonText());
+    for (const CellResult &c : a.cells) {
+        EXPECT_TRUE(c.verified)
+            << c.machine << " " << c.workload << ": "
+            << c.verify_msg;
+        // Schema-v5 topology breakdowns, sized by the resolved
+        // chip and summing to the chip-level scalars.
+        ASSERT_EQ(c.stats.l2_slices.size(), 8u);
+        ASSERT_EQ(c.stats.dram_channels.size(), 4u);
+        ASSERT_EQ(c.stats.noc_ports.size(), size_t(c.num_sms));
+        u64 hits = 0, misses = 0, tx = 0;
+        for (const mem::L2SliceStats &sl : c.stats.l2_slices) {
+            hits += sl.hits;
+            misses += sl.misses;
+        }
+        for (const mem::DramStats &ch : c.stats.dram_channels)
+            tx += ch.transactions;
+        EXPECT_EQ(hits, c.stats.l2_hits);
+        EXPECT_EQ(misses, c.stats.l2_misses);
+        EXPECT_EQ(tx, c.stats.dram_transactions);
+    }
 }
 
 TEST(Runner, CellOrderIndependentOfJobCount)

@@ -57,6 +57,9 @@ expectSameSweeps(const std::vector<SweepSpec> &got,
             EXPECT_TRUE(g.machines[m].config ==
                         w.machines[m].config)
                 << g.name << "/" << g.machines[m].name;
+            EXPECT_EQ(g.machines[m].chip_sets,
+                      w.machines[m].chip_sets)
+                << g.name << "/" << g.machines[m].name;
         }
         ASSERT_EQ(g.wls.size(), w.wls.size()) << g.name;
         for (size_t wl = 0; wl < g.wls.size(); ++wl)

@@ -65,7 +65,9 @@ usage(FILE *out)
 "                     (repeatable; see docs/CONFIG.md)\n"
 "  --set KEY=VALUE    override one config field on every\n"
 "                     machine of every selected sweep\n"
-"                     (repeatable; keys: --dump-schema)\n"
+"                     (repeatable; keys: --dump-schema). SM and\n"
+"                     chip keys both work; chip keys accept a\n"
+"                     dotted spelling (--set l2.slices=4)\n"
 "  --dump-config      print the fully-resolved configuration\n"
 "                     of every selected cell as JSON and exit\n"
 "  --dump-schema      print the config field schema (keys,\n"
@@ -94,7 +96,11 @@ usage(FILE *out)
 "  --baseline PATH    after running, compare against this "
 "baseline\n"
 "  --compare BASE CAND  compare two result files, do not run\n"
-"  --tolerance PCT    relative IPC tolerance (default 2.0)\n");
+"  --tolerance PCT    relative IPC tolerance (default 2.0)\n"
+"  --check PATH       load a result file (strict schema parse)\n"
+"                     and gate on its health: every cell must\n"
+"                     be verified, not timed out, and have\n"
+"                     ipc > 0; do not run\n");
 }
 
 int
@@ -111,6 +117,49 @@ doCompare(const std::string &base_path,
     CompareReport rep = compareResults(base, cand, tolerance);
     std::fputs(rep.format().c_str(), stdout);
     return rep.pass() ? exit_ok : exit_regression;
+}
+
+int
+doCheck(const std::string &path)
+{
+    // Results::load already refuses unknown schema versions and
+    // malformed stats blocks; on top of that, gate on per-cell
+    // health so CI smoke jobs fail loudly on a sick run.
+    Results res;
+    std::string err;
+    if (!Results::load(path, &res, &err)) {
+        std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+        return exit_io;
+    }
+    size_t bad = 0;
+    for (const CellResult &c : res.cells) {
+        const char *why = nullptr;
+        if (!c.verified)
+            why = "failed verification";
+        else if (c.timed_out)
+            why = "timed out at the cycle cap";
+        else if (!(c.ipc > 0.0))
+            why = "has ipc <= 0";
+        if (why) {
+            ++bad;
+            std::fprintf(stderr,
+                         "siwi-run: --check %s: cell %s %s %s "
+                         "%s\n",
+                         path.c_str(), c.sweep.c_str(),
+                         c.machine.c_str(), c.workload.c_str(),
+                         why);
+        }
+    }
+    if (bad) {
+        std::fprintf(stderr,
+                     "siwi-run: --check %s: %zu of %zu cell(s) "
+                     "unhealthy\n",
+                     path.c_str(), bad, res.cells.size());
+        return exit_verify;
+    }
+    std::printf("check %s: %zu cell(s) healthy\n", path.c_str(),
+                res.cells.size());
+    return exit_ok;
 }
 
 } // namespace
@@ -196,6 +245,16 @@ main(int argc, char **argv)
         }
         return doCompare(compare_base, args.remaining()[0],
                          tolerance);
+    }
+
+    // Pure health-gate mode: --check PATH.
+    std::string check_path;
+    if (args.option("--check", &check_path)) {
+        if (!finishArgs(args, "siwi-run")) {
+            usage(stderr);
+            return exit_usage;
+        }
+        return doCheck(check_path);
     }
 
     std::string suite = "fast";
@@ -370,9 +429,11 @@ main(int argc, char **argv)
     for (SweepSpec &s : sweeps) {
         for (MachineSpec &m : s.machines) {
             for (const std::string &kv : set_kvs) {
+                // SM keys mutate the machine config; chip keys
+                // (l2_slices, dram_channels, noc_*, ...) are
+                // recorded for application on the resolved chip.
                 std::string serr;
-                if (!pipeline::smConfigApplyKeyValue(
-                        kv, &m.config, &serr)) {
+                if (!machineApplyKeyValue(&m, kv, &serr)) {
                     std::fprintf(stderr,
                                  "siwi-run: --set %s: %s\n",
                                  kv.c_str(), serr.c_str());
@@ -394,6 +455,14 @@ main(int argc, char **argv)
         std::string axes = s.checkAxes();
         if (!axes.empty()) {
             std::fprintf(stderr, "siwi-run: %s\n", axes.c_str());
+            return exit_usage;
+        }
+        // Chip invariants (slice/channel topology vs cache
+        // geometry) only materialize on the resolved per-cell
+        // chip, after GpuConfig::make() and chip_sets.
+        std::string chips = checkResolvedConfigs(s);
+        if (!chips.empty()) {
+            std::fprintf(stderr, "siwi-run: %s\n", chips.c_str());
             return exit_usage;
         }
     }
