@@ -1,0 +1,13 @@
+// Fixture: a banned construct covered by an allowlist entry.
+#include <unordered_map>
+
+namespace siwi::core {
+
+int
+lookupOnly(int k)
+{
+    static std::unordered_map<int, int> cache; // allowlisted
+    return cache[k];
+}
+
+} // namespace siwi::core

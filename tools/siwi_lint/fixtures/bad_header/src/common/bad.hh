@@ -1,0 +1,19 @@
+// Fixture: wrong include guard and a file-scope using-namespace.
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+#include <string>
+
+using namespace std;
+
+namespace siwi::common {
+
+inline string
+shout(const string &s)
+{
+    return s + "!";
+}
+
+} // namespace siwi::common
+
+#endif // WRONG_GUARD_HH

@@ -1,0 +1,22 @@
+// Fixture: every banned nondeterminism source the lint must flag.
+// Mentioning rand() in a comment must NOT trip the check.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace siwi::core {
+
+int
+evil()
+{
+    std::unordered_map<int, int> cache; // line 13: container
+    cache[1] = rand();                  // line 14: rand()
+    auto t = std::chrono::steady_clock::now(); // line 15: clock
+    std::map<int *, int> by_ptr;        // line 16: pointer keys
+    (void)t;
+    (void)by_ptr;
+    return cache[1];
+}
+
+} // namespace siwi::core

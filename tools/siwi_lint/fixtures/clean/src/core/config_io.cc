@@ -1,0 +1,11 @@
+// Fixture: the GpuConfig chip field table.
+#include "core/config_io.hh"
+
+namespace siwi::core {
+
+const int table[] = {
+    F_U32("num_sms", num_sms, "SM instances on the chip"),
+    F_BOOL("shared_backend", shared_backend, "shared L2 path"),
+};
+
+} // namespace siwi::core

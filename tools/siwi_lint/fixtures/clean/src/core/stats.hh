@@ -1,0 +1,23 @@
+// Fixture: minimal SimStats that matches its table exactly.
+#ifndef SIWI_CORE_STATS_HH
+#define SIWI_CORE_STATS_HH
+
+namespace siwi::core {
+
+using u64 = unsigned long long;
+
+struct SimStats
+{
+    u64 cycles = 0;
+    u64 instructions = 0;
+    unsigned extra = 0;
+
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+};
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_HH

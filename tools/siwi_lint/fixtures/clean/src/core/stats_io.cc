@@ -1,0 +1,25 @@
+// Fixture: the stats field table, covering every SimStats member.
+#include "core/stats_io.hh"
+
+namespace siwi::core {
+
+struct StatsField
+{
+    const char *name;
+    u64 SimStats::*member;
+};
+
+constexpr StatsField u64_fields[] = {
+    {"cycles", &SimStats::cycles},
+    {"instructions", &SimStats::instructions},
+};
+
+void
+statsToJson(const SimStats &st, Json *j)
+{
+    for (const StatsField &f : u64_fields)
+        j->set(f.name, st.*f.member);
+    j->set("extra", st.extra);
+}
+
+} // namespace siwi::core

@@ -1,0 +1,11 @@
+// Fixture: schema version header.
+#ifndef SIWI_CORE_STATS_IO_HH
+#define SIWI_CORE_STATS_IO_HH
+
+namespace siwi::core {
+
+constexpr int stats_schema_version = 1;
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_IO_HH

@@ -1,0 +1,15 @@
+// Fixture: minimal SMConfig matching its ConfigField table.
+#ifndef SIWI_PIPELINE_CONFIG_HH
+#define SIWI_PIPELINE_CONFIG_HH
+
+namespace siwi::pipeline {
+
+struct SMConfig
+{
+    unsigned warp_width = 32;
+    unsigned num_warps = 32;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_CONFIG_HH

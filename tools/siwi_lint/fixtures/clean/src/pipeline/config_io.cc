@@ -1,0 +1,11 @@
+// Fixture: the SMConfig field table.
+#include "pipeline/config_io.hh"
+
+namespace siwi::pipeline {
+
+const int table[] = {
+    F_U32("warp_width", warp_width, "threads per warp"),
+    F_U32("num_warps", num_warps, "resident warps per SM"),
+};
+
+} // namespace siwi::pipeline

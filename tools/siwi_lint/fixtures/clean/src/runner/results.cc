@@ -1,0 +1,13 @@
+// Fixture: results serialization, contributing top-level keys.
+#include "runner/results.hh"
+
+namespace siwi::runner {
+
+void
+toJson(Json *j)
+{
+    j->set("schema_version", 1);
+    j->set("cells", 0);
+}
+
+} // namespace siwi::runner

@@ -1,0 +1,24 @@
+// Fixture: SimStats grew a counter the table does not serialize.
+#ifndef SIWI_CORE_STATS_HH
+#define SIWI_CORE_STATS_HH
+
+namespace siwi::core {
+
+using u64 = unsigned long long;
+
+struct SimStats
+{
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 forgotten_counter = 0; // no table row: must be flagged
+    unsigned extra = 0;
+
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+};
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_HH

@@ -1,0 +1,14 @@
+// Fixture: nested config struct recursed into by table-drift.
+#ifndef SIWI_MEM_DRAM_HH
+#define SIWI_MEM_DRAM_HH
+
+namespace siwi::mem {
+
+struct DramConfig
+{
+    unsigned rate = 100; // expected as dram.rate in the SM table
+};
+
+} // namespace siwi::mem
+
+#endif // SIWI_MEM_DRAM_HH

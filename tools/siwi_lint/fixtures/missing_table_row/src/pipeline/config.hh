@@ -1,0 +1,19 @@
+// Fixture: SMConfig with a nested config struct whose dotted leaf
+// (dram.rate) has no table row.
+#ifndef SIWI_PIPELINE_CONFIG_HH
+#define SIWI_PIPELINE_CONFIG_HH
+
+#include "mem/dram.hh"
+
+namespace siwi::pipeline {
+
+struct SMConfig
+{
+    unsigned warp_width = 32;
+    unsigned num_warps = 32;
+    mem::DramConfig dram;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_CONFIG_HH

@@ -1,0 +1,12 @@
+// Fixture: the schema version was bumped but the pin was not
+// regenerated.
+#ifndef SIWI_CORE_STATS_IO_HH
+#define SIWI_CORE_STATS_IO_HH
+
+namespace siwi::core {
+
+constexpr int stats_schema_version = 2;
+
+} // namespace siwi::core
+
+#endif // SIWI_CORE_STATS_IO_HH

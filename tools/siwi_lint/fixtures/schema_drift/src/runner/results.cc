@@ -1,0 +1,15 @@
+// Fixture: a serialized key was added without bumping the schema
+// version — the pin still records the old key set.
+#include "runner/results.hh"
+
+namespace siwi::runner {
+
+void
+toJson(Json *j)
+{
+    j->set("schema_version", 1);
+    j->set("cells", 0);
+    j->set("brand_new_key", 0); // not in the pin: must be flagged
+}
+
+} // namespace siwi::runner
