@@ -418,7 +418,7 @@ main(int argc, char **argv)
     // sweep, through the same field table as spec files; the
     // result must still satisfy the config invariants.
     for (const std::string &kv : set_kvs) {
-        if (kv.rfind("mode=", 0) == 0) {
+        if (kv.starts_with("mode=")) {
             std::fprintf(stderr,
                          "siwi-run: --set mode is fixed by the "
                          "base machine (use --machine or a "
