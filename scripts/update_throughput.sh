@@ -8,11 +8,27 @@
 # so the trend records the event-driven speedup alongside raw
 # throughput, commit by commit.
 #
-# Usage: scripts/update_throughput.sh [--compare] [build-dir] [runs]
+# Usage: scripts/update_throughput.sh [--compare] [--allow-dirty]
+#            [--max-regress PCT] [build-dir] [runs]
 #   --compare  measure and report the delta against the last
 #              committed trend entry without appending (the CI
 #              mode: the working tree stays clean, the job log
 #              carries the numbers)
+#   --allow-dirty
+#              permit appending from a dirty working tree. By
+#              default appending refuses when the tree is dirty:
+#              a trend entry tagged "<commit>+dirty" is not
+#              reproducible from any commit, which defeats the
+#              point of a committed trend. Measure-only
+#              (--compare) runs never need this.
+#   --max-regress PCT
+#              with --compare: exit non-zero when the skip-mode
+#              wall clock is more than PCT percent slower than
+#              the last committed entry (the CI perf-smoke gate).
+#              Wall clock is machine-dependent, so keep the
+#              threshold generous; the committed entry should be
+#              refreshed whenever the hot path changes speed on
+#              purpose.
 #   build-dir  defaults to ./build (must contain siwi-run)
 #   runs       defaults to 5
 #
@@ -20,18 +36,20 @@
 # "--set l2.slices=8 --set dram.channels=4") can be passed through
 # the SIWI_RUN_FLAGS environment variable; they apply to both
 # stepping modes so the speedup column stays apples-to-apples.
-#
-# The comparison against the previous entry is informational: wall
-# clock on shared runners is too noisy to gate merges on. Accuracy
-# regressions are caught by the tolerance-0 baseline gate instead.
 
 set -eu
 
 compare_only=0
-if [ "${1:-}" = "--compare" ]; then
-    compare_only=1
-    shift
-fi
+allow_dirty=0
+max_regress=""
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+      --compare) compare_only=1; shift ;;
+      --allow-dirty) allow_dirty=1; shift ;;
+      --max-regress) max_regress="$2"; shift 2 ;;
+      *) break ;;
+    esac
+done
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
@@ -42,6 +60,20 @@ if [ ! -x "$build/siwi-run" ]; then
     echo "update_throughput: $build/siwi-run not found;" \
          "build first (cmake --build $build --target siwi-run)" >&2
     exit 1
+fi
+
+commit="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null \
+    || echo unknown)"
+if ! git -C "$repo" diff --quiet 2>/dev/null; then
+    commit="$commit+dirty"
+    if [ "$compare_only" = 0 ] && [ "$allow_dirty" = 0 ]; then
+        echo "update_throughput: working tree is dirty; a trend" \
+             "entry must be reproducible from its commit." >&2
+        echo "Commit first, or pass --allow-dirty to record" \
+             "'$commit' anyway (or --compare to measure without" \
+             "appending)." >&2
+        exit 1
+    fi
 fi
 
 measure() {
@@ -71,24 +103,21 @@ echo "  skip:    best ${skip_secs}s"
 noskip_secs="$(measure --no-skip)"
 echo "  no-skip: best ${noskip_secs}s"
 
-commit="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null \
-    || echo unknown)"
-if ! git -C "$repo" diff --quiet 2>/dev/null; then
-    commit="$commit+dirty"
-fi
-
 SIWI_TREND="$trend" SIWI_COMMIT="$commit" \
 SIWI_SKIP="$skip_secs" SIWI_NOSKIP="$noskip_secs" \
 SIWI_COMPARE_ONLY="$compare_only" \
+SIWI_MAX_REGRESS="$max_regress" \
 python3 - <<'EOF'
 import datetime
 import json
 import os
+import sys
 
 trend_path = os.environ["SIWI_TREND"]
 skip_s = float(os.environ["SIWI_SKIP"])
 noskip_s = float(os.environ["SIWI_NOSKIP"])
 compare_only = os.environ["SIWI_COMPARE_ONLY"] == "1"
+max_regress = os.environ.get("SIWI_MAX_REGRESS") or None
 
 try:
     with open(trend_path) as f:
@@ -125,4 +154,10 @@ if prev:
           f"{delta:+.1%} wall clock", end="")
     print(" (slower)" if delta > 0.10 else
           " (faster)" if delta < -0.10 else " (within noise)")
+    if max_regress is not None and delta * 100 > float(max_regress):
+        print(f"FAIL: skip-mode wall clock regressed more than "
+              f"{max_regress}% vs the committed trend entry")
+        sys.exit(1)
+elif max_regress is not None:
+    print("no committed trend entry to gate against")
 EOF

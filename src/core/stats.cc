@@ -92,6 +92,12 @@ SimStats::aggregate(const std::vector<SimStats> &sms)
     }
     agg.num_sms = unsigned(sms.size());
     agg.per_sm = sms;
+    // The generic loop summed the per-SM means, which is
+    // meaningless; recompute from the summed integral so the
+    // aggregate reads as mean runnable warps chip-wide.
+    agg.avg_runnable_warps_x10 =
+        agg.cycles ? (10 * agg.runnable_warp_cycles) / agg.cycles
+                   : 0;
     return agg;
 }
 

@@ -94,6 +94,31 @@ struct SimStats
     std::vector<mem::DramStats> dram_channels;
     std::vector<mem::NocPortStats> noc_ports;
 
+    // --- per-warp sleep/wake effectiveness (schema v6) ---
+    /**
+     * Warp-cycles spent in the slept state: a warp that is
+     * provably unable to issue, fetch, or touch shared front-end
+     * state is parked off the per-cycle active list, and every
+     * parked cycle counts here. The per-warp analogue of the
+     * SM-level skippedCycles() diagnostic, but jump-invariant and
+     * therefore safe to serialize: skip and --no-skip runs park
+     * the same warps over the same windows.
+     */
+    u64 warp_sleep_cycles = 0;
+    /**
+     * Integral of the awake (runnable active-list) warp count over
+     * cycles; avg_runnable_warps_x10 derives from it, and it sums
+     * meaningfully across SMs, so it is the serialized primitive.
+     */
+    u64 runnable_warp_cycles = 0;
+    /**
+     * Mean awake warps per cycle, fixed-point x10 (e.g. 245 =
+     * 24.5 warps). Derived: 10 * runnable_warp_cycles / cycles.
+     * aggregate() recomputes it from the summed integral, so on a
+     * chip aggregate it reads as mean runnable warps chip-wide.
+     */
+    u64 avg_runnable_warps_x10 = 0;
+
     // --- work ---
     u64 threads_launched = 0;
     u64 blocks_launched = 0;

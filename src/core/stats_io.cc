@@ -35,6 +35,9 @@ constexpr StatsField u64_fields[] = {
     {"l2_misses", &SimStats::l2_misses},
     {"dram_transactions", &SimStats::dram_transactions},
     {"dram_bytes", &SimStats::dram_bytes},
+    {"warp_sleep_cycles", &SimStats::warp_sleep_cycles},
+    {"runnable_warp_cycles", &SimStats::runnable_warp_cycles},
+    {"avg_runnable_warps_x10", &SimStats::avg_runnable_warps_x10},
     {"threads_launched", &SimStats::threads_launched},
     {"blocks_launched", &SimStats::blocks_launched},
 };

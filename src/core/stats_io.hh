@@ -44,8 +44,17 @@ namespace siwi::core {
  * breakdown arrays (omitted when empty, like "per_sm"), and DRAM
  * entries carry the new queue_full_stall_tenths counter. Existing
  * scalar counters are unchanged and remain the totals.
+ *
+ * v6 (per-warp sleep/wake): stats objects gain the skip-
+ * effectiveness counters "warp_sleep_cycles" (warp-cycles spent
+ * parked off the runnable active list), "runnable_warp_cycles"
+ * (integral of the awake-warp count over cycles) and
+ * "avg_runnable_warps_x10" (derived mean, fixed-point x10;
+ * recomputed from the summed integral on chip aggregates). All
+ * three are jump-invariant, so skip and --no-skip runs serialize
+ * identically. Existing fields are unchanged.
  */
-constexpr int stats_schema_version = 5;
+constexpr int stats_schema_version = 6;
 
 /** One u64 counter of SimStats: serialization name + member. */
 struct StatsField

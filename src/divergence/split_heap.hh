@@ -136,6 +136,15 @@ class SplitHeap
      */
     Cycle nextWake() const { return cct_.nextWake(); }
 
+    /**
+     * No restructuring work is pending: the last tick() pass found
+     * nothing to do and no mutation has happened since, so until
+     * the owning warp acts or nextWake() arrives, repeating tick()
+     * provably returns false. The warp sleep/wake machinery keys
+     * on this — a sleeping warp's heap must not want maintenance.
+     */
+    bool quiescent() const { return !dirty_; }
+
     const SplitHeapStats &stats() const { return stats_; }
     const CctStats &cctStats() const { return cct_.stats(); }
 

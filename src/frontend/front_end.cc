@@ -28,17 +28,30 @@ effectiveClass(UnitClass cls)
 
 FrontEnd::FrontEnd(FrontEndHost &host) : host_(host)
 {
-    // The primary candidate domain of each pool is fixed by the
-    // machine geometry; precompute it so the per-cycle select
-    // loop never allocates.
     const SMConfig &cfg = host_.config();
-    for (unsigned pool = 0; pool < 2; ++pool)
+    for (unsigned pool = 0; pool < 2; ++pool) {
         policy_[pool] = makeSchedPolicy(cfg.sched_policy,
                                         host_.numWarps());
-    for (WarpId w = 0; w < host_.numWarps(); ++w) {
-        unsigned pool = cfg.num_pools == 2 ? (w % 2) : 0;
-        pool_domain_[pool].push_back({w, 0});
+        pool_scratch_[pool].reserve(host_.numWarps());
     }
+}
+
+std::span<const Cand>
+FrontEnd::poolDomain(unsigned pool)
+{
+    // Rebuilt per select from the runnable active list: sleeping
+    // warps are provably unready, so the policies rank the same
+    // ready candidates, in the same ascending-warp order, as the
+    // full scan did — only the provably fruitless probes are gone.
+    const SMConfig &cfg = host_.config();
+    std::vector<Cand> &d = pool_scratch_[pool];
+    d.clear();
+    host_.awakeWarps().forEach([&](WarpId w) {
+        if (cfg.num_pools == 2 && (w % 2) != pool)
+            return;
+        d.push_back({w, 0});
+    });
+    return d;
 }
 
 std::optional<Cand>
@@ -61,7 +74,7 @@ FrontEnd::issueSimple()
         unsigned first = unsigned(host_.now() & 1);
         for (unsigned k = 0; k < 2; ++k) {
             unsigned pool = (first + k) % 2;
-            auto c = selectPrimary(pool, pool_domain_[pool], true);
+            auto c = selectPrimary(pool, poolDomain(pool), true);
             if (c && host_.issueCand(c->w, c->slot, false, nullptr,
                                      false)) {
                 notifyIssued(pool, *c);
@@ -72,7 +85,7 @@ FrontEnd::issueSimple()
     }
 
     // SBI: primary over CPC1 entries, secondary over CPC2 entries.
-    auto c = selectPrimary(0, pool_domain_[0], true);
+    auto c = selectPrimary(0, poolDomain(0), true);
     if (c &&
         host_.issueCand(c->w, c->slot, false, nullptr, false)) {
         notifyIssued(0, *c);
@@ -92,21 +105,21 @@ FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
     std::optional<Cand> best;
     bool best_row = false;
     u64 best_seq = ~u64(0);
-    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+    host_.awakeWarps().forEach([&](WarpId w) {
         if (!host_.ready(w, 1, false))
-            continue;
+            return;
         const IBufEntry *e = host_.entryFor(w, 1);
         UnitClass cls = effectiveClass(e->inst.unit());
         bool row = pinfo.valid && w == pinfo.w &&
                    cls == pinfo.unit && cls != UnitClass::LSU;
         if (!row && !host_.freeGroup(cls))
-            continue;
+            return;
         if (e->seq < best_seq) {
             best_seq = e->seq;
             best = Cand{w, 1};
             best_row = row;
         }
-    }
+    });
     if (best) {
         PrimaryIssueInfo pcopy = pinfo;
         return host_.issueCand(best->w, best->slot, true, &pcopy,
@@ -120,17 +133,17 @@ FrontEnd::issueSecondarySimple(const PrimaryIssueInfo &pinfo)
     // a different SIMD group (docs/DESIGN.md interpretation note).
     best.reset();
     best_seq = ~u64(0);
-    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+    host_.awakeWarps().forEach([&](WarpId w) {
         if (pinfo.valid && w == pinfo.w)
-            continue;
+            return;
         if (!host_.ready(w, 0, true))
-            continue;
+            return;
         const IBufEntry *e = host_.entryFor(w, 0);
         if (e->seq < best_seq) {
             best_seq = e->seq;
             best = Cand{w, 0};
         }
-    }
+    });
     if (best) {
         if (host_.issueCand(best->w, best->slot, true, nullptr,
                             false)) {
@@ -164,14 +177,6 @@ InterweaveFrontEnd::InterweaveFrontEnd(FrontEndHost &host)
       lookup_(host.numWarps(), host.config().lookup_sets, 0xdecaf),
       rng_(0xc0ffee)
 {
-    // The substitute scheduler's domain (section 4): every CPC1
-    // slot, plus every CPC2 slot on SBI machines. Static, like
-    // the pool domains.
-    substitute_domain_ = pool_domain_[0];
-    if (host_.config().sbi) {
-        for (WarpId w = 0; w < host_.numWarps(); ++w)
-            substitute_domain_.push_back({w, 1});
-    }
 }
 
 bool
@@ -190,23 +195,33 @@ InterweaveFrontEnd::pickSubstitute()
     // primary's oldest-first selection -- best-fit with
     // pseudo-random tie-breaking -- or the two would keep picking
     // the same instruction and squash each other forever.
+    // The domain (section 4) is every CPC1 slot, plus every CPC2
+    // slot on SBI machines, visited slot-major over the active
+    // list — the order the static full-warp domain had, which the
+    // RNG tie-break stream depends on. Sleeping warps are never
+    // ready, so skipping them cannot perturb a draw.
     std::optional<Cand> best;
     unsigned best_count = 0;
     unsigned ties = 0;
-    for (const Cand &c : substitute_domain_) {
-        if (!host_.ready(c.w, c.slot, true))
-            continue;
-        unsigned count =
-            host_.entryFor(c.w, c.slot)->mask.count();
+    auto consider = [&](WarpId w, unsigned slot) {
+        if (!host_.ready(w, slot, true))
+            return;
+        unsigned count = host_.entryFor(w, slot)->mask.count();
         if (!best || count > best_count) {
-            best = c;
+            best = Cand{w, slot};
             best_count = count;
             ties = 1;
         } else if (count == best_count) {
             ++ties;
             if (rng_.below(ties) == 0)
-                best = c;
+                best = Cand{w, slot};
         }
+    };
+    host_.awakeWarps().forEach(
+        [&](WarpId w) { consider(w, 0); });
+    if (host_.config().sbi) {
+        host_.awakeWarps().forEach(
+            [&](WarpId w) { consider(w, 1); });
     }
     return best;
 }
@@ -229,7 +244,7 @@ InterweaveFrontEnd::pickSecondaryCascaded(
     std::vector<Cand> &cands = cand_scratch_;
     lc.clear();
     cands.clear();
-    for (WarpId w = 0; w < host_.numWarps(); ++w) {
+    host_.awakeWarps().forEach([&](WarpId w) {
         for (unsigned slot = 0; slot < 2; ++slot) {
             if (slot == 1 && !host_.config().sbi)
                 continue;
@@ -252,7 +267,7 @@ InterweaveFrontEnd::pickSecondaryCascaded(
                 cands.push_back({w, slot});
             }
         }
-    }
+    });
     auto picked = lookup_.pick(pinfo.w, free_lanes, lc);
     if (!picked)
         return std::nullopt;
@@ -277,7 +292,7 @@ InterweaveFrontEnd::issueCascaded()
     // in parallel with this cycle's issue (cascaded scheduling,
     // section 4). Claimed entries (the parked pick) are skipped.
     std::optional<Cand> next_pick =
-        selectPrimary(0, pool_domain_[0], false);
+        selectPrimary(0, poolDomain(0), false);
     u32 next_pick_ctx = 0;
     if (next_pick)
         next_pick_ctx =

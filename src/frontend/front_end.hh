@@ -44,6 +44,7 @@
 #include "isa/opcode.hh"
 #include "pipeline/ibuffer.hh"
 #include "pipeline/mask_lookup.hh"
+#include "pipeline/warp_set.hh"
 
 namespace siwi::pipeline {
 class ExecGroup;
@@ -103,6 +104,17 @@ class FrontEndHost
     virtual bool ready(WarpId w, unsigned slot,
                        bool check_group) const = 0;
 
+    /**
+     * The runnable active list: active warps not parked by the
+     * host's sleep/wake machinery. A sleeping warp is provably
+     * not ready, not fetchable and free of claimed entries, so
+     * every candidate scan may iterate this set instead of all
+     * warps and see identical candidates in identical (ascending)
+     * order. The set can grow mid-cycle (a barrier release wakes
+     * warps), so scans must read it where they run, not cache it.
+     */
+    virtual const pipeline::WarpSet &awakeWarps() const = 0;
+
     /** A free execution group of class @p cls, or null. */
     virtual pipeline::ExecGroup *freeGroup(isa::UnitClass cls) = 0;
 
@@ -133,8 +145,10 @@ class FrontEndHost
  * One SM front-end: selects and issues instructions for one cycle.
  *
  * The candidate domains (per-pool warp lists, the SBI CPC2 slots)
- * are fixed by the machine geometry, so they are precomputed at
- * construction and the per-cycle hot loop never allocates.
+ * are rebuilt each select from the host's runnable active list —
+ * the machine geometry fixes only their shape. The scratch vectors
+ * are reused, so the per-cycle hot loop still never allocates in
+ * steady state, and now visits O(runnable) warps, not all of them.
  */
 class FrontEnd
 {
@@ -192,6 +206,15 @@ class FrontEnd
      */
     bool issueSecondarySimple(const PrimaryIssueInfo &pinfo);
 
+    /**
+     * Primary candidate domain of @p pool right now: the awake
+     * warps of the pool, ascending, slot 0 — the same candidates
+     * the old full-warp scan offered, minus provably unready ones.
+     * Returns a span over reused scratch; valid until the next
+     * call for the same pool.
+     */
+    std::span<const Cand> poolDomain(unsigned pool);
+
     FrontEndHost &host_;
     /**
      * One policy instance per scheduler pool: pooled machines
@@ -200,8 +223,8 @@ class FrontEnd
      * Single-pool machines only use index 0.
      */
     std::unique_ptr<SchedPolicy> policy_[2];
-    /** Static primary candidate domain of each scheduler pool. */
-    std::vector<Cand> pool_domain_[2];
+    /** Reusable poolDomain() scratch (hot loop: no allocation). */
+    std::vector<Cand> pool_scratch_[2];
 };
 
 /** Fermi-like baseline: stack reconvergence, per-pool schedulers. */
@@ -246,8 +269,6 @@ class InterweaveFrontEnd final : public FrontEnd
     pipeline::MaskLookup lookup_;
     Rng rng_;
     CascadeReg cascade_;
-    /** Substitute-pick domain: every CPC1 (+ CPC2 under SBI). */
-    std::vector<Cand> substitute_domain_;
     // Reusable per-cycle scratch (hot loop: no allocation).
     std::vector<pipeline::LookupCandidate> lookup_scratch_;
     std::vector<Cand> cand_scratch_;

@@ -47,6 +47,10 @@ class IBuffer
 
     /** Find a valid entry for context @p ctx_id of warp @p w. */
     IBufEntry *findCtx(WarpId w, u32 ctx_id);
+    const IBufEntry *findCtx(WarpId w, u32 ctx_id) const
+    {
+        return const_cast<IBuffer *>(this)->findCtx(w, ctx_id);
+    }
 
     /** Drop every entry of warp @p w (kernel/block boundary). */
     void flushWarp(WarpId w);

@@ -1,6 +1,7 @@
 #include "pipeline/sm.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/bits.hh"
 #include "common/log.hh"
@@ -25,7 +26,16 @@ effectiveClass(UnitClass cls)
     return cls == UnitClass::CTRL ? UnitClass::MAD : cls;
 }
 
+/** Process-wide sleep-oracle switch (test hook, see sm.hh). */
+std::atomic<bool> sleep_audit{false};
+
 } // namespace
+
+void
+SM::setSleepAudit(bool on)
+{
+    sleep_audit.store(on, std::memory_order_relaxed);
+}
 
 SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
        mem::MemoryBackend *backend, unsigned port)
@@ -37,7 +47,9 @@ SM::SM(const SMConfig &cfg, mem::MemoryImage &memory,
       blocks_(cfg.max_blocks_resident),
       ibuf_(cfg.num_warps, 2),
       sb_(cfg.num_warps, cfg.scoreboard_entries),
-      fe_rr_(2, 0)
+      fe_rr_(2, 0),
+      awake_(cfg.num_warps),
+      asleep_(cfg.num_warps)
 {
     cfg_.validate();
     for (unsigned g = 0; g < cfg_.mad_groups; ++g) {
@@ -134,8 +146,22 @@ SM::step()
     // happens on an issue), so it does not count as progress.
     memsys_.tick(now_);
 
+    // Timed wakes first: a warp whose self-change bound (CCT fold)
+    // is due must be back on the active list before maintenance
+    // and issue see this cycle. Waking itself is not progress —
+    // the woken warp's actions are what count.
+    if (min_sleep_wake_ <= now_)
+        timedWakes();
+
     progress |= processEvents();
     progress |= heapMaintenance();
+
+    if (sleep_audit.load(std::memory_order_relaxed)) {
+        std::string why;
+        if (!auditSleepingWarps(&why))
+            panic("sleep audit (pre-issue): ", why, "\n",
+                  debugState());
+    }
 
     // The front-end reports issues and scheduler-state mutations
     // itself; SYNC-suspension attempts are statistics bumped per
@@ -149,6 +175,18 @@ SM::step()
     u64 fetches_before = stats_.fetches;
     fetchStage();
     progress |= stats_.fetches != fetches_before;
+
+    if (sleep_audit.load(std::memory_order_relaxed)) {
+        std::string why;
+        if (!auditSleepingWarps(&why))
+            panic("sleep audit (post-fetch): ", why, "\n",
+                  debugState());
+    }
+
+    // Park every warp that provably cannot act next cycle. Takes
+    // effect at now_ + 1: the warp was fully schedulable this
+    // cycle, so parking is not an observable state change.
+    sleepEvaluate();
 
     ++now_;
     return progress;
@@ -168,10 +206,15 @@ SM::nextWake() const
             wake = std::min(wake, g.busyUntil());
     }
     wake = std::min(wake, memsys_.nextWake(now_));
-    for (const WarpSlot &ws : warps_) {
-        if (ws.active && ws.heap)
+    // Awake warps contribute their heap's next sorter fold;
+    // sleeping warps contribute the same bound via the cached
+    // min_sleep_wake_ (their wake_at is exactly that fold time).
+    awake_.forEach([&](WarpId w) {
+        const WarpSlot &ws = warps_[w];
+        if (ws.heap)
             wake = std::min(wake, ws.heap->nextWake());
-    }
+    });
+    wake = std::min(wake, min_sleep_wake_);
     return wake;
 }
 
@@ -181,6 +224,183 @@ SM::skipTo(Cycle target)
     siwi_assert(target >= now_, "skipTo into the past");
     skipped_cycles_ += target - now_;
     now_ = target;
+}
+
+// ----------------------------------------------------------------
+// per-warp sleep/wake
+// ----------------------------------------------------------------
+
+void
+SM::accrueRunnable(Cycle t)
+{
+    // Integral of the awake-warp count over time. Transition
+    // points are identical whether intervening quiet cycles were
+    // stepped or jumped, so the serialized counters derived from
+    // it stay bit-identical across skip modes.
+    runnable_integral_ += u64(awake_count_) * (t - runnable_mark_);
+    runnable_mark_ = t;
+}
+
+void
+SM::awakeInsert(WarpId w)
+{
+    if (awake_.contains(w))
+        return;
+    accrueRunnable(now_);
+    awake_.insert(w);
+    ++awake_count_;
+}
+
+void
+SM::awakeErase(WarpId w, Cycle t)
+{
+    if (!awake_.contains(w))
+        return;
+    accrueRunnable(t);
+    awake_.erase(w);
+    --awake_count_;
+}
+
+void
+SM::wakeWarp(WarpId w)
+{
+    WarpSlot &ws = warps_[w];
+    if (!ws.asleep)
+        return;
+    ws.asleep = false;
+    ws.wake_at = no_wake;
+    stats_.warp_sleep_cycles += now_ - ws.sleep_since;
+    asleep_.erase(w);
+    awakeInsert(w);
+}
+
+void
+SM::timedWakes()
+{
+    // Scan only when the cached bound is due; wake every due warp
+    // and recompute the bound over the remainder. The sleeping set
+    // is scanned, not the full warp array.
+    Cycle next = no_wake;
+    asleep_.forEach([&](WarpId w) {
+        WarpSlot &ws = warps_[w];
+        if (ws.wake_at <= now_)
+            wakeWarp(w); // erases w from asleep_ (safe mid-scan)
+        else
+            next = std::min(next, ws.wake_at);
+    });
+    min_sleep_wake_ = next;
+}
+
+bool
+SM::sleepEligible(WarpId w, Cycle *wake_out) const
+{
+    const WarpSlot &ws = warps_[w];
+    if (!ws.active)
+        return false;
+
+    // A cascade-parked entry is re-probed (claimed toggled off and
+    // back on) by the front-end every cycle: never park its warp.
+    for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
+        const IBufEntry &e = ibuf_.entry(w, s);
+        if (e.valid && e.claimed)
+            return false;
+    }
+
+    // Pending heap maintenance (an unsettled restructure pass)
+    // can move hot slots next cycle; only a quiescent heap has a
+    // well-defined timed self-change bound.
+    if (ws.heap && !ws.heap->quiescent())
+        return false;
+
+    for (unsigned slot = 0; slot < 2; ++slot) {
+        CtxView cv = ctxView(w, slot);
+        if (!cv.valid)
+            continue; // blocked ctx: unblocks only via events
+        const IBufEntry *e = ibuf_.findCtx(w, cv.id);
+        bool fresh = e && e->ctx_version == cv.version;
+        if (!fresh) {
+            // The slot wants a fetch. A stale same-context entry
+            // is reused in place, and a dead entry is a victim:
+            // either way the fetch stage could act on this warp.
+            if (e)
+                return false;
+            for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
+                if (!ibufEntryLive(w, ibuf_.entry(w, s)))
+                    return false;
+            }
+            // Buffer full of live entries: a victim can only
+            // appear through this warp's own issues or events.
+            continue;
+        }
+        // Fresh entry: mirror ready() without the counting probe.
+        // A SYNC-gated entry bumps sync_suspensions every cycle
+        // the warp is scanned, so its warp must stay awake.
+        if (syncGated(w, *e))
+            return false;
+        if (e->inst.writesDst() && !sb_.hasFreeEntry(w))
+            continue; // unblocks via a Writeback event
+        if (sb_.conflicts(w, e->inst, e->mask))
+            continue; // unblocks via a Writeback event
+        // Issuable (execution-group availability deliberately
+        // ignored: groups are shared, timed resources, so a
+        // group-stalled warp stays on the active list).
+        return false;
+    }
+
+    *wake_out = ws.heap ? ws.heap->nextWake() : no_wake;
+    return true;
+}
+
+void
+SM::sleepEvaluate()
+{
+    awake_.forEach([&](WarpId w) {
+        Cycle wake = no_wake;
+        if (!sleepEligible(w, &wake))
+            return;
+        WarpSlot &ws = warps_[w];
+        ws.asleep = true;
+        ws.wake_at = wake;
+        ws.sleep_since = now_ + 1;
+        awakeErase(w, now_ + 1); // parked from the next cycle on
+        asleep_.insert(w);
+        min_sleep_wake_ = std::min(min_sleep_wake_, wake);
+    });
+}
+
+bool
+SM::auditSleepingWarps(std::string *why) const
+{
+    bool ok = true;
+    asleep_.forEach([&](WarpId w) {
+        if (!ok)
+            return;
+        const WarpSlot &ws = warps_[w];
+        auto fail = [&](const char *what) {
+            ok = false;
+            if (why) {
+                *why = "warp " + std::to_string(w) + " at cycle " +
+                       std::to_string(now_) + ": " + what;
+            }
+        };
+        if (!ws.active || !ws.asleep || awake_.contains(w)) {
+            fail("sleeping-set / slot state mismatch");
+            return;
+        }
+        if (ws.wake_at <= now_) {
+            fail("timed wake bound passed while asleep");
+            return;
+        }
+        Cycle wake = no_wake;
+        if (!sleepEligible(w, &wake)) {
+            fail("slept warp is schedulable (could issue, fetch, "
+                 "probe a SYNC gate, or restructure its heap)");
+            return;
+        }
+        if (wake < ws.wake_at)
+            fail("recorded wake bound later than the heap's fold");
+    });
+    return ok;
 }
 
 // ----------------------------------------------------------------
@@ -268,6 +488,9 @@ SM::initWarp(WarpId w, int block_slot, unsigned first_tid,
     ws.stack_branch_pending = false;
     ws.stack_barrier_blocked = false;
     ws.last_divergence = ~Cycle(0);
+    ws.asleep = false;
+    ws.wake_at = no_wake;
+    awakeInsert(w);
     ws.state->clear();
 
     const BlockSlot &blk = blocks_[unsigned(block_slot)];
@@ -332,6 +555,10 @@ SM::retireWarpIfDone(WarpId w)
 
     accumulateWarpStats(ws);
     ws.active = false;
+    // The exit event that finished the warp woke it, so it retires
+    // from the awake set; wakeWarp guards the defensive case.
+    wakeWarp(w);
+    awakeErase(w, now_);
     ibuf_.flushWarp(w);
 
     BlockSlot &blk = blocks_[unsigned(ws.block)];
@@ -713,6 +940,10 @@ SM::processEvents()
         Event ev = events_.begin()->second;
         events_.erase(events_.begin());
         fired = true;
+        // Every event can unblock its warp (scoreboard release,
+        // branch/exit resolution mutate schedulability), so the
+        // warp rejoins the active list before the event applies.
+        wakeWarp(ev.warp);
         switch (ev.kind) {
           case Event::Kind::Writeback:
             sb_.release(ev.warp, unsigned(ev.sb_entry));
@@ -823,6 +1054,10 @@ SM::checkBarrierRelease(int block_slot)
         } else {
             ws.heap->barrierRelease(now_);
         }
+        // Released warps become schedulable mid-cycle; any stage
+        // that runs after this (secondary pick, fetch) must see
+        // them, exactly as the full scans did.
+        wakeWarp(w);
     }
     blk.barrier_arrived = 0;
     stats_.barrier_releases += 1;
@@ -835,33 +1070,40 @@ SM::checkBarrierRelease(int block_slot)
 bool
 SM::heapMaintenance()
 {
+    // Only awake warps can have pending heap work: sleeping
+    // requires a quiescent heap, every mutation wakes the owning
+    // warp, and a due sorter fold is a timed wake processed before
+    // this stage runs.
     bool changed = false;
-    for (WarpSlot &ws : warps_) {
-        if (ws.active && ws.heap)
+    awake_.forEach([&](WarpId w) {
+        WarpSlot &ws = warps_[w];
+        if (ws.heap)
             changed |= ws.heap->tick(now_);
-    }
+    });
     return changed;
+}
+
+bool
+SM::ibufEntryLive(WarpId w, const IBufEntry &e) const
+{
+    // An entry is live while it matches a current context (by
+    // id and version) or is parked in the cascade register.
+    if (!e.valid)
+        return false;
+    if (e.claimed)
+        return true;
+    for (unsigned s = 0; s < 2; ++s) {
+        CtxView cv = ctxView(w, s);
+        if (cv.valid && cv.id == e.ctx_id)
+            return cv.version == e.ctx_version;
+    }
+    return false;
 }
 
 void
 SM::fetchStage()
 {
     unsigned nw = unsigned(warps_.size());
-
-    // An entry is live while it matches a current context (by
-    // id and version) or is parked in the cascade register.
-    auto entryLive = [&](WarpId w, const IBufEntry &e) {
-        if (!e.valid)
-            return false;
-        if (e.claimed)
-            return true;
-        for (unsigned s = 0; s < 2; ++s) {
-            CtxView cv = ctxView(w, s);
-            if (cv.valid && cv.id == e.ctx_id)
-                return cv.version == e.ctx_version;
-        }
-        return false;
-    };
 
     // Fetch for context slot (w, ctx_slot) if it needs it; true
     // when a fetch happened (at most one per front-end per cycle).
@@ -879,7 +1121,7 @@ SM::fetchStage()
         if (!target) {
             for (unsigned s = 0; s < ibuf_.slotsPerWarp(); ++s) {
                 IBufEntry &e = ibuf_.entry(w, s);
-                if (!entryLive(w, e)) {
+                if (!ibufEntryLive(w, e)) {
                     target = &e;
                     break;
                 }
@@ -901,28 +1143,31 @@ SM::fetchStage()
         return true;
     };
 
+    // Cyclic scan over the active list only: a sleeping warp is by
+    // definition non-fetchable (sleepEligible mirrors tryFetch),
+    // so skipping it visits the same successful candidate the full
+    // warp scan would, in the same round-robin order.
     for (unsigned fe = 0; fe < 2; ++fe) {
-        bool fetched = false;
-        for (unsigned i = 0; i < nw && !fetched; ++i) {
-            WarpId w = WarpId((fe_rr_[fe] + i) % nw);
-            if (cfg_.num_pools == 2) {
+        bool fetched;
+        if (cfg_.num_pools == 2) {
+            fetched = awake_.forEachWrapped(fe_rr_[fe], [&](WarpId w) {
                 if ((w % 2) != fe)
-                    continue;
-                fetched = tryFetch(fe, w, 0);
-            } else if (cfg_.sbi) {
-                fetched = tryFetch(fe, w, fe == 0 ? 0 : 1);
-            } else {
-                fetched = tryFetch(fe, w, 0);
-            }
+                    return false;
+                return tryFetch(fe, w, 0);
+            });
+        } else {
+            unsigned ctx_slot = (cfg_.sbi && fe == 1) ? 1 : 0;
+            fetched = awake_.forEachWrapped(fe_rr_[fe], [&](WarpId w) {
+                return tryFetch(fe, w, ctx_slot);
+            });
         }
         if (!fetched && cfg_.num_pools == 1 && cfg_.sbi &&
             fe == 1 && cfg_.sbi_secondary_fallback) {
             // Secondary front-end helps fetch primary contexts when
             // it has nothing of its own to do.
-            for (unsigned i = 0; i < nw && !fetched; ++i) {
-                WarpId w = WarpId((fe_rr_[fe] + i) % nw);
-                fetched = tryFetch(fe, w, 0);
-            }
+            awake_.forEachWrapped(fe_rr_[fe], [&](WarpId w) {
+                return tryFetch(fe, w, 0);
+            });
         }
     }
 }
@@ -945,6 +1190,8 @@ SM::debugState() const
         if (!ws.active)
             continue;
         os << " warp " << w << ":";
+        if (ws.asleep)
+            os << " asleep(wake=" << ws.wake_at << ")";
         if (ws.stack) {
             os << " stack depth=" << ws.stack->depth();
             if (!ws.stack->done()) {
@@ -982,6 +1229,18 @@ SM::finalizeStats()
         if (ws.active)
             accumulateWarpStats(ws);
     }
+    // Close out sleep/runnable accounting at the final cycle (a
+    // timed-out run can end with warps still parked). Both folds
+    // are idempotent: the marks advance to now_.
+    asleep_.forEach([&](WarpId w) {
+        WarpSlot &ws = warps_[w];
+        stats_.warp_sleep_cycles += now_ - ws.sleep_since;
+        ws.sleep_since = now_;
+    });
+    accrueRunnable(now_);
+    stats_.runnable_warp_cycles = runnable_integral_;
+    stats_.avg_runnable_warps_x10 =
+        now_ ? (10 * runnable_integral_) / now_ : 0;
     stats_.l1_hits = memsys_.cacheStats().hits;
     stats_.l1_misses = memsys_.cacheStats().misses;
     stats_.l1_evictions = memsys_.cacheStats().evictions;

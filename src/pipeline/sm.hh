@@ -39,6 +39,7 @@
 #include "pipeline/exec_unit.hh"
 #include "pipeline/ibuffer.hh"
 #include "pipeline/scoreboard.hh"
+#include "pipeline/warp_set.hh"
 
 namespace siwi::pipeline {
 
@@ -105,6 +106,16 @@ class SM final : public frontend::FrontEndHost
 
     /**
      * Advance one cycle.
+     *
+     * Hot-loop cost is O(runnable warps), not O(num_warps): warps
+     * proven unable to act (sleepEligible) are parked off the
+     * runnable active list at the end of each cycle and every
+     * per-cycle scan — fetch, heap maintenance, the front-end
+     * candidate domains — iterates the list, not the warp array.
+     * Events, barrier releases and timed heap folds wake their
+     * warps back onto it (wakeWarp), so parking is invisible to
+     * results; setSleepAudit() re-proves it every cycle.
+     *
      * @return true when the cycle made progress: an event fired, a
      *         heap restructured, the front-end issued or mutated
      *         scheduler state, a fetch or CTA launch happened, or
@@ -120,13 +131,15 @@ class SM final : public frontend::FrontEndHost
      * which anything in this SM can change — the next deferred
      * event (writebacks, branch/exit resolutions and their
      * retries), the earliest execution-group release, the next L1
-     * fill or backend wake, and the next CCT sorter fold. Every
-     * other transition (scoreboard, barriers, fetch, CTA launch)
-     * happens only as a consequence of one of these, so after a
-     * quiet step() the SM provably re-enters the same quiet state
-     * on every cycle before the returned bound. no_wake when no
-     * timed state is pending (the SM is dead in the water until
-     * the cycle limit).
+     * fill or backend wake, the next CCT sorter fold of any awake
+     * warp, and the earliest sleeping warp's recorded wake bound
+     * (min_sleep_wake_, which carries the folds of parked warps).
+     * Every other transition (scoreboard, barriers, fetch, CTA
+     * launch) happens only as a consequence of one of these, so
+     * after a quiet step() the SM provably re-enters the same
+     * quiet state on every cycle before the returned bound.
+     * no_wake when no timed state is pending (the SM is dead in
+     * the water until the cycle limit).
      */
     Cycle nextWake() const;
 
@@ -182,6 +195,24 @@ class SM final : public frontend::FrontEndHost
     /** Multi-line dump of warp/context/barrier state (debugging). */
     std::string debugState() const;
 
+    /**
+     * Per-warp sleep oracle (test hook): verify that every warp
+     * currently parked off the active list provably cannot issue,
+     * fetch, bump an observable counter, or self-mutate before its
+     * recorded wake bound. Pure — uses only non-counting probes.
+     * @return false with a diagnostic in @p why on any violation
+     */
+    bool auditSleepingWarps(std::string *why) const;
+
+    /**
+     * Process-wide audit switch: when on, every step() of every SM
+     * runs auditSleepingWarps() before the issue stage and again
+     * after fetch, and panics on a violation. Test-only (the
+     * integration oracles flip it around full suite runs); the per
+     * -step cost is two relaxed atomic loads when off.
+     */
+    static void setSleepAudit(bool on);
+
   private:
     // ------------------------------------------------------------
     // internal structures
@@ -196,6 +227,21 @@ class SM final : public frontend::FrontEndHost
         bool stack_branch_pending = false;
         bool stack_barrier_blocked = false;
         Cycle last_divergence = ~Cycle(0);
+
+        // --- sleep/wake state (see ARCHITECTURE.md) ---
+        /** Parked off the active list: provably unschedulable. */
+        bool asleep = false;
+        /**
+         * Conservative timed wake bound while asleep: the earliest
+         * cycle this warp can change state *on its own* (its CCT
+         * sorter fold). Every other unblocking — scoreboard
+         * release, branch/exit resolution, barrier release — is an
+         * event that wakes the warp explicitly, so the bound never
+         * needs to cover those.
+         */
+        Cycle wake_at = ~Cycle(0);
+        /** First slept cycle (warp_sleep_cycles accounting). */
+        Cycle sleep_since = 0;
     };
 
     struct BlockSlot
@@ -248,6 +294,7 @@ class SM final : public frontend::FrontEndHost
     {
         last_primary_ = frontend::PrimaryIssueInfo{};
     }
+    const WarpSet &awakeWarps() const override { return awake_; }
 
     // ------------------------------------------------------------
     // pipeline stages
@@ -258,6 +305,32 @@ class SM final : public frontend::FrontEndHost
 
     // --- scheduling helpers ---
     bool syncGated(WarpId w, const IBufEntry &e) const;
+
+    // --- per-warp sleep/wake ---
+    /** A buffered entry still backs a live context (fetch victim rule). */
+    bool ibufEntryLive(WarpId w, const IBufEntry &e) const;
+    /**
+     * May warp @p w be parked? True only when no context slot can
+     * issue (ignoring execution-group availability, which is
+     * shared and timed), no fetch is possible, no SYNC gate would
+     * bump the suspension counter, nothing is parked in the
+     * cascade register, and the heap has no pending maintenance.
+     * Pure: never bumps statistics. On true, *wake_out holds the
+     * timed self-change bound (the heap's next sorter fold).
+     */
+    bool sleepEligible(WarpId w, Cycle *wake_out) const;
+    /** Park every provably blocked awake warp (end of step()). */
+    void sleepEvaluate();
+    /** Wake warps whose timed bound has arrived (start of step()). */
+    void timedWakes();
+    /** Return @p w to the active list (no-op when awake). */
+    void wakeWarp(WarpId w);
+    /** Advance the runnable-warp integral to time @p t. */
+    void accrueRunnable(Cycle t);
+    /** Add @p w to the active list (init / wake paths). */
+    void awakeInsert(WarpId w);
+    /** Drop @p w from the active list at time @p t (sleep/retire). */
+    void awakeErase(WarpId w, Cycle t);
 
     // --- semantics helpers ---
     void advanceCtx(WarpId w, u32 ctx_id, Pc next);
@@ -306,6 +379,19 @@ class SM final : public frontend::FrontEndHost
     u64 skipped_cycles_ = 0;
     u64 fetch_seq_ = 1;
     std::vector<WarpId> fe_rr_; //!< per-front-end round-robin cursor
+
+    // --- per-warp sleep/wake state ---
+    WarpSet awake_;  //!< active, schedulable warps (the hot-loop domain)
+    WarpSet asleep_; //!< active warps parked off the active list
+    /**
+     * Cached min over sleeping warps' wake_at. May go stale-low
+     * when an event wakes the minimum holder early; that only
+     * costs one no-op timedWakes() scan, never a missed wake.
+     */
+    Cycle min_sleep_wake_ = ~Cycle(0);
+    unsigned awake_count_ = 0;     //!< |awake_|
+    u64 runnable_integral_ = 0;    //!< sum of awake_count_ over time
+    Cycle runnable_mark_ = 0;      //!< integral accrued up to here
 
     core::SimStats stats_;
     TraceHook trace_;

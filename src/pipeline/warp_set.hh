@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dense warp-id set backed by 64-bit words: the runnable active
+ * list of the per-warp sleep/wake machinery.
+ *
+ * The per-cycle hot loops (fetch, select, issue, heap upkeep)
+ * iterate this set instead of scanning every warp slot, making a
+ * cycle O(runnable warps) instead of O(num_warps). Iteration is
+ * ascending warp order — the same order the full scans used — so
+ * scheduling policies see identical candidate sequences; a cyclic
+ * variant serves the round-robin fetch cursor.
+ */
+
+#ifndef SIWI_PIPELINE_WARP_SET_HH
+#define SIWI_PIPELINE_WARP_SET_HH
+
+#include <bit>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace siwi::pipeline {
+
+/** Fixed-capacity bitset over warp ids with ordered iteration. */
+class WarpSet
+{
+  public:
+    explicit WarpSet(unsigned num_warps = 0)
+    {
+        reset(num_warps);
+    }
+
+    /** Resize to @p num_warps and clear every member. */
+    void reset(unsigned num_warps)
+    {
+        num_warps_ = num_warps;
+        words_.assign((num_warps + 63) / 64, 0);
+    }
+
+    bool contains(WarpId w) const
+    {
+        return (words_[w >> 6] >> (w & 63)) & 1;
+    }
+
+    void insert(WarpId w) { words_[w >> 6] |= bit(w); }
+    void erase(WarpId w) { words_[w >> 6] &= ~bit(w); }
+
+    unsigned count() const
+    {
+        unsigned n = 0;
+        for (u64 word : words_)
+            n += unsigned(std::popcount(word));
+        return n;
+    }
+
+    bool empty() const
+    {
+        for (u64 word : words_) {
+            if (word)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Visit members in ascending order. Erasing the warp currently
+     * being visited is allowed (the word is iterated from a local
+     * copy); inserting during iteration is not.
+     */
+    template <typename F> void forEach(F &&f) const
+    {
+        for (size_t i = 0; i < words_.size(); ++i) {
+            u64 word = words_[i];
+            while (word) {
+                unsigned b = unsigned(std::countr_zero(word));
+                word &= word - 1;
+                f(WarpId(i * 64 + b));
+            }
+        }
+    }
+
+    /**
+     * Visit members cyclically: first those >= @p start ascending,
+     * then those < @p start ascending. @p f returns true to stop
+     * the scan (a fetch slot was consumed).
+     * @return true when @p f stopped the scan
+     */
+    template <typename F> bool forEachWrapped(WarpId start, F &&f) const
+    {
+        size_t start_word = start >> 6;
+        // Tail: members at or after the cursor.
+        for (size_t i = start_word; i < words_.size(); ++i) {
+            u64 word = words_[i];
+            if (i == start_word)
+                word &= ~u64(0) << (start & 63);
+            while (word) {
+                unsigned b = unsigned(std::countr_zero(word));
+                word &= word - 1;
+                if (f(WarpId(i * 64 + b)))
+                    return true;
+            }
+        }
+        // Wrapped head: members strictly before the cursor.
+        for (size_t i = 0; i <= start_word && i < words_.size();
+             ++i) {
+            u64 word = words_[i];
+            if (i == start_word)
+                word &= ~(~u64(0) << (start & 63));
+            while (word) {
+                unsigned b = unsigned(std::countr_zero(word));
+                word &= word - 1;
+                if (f(WarpId(i * 64 + b)))
+                    return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    static u64 bit(WarpId w) { return u64(1) << (w & 63); }
+
+    unsigned num_warps_ = 0;
+    std::vector<u64> words_;
+};
+
+} // namespace siwi::pipeline
+
+#endif // SIWI_PIPELINE_WARP_SET_HH

@@ -82,6 +82,15 @@ class MockHost final : public FrontEndHost
         return it != slots_.end() && it->second.ready;
     }
 
+    // The mock never parks warps: every warp is always awake.
+    const pipeline::WarpSet &awakeWarps() const override
+    {
+        awake_.reset(num_warps_);
+        for (WarpId w = 0; w < num_warps_; ++w)
+            awake_.insert(w);
+        return awake_;
+    }
+
     pipeline::ExecGroup *freeGroup(isa::UnitClass) override
     {
         return nullptr;
@@ -104,6 +113,7 @@ class MockHost final : public FrontEndHost
   private:
     pipeline::SMConfig cfg_;
     unsigned num_warps_ = 4;
+    mutable pipeline::WarpSet awake_;
     std::map<std::pair<WarpId, unsigned>, Slot> slots_;
     // entryFor returns a view of the scripted slot through one
     // reusable entry (the policies only look at seq/pc).

@@ -10,6 +10,16 @@
  * and compare with SimStats::operator==, so any wake-bound bug that
  * changes *anything* observable fails loudly rather than skewing
  * results quietly.
+ *
+ * All runs here also execute under SM::setSleepAudit: with per-warp
+ * sleep/wake, step() re-verifies every sleeping warp every cycle —
+ * sleepEligible must still hold and the recorded wake bound must
+ * still be conservative — so the --no-skip leg of each pair proves
+ * every slept warp non-issuable for every cycle of its slept
+ * window, across the whole fast suite and the randomized machine
+ * mutations. An audit violation panics (aborts) with the warp,
+ * cycle and full SM debug state rather than surfacing as an opaque
+ * stat diff.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +29,7 @@
 
 #include "common/rng.hh"
 #include "pipeline/config_io.hh"
+#include "pipeline/sm.hh"
 #include "runner/runner.hh"
 #include "workloads/workload.hh"
 
@@ -30,12 +41,20 @@ using runner::SweepSpec;
 using workloads::RunResult;
 using workloads::SizeClass;
 
+/** Scope guard: per-warp sleep auditing on for the enclosed runs. */
+struct SleepAuditScope
+{
+    SleepAuditScope() { pipeline::SM::setSleepAudit(true); }
+    ~SleepAuditScope() { pipeline::SM::setSleepAudit(false); }
+};
+
 /** Run one (workload, config) both ways and compare everything. */
 void
 expectEquivalent(const workloads::Workload &wl,
                  const pipeline::SMConfig &cfg, SizeClass sc,
                  unsigned num_sms, const std::string &label)
 {
+    SleepAuditScope audit;
     RunResult skip = workloads::runWorkload(wl, cfg, sc, num_sms,
                                             /*cycle_skip=*/true);
     RunResult step = workloads::runWorkload(wl, cfg, sc, num_sms,
@@ -56,6 +75,7 @@ expectEquivalent(const workloads::Workload &wl,
  */
 TEST(SteppingEquivalence, FastSuiteCells)
 {
+    SleepAuditScope audit;
     std::vector<SweepSpec> sweeps = runner::suiteSweeps("fast");
     ASSERT_FALSE(sweeps.empty());
     for (const CellSpec &cs : runner::expandCells(sweeps)) {
@@ -189,6 +209,38 @@ TEST(SteppingEquivalence, SkipEngagesOnMemoryBoundKernel)
     EXPECT_GT(res.skipped_cycles, res.stats.cycles / 4)
         << "cycle skipping barely engaged on a memory-bound "
            "kernel";
+}
+
+/**
+ * Per-warp sleep must actually engage, and identically in both
+ * stepping modes: warp_sleep_cycles counts warp-cycles parked off
+ * the runnable active list and is accumulated at wake time from
+ * the park cycle, so it is jump-invariant by construction. A run
+ * with zero sleep cycles means the active list degenerated into
+ * the old every-warp scan (equivalence would still hold; the
+ * O(runnable) speedup would be silently gone).
+ */
+TEST(SteppingEquivalence, PerWarpSleepEngages)
+{
+    SleepAuditScope audit;
+    const workloads::Workload *wl =
+        workloads::findWorkload("FastWalshTransform");
+    ASSERT_NE(wl, nullptr);
+    pipeline::SMConfig cfg =
+        pipeline::SMConfig::make(pipeline::PipelineMode::Baseline);
+    RunResult skip = workloads::runWorkload(
+        *wl, cfg, SizeClass::Tiny, 1, /*cycle_skip=*/true);
+    RunResult step = workloads::runWorkload(
+        *wl, cfg, SizeClass::Tiny, 1, /*cycle_skip=*/false);
+    ASSERT_TRUE(skip.verified) << skip.verify_msg;
+    EXPECT_GT(skip.stats.warp_sleep_cycles, 0u)
+        << "no warp ever slept on a memory-bound kernel";
+    EXPECT_GT(skip.stats.avg_runnable_warps_x10, 0u);
+    EXPECT_EQ(skip.stats.warp_sleep_cycles,
+              step.stats.warp_sleep_cycles)
+        << "sleep accounting must be jump-invariant";
+    EXPECT_EQ(skip.stats.runnable_warp_cycles,
+              step.stats.runnable_warp_cycles);
 }
 
 } // namespace
