@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the serve layer (docs/SERVE.md), used by the
+# CI serve-smoke job and runnable locally:
+#
+#   scripts/serve_smoke.sh [build-dir]
+#
+# Three legs, all over bench/specs/fast.json:
+#
+#   offline   siwi-run --cache: the second run must be 100% cache
+#             hits and byte-identical to the first.
+#   warm-hit  siwi-serve + siwi-run --submit twice: the second
+#             submit must be all hits, byte-identical to the cold
+#             one, and both must match bench/baseline.json at
+#             tolerance 0.
+#   resume    kill -9 the server mid-sweep, restart it on the same
+#             cache, re-submit: every cell that finished before the
+#             kill must come back as a hit, not be recomputed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+RUN="$BUILD/siwi-run"
+SERVE="$BUILD/siwi-serve"
+SPEC=bench/specs/fast.json
+BASELINE=bench/baseline.json
+
+for bin in "$RUN" "$SERVE"; do
+    if [ ! -x "$bin" ]; then
+        echo "serve_smoke.sh: $bin not built" >&2
+        exit 2
+    fi
+done
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke.sh: FAIL: $*" >&2
+    exit 1
+}
+
+# start_server <cache-dir> <jobs>: sets server_pid and PORT.
+start_server() {
+    : > "$work/port.txt"
+    "$SERVE" --cache "$1" -j "$2" --print-port \
+        > "$work/port.txt" 2>> "$work/server.log" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$work/port.txt" ] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || fail "server died on startup (see server.log)"
+        sleep 0.1
+    done
+    PORT=$(cat "$work/port.txt")
+    [ -n "$PORT" ] || fail "server did not report a port"
+}
+
+stop_server() {
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+# submit <json-out> <stderr-out>: submit $SPEC to the running server.
+submit() {
+    "$RUN" --spec "$SPEC" --submit "127.0.0.1:$PORT" \
+        --json "$1" --quiet 2> "$2"
+}
+
+# stat_from <file> <unit>: the count before "<unit>" in the
+# summary line ("109 from cache", "0 computed", "109 hit(s)").
+stat_from() {
+    grep -oE "[0-9]+ $2" "$1" | head -n1 | cut -d' ' -f1
+}
+
+# ---------------------------------------------------------------
+echo "== leg 1: offline --cache (cold, then 100% warm hits)"
+"$RUN" --spec "$SPEC" --cache "$work/cache-off" \
+    --json "$work/off1.json" --quiet 2> "$work/off1.log"
+"$RUN" --spec "$SPEC" --cache "$work/cache-off" \
+    --json "$work/off2.json" --quiet 2> "$work/off2.log"
+
+hits=$(stat_from "$work/off2.log" 'hit')
+computed=$(stat_from "$work/off2.log" 'computed')
+[ "$computed" = "0" ] || fail "offline warm run computed $computed cell(s)"
+[ "$hits" -ge 1 ] || fail "offline warm run had no cache hits"
+cmp "$work/off1.json" "$work/off2.json" \
+    || fail "offline warm run is not byte-identical to the cold run"
+echo "   ok: $hits hits, 0 computed, byte-identical"
+
+# ---------------------------------------------------------------
+echo "== leg 2: server warm-hit + tolerance-0 baseline gate"
+start_server "$work/cache-srv" "$(nproc)"
+
+submit "$work/cold.json" "$work/cold.log"
+cold_hits=$(stat_from "$work/cold.log" 'from cache')
+cold_computed=$(stat_from "$work/cold.log" 'computed')
+[ "$cold_hits" = "0" ] || fail "cold submit had $cold_hits unexpected hits"
+[ "$cold_computed" -ge 1 ] || fail "cold submit computed nothing"
+
+submit "$work/warm.json" "$work/warm.log"
+warm_hits=$(stat_from "$work/warm.log" 'from cache')
+warm_computed=$(stat_from "$work/warm.log" 'computed')
+[ "$warm_computed" = "0" ] || fail "warm submit computed $warm_computed cell(s)"
+[ "$warm_hits" = "$cold_computed" ] \
+    || fail "warm submit hit $warm_hits of $cold_computed cells"
+cmp "$work/cold.json" "$work/warm.json" \
+    || fail "warm submit is not byte-identical to the cold one"
+
+"$RUN" --compare "$BASELINE" "$work/cold.json" --tolerance 0 \
+    || fail "cold submit deviates from $BASELINE"
+"$RUN" --compare "$BASELINE" "$work/warm.json" --tolerance 0 \
+    || fail "warm submit deviates from $BASELINE"
+stop_server
+echo "   ok: $warm_hits/$cold_computed hits, byte-identical, baseline clean"
+
+# ---------------------------------------------------------------
+echo "== leg 3: kill -9 mid-sweep, resume on the same cache"
+# Few workers so the sweep outlives the kill window; poll the
+# objects directory and kill as soon as some cells have landed.
+start_server "$work/cache-resume" 2
+submit "$work/dead.json" "$work/dead.log" &
+client_pid=$!
+for _ in $(seq 1 600); do
+    n=$(find "$work/cache-resume/objects" -name '*.json' \
+        ! -name '*.tmp.*' 2>/dev/null | wc -l)
+    [ "$n" -ge 5 ] && break
+    kill -0 "$client_pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+wait "$client_pid" 2>/dev/null || true # the client fails; expected
+
+stored=$(find "$work/cache-resume/objects" -name '*.json' \
+    ! -name '*.tmp.*' | wc -l)
+[ "$stored" -ge 1 ] || fail "no cells stored before the kill"
+
+start_server "$work/cache-resume" "$(nproc)"
+submit "$work/resumed.json" "$work/resumed.log"
+res_hits=$(stat_from "$work/resumed.log" 'from cache')
+[ "$res_hits" -ge "$stored" ] \
+    || fail "resume recomputed finished cells ($res_hits hits < $stored stored)"
+"$RUN" --compare "$BASELINE" "$work/resumed.json" --tolerance 0 \
+    || fail "resumed run deviates from $BASELINE"
+stop_server
+echo "   ok: $stored cells survived the kill, $res_hits served from cache"
+
+echo "serve_smoke.sh: all legs passed"

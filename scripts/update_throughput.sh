@@ -6,7 +6,10 @@
 #   - cycle skipping on (the default), the headline number
 #   - --no-skip, the per-cycle reference the equivalence gate runs
 # so the trend records the event-driven speedup alongside raw
-# throughput, commit by commit.
+# throughput, commit by commit. Each sample also times the result
+# cache (docs/SERVE.md): one cold --cache run into a fresh
+# directory, then best-of-N warm re-runs (100% hits), so the trend
+# records what memoization is worth on this suite.
 #
 # Usage: scripts/update_throughput.sh [--compare] [--allow-dirty]
 #            [--max-regress PCT] [build-dir] [runs]
@@ -103,8 +106,21 @@ echo "  skip:    best ${skip_secs}s"
 noskip_secs="$(measure --no-skip)"
 echo "  no-skip: best ${noskip_secs}s"
 
+# Cold-vs-warm cache wall clock: the cold run populates a fresh
+# cache (one run; it computes everything, so it prices a first
+# sweep), the warm runs are all hits (best-of-N, they price a
+# re-run / resume).
+cache_dir="$repo/.throughput.cache.tmp"
+rm -rf "$cache_dir"
+cold_secs="$(runs=1; measure "--cache $cache_dir")"
+echo "  cache cold: ${cold_secs}s"
+warm_secs="$(measure "--cache $cache_dir")"
+echo "  cache warm: best ${warm_secs}s"
+rm -rf "$cache_dir"
+
 SIWI_TREND="$trend" SIWI_COMMIT="$commit" \
 SIWI_SKIP="$skip_secs" SIWI_NOSKIP="$noskip_secs" \
+SIWI_CACHE_COLD="$cold_secs" SIWI_CACHE_WARM="$warm_secs" \
 SIWI_COMPARE_ONLY="$compare_only" \
 SIWI_MAX_REGRESS="$max_regress" \
 python3 - <<'EOF'
@@ -116,6 +132,8 @@ import sys
 trend_path = os.environ["SIWI_TREND"]
 skip_s = float(os.environ["SIWI_SKIP"])
 noskip_s = float(os.environ["SIWI_NOSKIP"])
+cold_s = float(os.environ["SIWI_CACHE_COLD"])
+warm_s = float(os.environ["SIWI_CACHE_WARM"])
 compare_only = os.environ["SIWI_COMPARE_ONLY"] == "1"
 max_regress = os.environ.get("SIWI_MAX_REGRESS") or None
 
@@ -132,21 +150,24 @@ entry = {
     "skip_seconds": round(skip_s, 4),
     "noskip_seconds": round(noskip_s, 4),
     "skip_speedup": round(noskip_s / skip_s, 3) if skip_s else None,
+    "cache_cold_seconds": round(cold_s, 4),
+    "cache_warm_seconds": round(warm_s, 4),
+    "cache_warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
 }
+summary = (f"skip={entry['skip_seconds']}s "
+           f"no-skip={entry['noskip_seconds']}s "
+           f"speedup={entry['skip_speedup']}x "
+           f"cache cold={entry['cache_cold_seconds']}s "
+           f"warm={entry['cache_warm_seconds']}s "
+           f"({entry['cache_warm_speedup']}x)")
 if compare_only:
-    print(f"measured: {entry['commit']} "
-          f"skip={entry['skip_seconds']}s "
-          f"no-skip={entry['noskip_seconds']}s "
-          f"speedup={entry['skip_speedup']}x (not appended)")
+    print(f"measured: {entry['commit']} {summary} (not appended)")
 else:
     trend["entries"].append(entry)
     with open(trend_path, "w") as f:
         json.dump(trend, f, indent=2)
         f.write("\n")
-    print(f"appended: {entry['commit']} "
-          f"skip={entry['skip_seconds']}s "
-          f"no-skip={entry['noskip_seconds']}s "
-          f"speedup={entry['skip_speedup']}x")
+    print(f"appended: {entry['commit']} {summary}")
 if prev:
     delta = (skip_s - prev["skip_seconds"]) / prev["skip_seconds"]
     print(f"vs last committed ({prev['commit']}, "

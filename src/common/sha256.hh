@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4), used for content addressing.
+ *
+ * The serve-layer result cache keys every simulation cell by the
+ * SHA-256 of its canonical description (serve/cache_key.hh) and
+ * checksums each stored blob against corruption, so the hash must
+ * be stable across platforms, builds and endianness — this
+ * implementation is pure integer arithmetic over bytes, with no
+ * dependency beyond the standard library.
+ */
+
+#ifndef SIWI_COMMON_SHA256_HH
+#define SIWI_COMMON_SHA256_HH
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace siwi {
+
+/** SHA-256 digest of @p data as 32 raw bytes. */
+std::array<u8, 32> sha256(std::string_view data);
+
+/** SHA-256 digest of @p data as 64 lowercase hex characters. */
+std::string sha256Hex(std::string_view data);
+
+} // namespace siwi
+
+#endif // SIWI_COMMON_SHA256_HH

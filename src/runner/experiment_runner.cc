@@ -25,6 +25,69 @@ effectiveJobs(unsigned jobs, size_t cells)
                                      std::max<size_t>(cells, 1)));
 }
 
+CellExecutor::CellExecutor(unsigned jobs)
+{
+    unsigned n = resolveJobs(jobs);
+    threads_.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+CellExecutor::~CellExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+CellExecutor::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+size_t
+CellExecutor::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + active_;
+}
+
+void
+CellExecutor::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty();
+            });
+            // Drain before stopping: a destructor-raced submit
+            // still runs, so a server shutdown cannot drop cells
+            // whose results a client is already waiting on.
+            if (queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+    }
+}
+
 CellResult
 runCell(const SweepSpec &sweep, size_t machine, size_t wl,
         size_t sms, size_t policy, bool cycle_skip)
@@ -106,6 +169,7 @@ runSweeps(const std::vector<SweepSpec> &sweeps_in,
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::mutex io_mutex;
+    std::mutex cb_mutex;
 
     auto worker = [&] {
         for (;;) {
@@ -141,6 +205,10 @@ runSweeps(const std::vector<SweepSpec> &sweeps_in,
                         "simulated prefix\n",
                         c.workload.c_str(), c.machine.c_str());
                 }
+            }
+            if (opts.on_cell) {
+                std::lock_guard<std::mutex> lock(cb_mutex);
+                opts.on_cell(i, c);
             }
             out.cells[i] = std::move(c);
         }

@@ -15,6 +15,12 @@
 #ifndef SIWI_RUNNER_EXPERIMENT_RUNNER_HH
 #define SIWI_RUNNER_EXPERIMENT_RUNNER_HH
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
 #include "runner/results.hh"
 #include "runner/sweep.hh"
 
@@ -36,6 +42,55 @@ struct RunOptions
      * gate runs.
      */
     bool cycle_skip = true;
+    /**
+     * Completion hook: called once per finished cell with its
+     * canonical index (the slot in Results::cells) and result,
+     * as soon as the cell completes — execution order, not
+     * canonical order. Invoked from worker threads, serialized
+     * under an internal mutex, so the callback itself need not
+     * lock. Streaming consumers (serve/cached_run.hh) hang their
+     * cache stores and progress wires off this; it cannot affect
+     * the returned Results.
+     */
+    std::function<void(size_t index, const CellResult &)> on_cell;
+};
+
+/**
+ * A persistent pool of cell-running worker threads, the sharding
+ * substrate the serve layer keeps alive across submissions (one
+ * runSweeps() call owns its threads for one sweep; a server
+ * executes cells from many concurrent submissions on one pool).
+ * Jobs are arbitrary closures drained FIFO; submission never
+ * blocks. Destruction drains the queue, then joins.
+ */
+class CellExecutor
+{
+  public:
+    /** @p jobs as in RunOptions (0 = hardware concurrency). */
+    explicit CellExecutor(unsigned jobs = 0);
+    ~CellExecutor();
+
+    CellExecutor(const CellExecutor &) = delete;
+    CellExecutor &operator=(const CellExecutor &) = delete;
+
+    /** Enqueue @p job; runs on some worker thread. */
+    void submit(std::function<void()> job);
+
+    /** Worker thread count. */
+    unsigned jobs() const { return unsigned(threads_.size()); }
+
+    /** Jobs submitted but not yet finished. */
+    size_t outstanding() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    size_t active_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
 };
 
 /** Number of workers @p jobs resolves to on this host. */

@@ -87,6 +87,59 @@ Results::timeouts() const
 }
 
 Json
+cellToJson(const CellResult &c)
+{
+    Json jc = Json::object();
+    jc.set("sweep", Json(c.sweep));
+    jc.set("machine", Json(c.machine));
+    jc.set("workload", Json(c.workload));
+    jc.set("size", Json(c.size));
+    jc.set("num_sms", Json(c.num_sms));
+    jc.set("policy", Json(c.policy));
+    jc.set("excluded_from_means", Json(c.excluded_from_means));
+    jc.set("verified", Json(c.verified));
+    if (!c.verified)
+        jc.set("verify_msg", Json(c.verify_msg));
+    jc.set("timed_out", Json(c.timed_out));
+    jc.set("ipc", Json(c.ipc));
+    jc.set("stats", core::statsToJson(c.stats));
+    return jc;
+}
+
+bool
+cellFromJson(const Json &jc, CellResult *out, std::string *err)
+{
+    if (!jc.isObject()) {
+        if (err)
+            *err = "results: cell entry must be an object";
+        return false;
+    }
+    CellResult c;
+    c.sweep = jc.getString("sweep");
+    c.machine = jc.getString("machine");
+    c.workload = jc.getString("workload");
+    c.size = jc.getString("size");
+    c.num_sms = unsigned(jc.getInt("num_sms", 1));
+    c.policy = jc.getString("policy");
+    c.excluded_from_means = jc.getBool("excluded_from_means");
+    c.verified = jc.getBool("verified");
+    c.verify_msg = jc.getString("verify_msg");
+    c.timed_out = jc.getBool("timed_out");
+    c.ipc = jc.getDouble("ipc");
+    const Json *stats = jc.find("stats");
+    if (!stats) {
+        if (err)
+            *err = "results: cell '" + c.machine + "/" +
+                   c.workload + "' lacks 'stats'";
+        return false;
+    }
+    if (!core::statsFromJson(*stats, &c.stats, err))
+        return false;
+    *out = std::move(c);
+    return true;
+}
+
+Json
 Results::toJson() const
 {
     Json j = Json::object();
@@ -95,23 +148,8 @@ Results::toJson() const
     j.set("suite", Json(suite));
     j.set("machines", machinesToJson(machines));
     Json arr = Json::array();
-    for (const CellResult &c : cells) {
-        Json jc = Json::object();
-        jc.set("sweep", Json(c.sweep));
-        jc.set("machine", Json(c.machine));
-        jc.set("workload", Json(c.workload));
-        jc.set("size", Json(c.size));
-        jc.set("num_sms", Json(c.num_sms));
-        jc.set("policy", Json(c.policy));
-        jc.set("excluded_from_means", Json(c.excluded_from_means));
-        jc.set("verified", Json(c.verified));
-        if (!c.verified)
-            jc.set("verify_msg", Json(c.verify_msg));
-        jc.set("timed_out", Json(c.timed_out));
-        jc.set("ipc", Json(c.ipc));
-        jc.set("stats", core::statsToJson(c.stats));
-        arr.push(std::move(jc));
-    }
+    for (const CellResult &c : cells)
+        arr.push(cellToJson(c));
     j.set("cells", std::move(arr));
     return j;
 }
@@ -203,32 +241,8 @@ Results::fromJson(const Json &j, Results *out, std::string *err)
         return false;
     }
     for (const Json &jc : arr->arr()) {
-        if (!jc.isObject()) {
-            if (err)
-                *err = "results: cell entry must be an object";
-            return false;
-        }
         CellResult c;
-        c.sweep = jc.getString("sweep");
-        c.machine = jc.getString("machine");
-        c.workload = jc.getString("workload");
-        c.size = jc.getString("size");
-        c.num_sms = unsigned(jc.getInt("num_sms", 1));
-        c.policy = jc.getString("policy");
-        c.excluded_from_means =
-            jc.getBool("excluded_from_means");
-        c.verified = jc.getBool("verified");
-        c.verify_msg = jc.getString("verify_msg");
-        c.timed_out = jc.getBool("timed_out");
-        c.ipc = jc.getDouble("ipc");
-        const Json *stats = jc.find("stats");
-        if (!stats) {
-            if (err)
-                *err = "results: cell '" + c.machine + "/" +
-                       c.workload + "' lacks 'stats'";
-            return false;
-        }
-        if (!core::statsFromJson(*stats, &c.stats, err))
+        if (!cellFromJson(jc, &c, err))
             return false;
         r.cells.push_back(std::move(c));
     }

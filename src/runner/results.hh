@@ -77,6 +77,23 @@ struct MachineRecord
  */
 Json machinesToJson(const std::vector<MachineRecord> &machines);
 
+/**
+ * Serialize one cell exactly as it appears in the results "cells"
+ * array — shared by Results::toJson, the serve-layer result cache
+ * (one blob per cell) and the streaming protocol, so a cell that
+ * travels through the cache or the wire re-serializes
+ * byte-identically to a locally computed one.
+ */
+Json cellToJson(const CellResult &c);
+
+/**
+ * Rebuild a cell from cellToJson() output (tolerant member reads,
+ * strict stats block). @return false and set @p err on malformed
+ * input.
+ */
+bool cellFromJson(const Json &jc, CellResult *out,
+                  std::string *err);
+
 /** All cells of one runner invocation, in canonical sweep order. */
 class Results
 {

@@ -1,0 +1,48 @@
+#include "serve/cache_key.hh"
+
+#include "common/sha256.hh"
+#include "runner/results.hh"
+
+namespace siwi::serve {
+
+Json
+cellKeyJson(const core::GpuConfig &resolved,
+            std::string_view workload, std::string_view size,
+            int schema_version)
+{
+    // Member order is part of the canonical form: Json objects
+    // preserve insertion order and the config dump is in table
+    // order, so the same cell always serializes to the same
+    // bytes.
+    Json j = Json::object();
+    j.set("siwi_cache_key", Json(cache_key_version));
+    j.set("stats_schema", Json(schema_version));
+    j.set("workload", Json(std::string(workload)));
+    j.set("size", Json(std::string(size)));
+    j.set("config", core::gpuConfigToJson(resolved));
+    return j;
+}
+
+std::string
+cellCacheKey(const core::GpuConfig &resolved,
+             std::string_view workload, std::string_view size,
+             int schema_version)
+{
+    return sha256Hex(
+        cellKeyJson(resolved, workload, size, schema_version)
+            .dump(-1));
+}
+
+std::string
+cellCacheKey(const runner::SweepSpec &sweep,
+             const runner::CellSpec &cell)
+{
+    // The exact chip runCell() will build — policy override and
+    // chip_sets applied — so key identity matches run identity.
+    core::GpuConfig chip = runner::resolvedCellConfig(
+        sweep, cell.machine, cell.sms, cell.policy);
+    return cellCacheKey(chip, sweep.wls[cell.wl]->name(),
+                        runner::sizeClassName(sweep.size));
+}
+
+} // namespace siwi::serve

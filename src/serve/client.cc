@@ -1,0 +1,207 @@
+#include "serve/client.hh"
+
+#include <unistd.h>
+
+#include "core/stats_io.hh"
+#include "serve/protocol.hh"
+
+namespace siwi::serve {
+
+namespace {
+
+/** Close-on-destruction socket wrapper. */
+struct Socket
+{
+    int fd = -1;
+
+    ~Socket()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+/**
+ * Read the next message line, mapping every non-Line outcome to
+ * an error (the client sets no receive timeout: it is prepared to
+ * wait as long as the simulation takes).
+ */
+bool
+readMessage(LineReader *reader, Json *msg, std::string *err)
+{
+    std::string line, rerr;
+    LineReader::Status st = reader->readLine(&line, &rerr);
+    if (st != LineReader::Status::Line) {
+        if (err)
+            *err = "server connection lost" +
+                   (rerr.empty() ? "" : ": " + rerr);
+        return false;
+    }
+    std::string perr;
+    *msg = Json::parse(line, &perr);
+    if (!perr.empty() || !msg->isObject()) {
+        if (err)
+            *err = "malformed server message: " +
+                   (perr.empty() ? "expected a JSON object"
+                                 : perr);
+        return false;
+    }
+    if (msg->getString("type") == "error") {
+        if (err)
+            *err = "server: " + msg->getString("message");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseHostPort(const std::string &arg, std::string *host,
+              unsigned *port, std::string *err)
+{
+    size_t colon = arg.rfind(':');
+    if (colon == std::string::npos || colon + 1 == arg.size()) {
+        if (err)
+            *err = "expected HOST:PORT, got '" + arg + "'";
+        return false;
+    }
+    const std::string port_str = arg.substr(colon + 1);
+    unsigned long p = 0;
+    size_t used = 0;
+    try {
+        p = std::stoul(port_str, &used);
+    } catch (...) {
+        used = 0;
+    }
+    if (used != port_str.size() || p == 0 || p > 65535) {
+        if (err)
+            *err = "bad port '" + port_str + "' in '" + arg + "'";
+        return false;
+    }
+    *host = arg.substr(0, colon);
+    *port = unsigned(p);
+    return true;
+}
+
+bool
+submitSpec(const std::string &host, unsigned port,
+           const Json &spec, SubmitOutcome *out, std::string *err,
+           const SubmitProgress &progress)
+{
+    Socket sock;
+    sock.fd = connectTcp(host, port, err);
+    if (sock.fd < 0)
+        return false;
+    Json req = Json::object();
+    req.set("type", Json("submit"));
+    req.set("spec", spec);
+    if (!sendMessage(sock.fd, req, err))
+        return false;
+
+    LineReader reader(sock.fd);
+    Json accepted;
+    if (!readMessage(&reader, &accepted, err))
+        return false;
+    if (accepted.getString("type") != "accepted") {
+        if (err)
+            *err = "expected 'accepted', got '" +
+                   accepted.getString("type") + "'";
+        return false;
+    }
+    const size_t n = size_t(accepted.getInt("cells"));
+    const Json *machines = accepted.find("machines");
+    if (n == 0 || !machines || !machines->isArray()) {
+        if (err)
+            *err = "malformed 'accepted' message";
+        return false;
+    }
+
+    // Reassemble the results document in the Results::toJson()
+    // member order, machines verbatim, cells dropped into their
+    // canonical slot as they stream in: the dump is then
+    // byte-identical to a local run of the same spec.
+    Json doc = Json::object();
+    doc.set("schema_version", Json(core::stats_schema_version));
+    doc.set("generator", Json("siwi-run"));
+    doc.set("suite", Json(accepted.getString("suite")));
+    doc.set("machines", *machines);
+    Json cells = Json::array();
+    for (size_t i = 0; i < n; ++i)
+        cells.push(Json());
+    std::vector<bool> seen(n, false);
+    size_t done = 0;
+
+    SubmitOutcome o;
+    o.cells = n;
+    for (;;) {
+        Json msg;
+        if (!readMessage(&reader, &msg, err))
+            return false;
+        const std::string type = msg.getString("type");
+        if (type == "cell") {
+            const size_t index = size_t(msg.getInt("index", -1));
+            const Json *cell = msg.find("cell");
+            if (index >= n || !cell || seen[index]) {
+                if (err)
+                    *err = "bad cell message (index " +
+                           std::to_string(index) + ")";
+                return false;
+            }
+            cells.arr()[index] = *cell;
+            seen[index] = true;
+            ++done;
+            if (progress) {
+                runner::CellResult c;
+                std::string perr;
+                if (runner::cellFromJson(*cell, &c, &perr))
+                    progress(done, n, c,
+                             msg.getBool("cached"));
+            }
+            continue;
+        }
+        if (type == "done") {
+            if (done != n) {
+                if (err)
+                    *err = "server finished after " +
+                           std::to_string(done) + " of " +
+                           std::to_string(n) + " cells";
+                return false;
+            }
+            o.hits = u64(msg.getInt("hits"));
+            o.misses = u64(msg.getInt("misses"));
+            o.joined = u64(msg.getInt("joined"));
+            o.verify_failures =
+                u64(msg.getInt("verify_failures"));
+            o.timeouts = u64(msg.getInt("timeouts"));
+            o.server_ms = u64(msg.getInt("server_ms"));
+            break;
+        }
+        if (err)
+            *err = "unexpected message type '" + type + "'";
+        return false;
+    }
+
+    doc.set("cells", std::move(cells));
+    if (!runner::Results::fromJson(doc, &o.results, err))
+        return false;
+    o.document = std::move(doc);
+    *out = std::move(o);
+    return true;
+}
+
+bool
+request(const std::string &host, unsigned port, const Json &req,
+        Json *reply, std::string *err)
+{
+    Socket sock;
+    sock.fd = connectTcp(host, port, err);
+    if (sock.fd < 0)
+        return false;
+    if (!sendMessage(sock.fd, req, err))
+        return false;
+    LineReader reader(sock.fd);
+    return readMessage(&reader, reply, err);
+}
+
+} // namespace siwi::serve

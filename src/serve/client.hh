@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Client side of the siwi-serve protocol.
+ *
+ * submitSpec() drives one submit round-trip: send the spec
+ * document, collect the per-cell stream, and reassemble the
+ * results document. Streamed cells carry their canonical slot
+ * index and arrive as the server's own cellToJson() output
+ * verbatim, so the assembled document is byte-identical to what a
+ * local `siwi-run --spec` of the same spec would have written —
+ * regardless of cache state, sharding or completion order.
+ *
+ * request() covers the single-shot request types (ping, status,
+ * fsck, shutdown): one message out, one reply back.
+ */
+
+#ifndef SIWI_SERVE_CLIENT_HH
+#define SIWI_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "common/json.hh"
+#include "runner/results.hh"
+
+namespace siwi::serve {
+
+/**
+ * Split "HOST:PORT" (the --submit argument; the last ':' splits,
+ * so bracketless IPv6 still parses). @return false and set @p err
+ * on a missing or non-numeric port.
+ */
+bool parseHostPort(const std::string &arg, std::string *host,
+                   unsigned *port, std::string *err);
+
+/** What one submit round-trip produced. */
+struct SubmitOutcome
+{
+    runner::Results results;
+    /** The reassembled results document (Results::toJson layout),
+     *  serialized byte-identically to a local run. */
+    Json document;
+    u64 cells = 0;
+    u64 hits = 0;   //!< served from the server's cache
+    u64 misses = 0; //!< computed (or joined in-flight) remotely
+    u64 joined = 0;
+    u64 verify_failures = 0;
+    u64 timeouts = 0;
+    u64 server_ms = 0; //!< server-side wall clock of the submit
+};
+
+/**
+ * Per-cell progress hook: @p done of @p total cells received so
+ * far; @p cached is true for cells served from the cache.
+ */
+using SubmitProgress = std::function<void(
+    size_t done, size_t total, const runner::CellResult &cell,
+    bool cached)>;
+
+/**
+ * Submit @p spec (a spec-file document) to the server at
+ * @p host:@p port and collect the streamed results.
+ * @return false and set @p err on connection, protocol or
+ * server-reported errors.
+ */
+bool submitSpec(const std::string &host, unsigned port,
+                const Json &spec, SubmitOutcome *out,
+                std::string *err,
+                const SubmitProgress &progress = nullptr);
+
+/**
+ * Send one single-shot request (ping / status / fsck / shutdown)
+ * and return the reply. A {"type":"error"} reply fails with its
+ * message in @p err; any other reply is returned as-is.
+ */
+bool request(const std::string &host, unsigned port,
+             const Json &req, Json *reply, std::string *err);
+
+} // namespace siwi::serve
+
+#endif // SIWI_SERVE_CLIENT_HH

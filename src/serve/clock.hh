@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The serve layer's single wall-clock access point.
+ *
+ * Simulation state must never depend on host time (the siwi-lint
+ * nondet check bans clock use under src/ outright), but a server
+ * legitimately measures per-cell latency, uptime and timeouts.
+ * Every such read goes through monoMillis() so exactly one line in
+ * src/serve/ touches the clock — that line carries the allowlist
+ * entry, and any other clock use in serve code is a lint finding.
+ * Nothing returned here may flow into a CellResult, a cache blob
+ * or any other replayed artifact; it feeds the status/latency
+ * report only.
+ */
+
+#ifndef SIWI_SERVE_CLOCK_HH
+#define SIWI_SERVE_CLOCK_HH
+
+#include <chrono>
+
+#include "common/types.hh"
+
+namespace siwi::serve {
+
+/** Monotonic host time in milliseconds (latency/uptime only). */
+inline u64
+monoMillis()
+{
+    return u64(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+                   .count());
+}
+
+} // namespace siwi::serve
+
+#endif // SIWI_SERVE_CLOCK_HH

@@ -1,0 +1,181 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace siwi::serve {
+
+namespace {
+
+/** getaddrinfo over host/port for listen (passive) or connect. */
+struct AddrList
+{
+    addrinfo *head = nullptr;
+
+    AddrList(const std::string &host, unsigned port, bool passive,
+             std::string *err)
+    {
+        addrinfo hints = {};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        hints.ai_flags = passive ? AI_PASSIVE : 0;
+        int rc = ::getaddrinfo(host.c_str(),
+                               std::to_string(port).c_str(),
+                               &hints, &head);
+        if (rc != 0) {
+            head = nullptr;
+            if (err)
+                *err = "cannot resolve " + host + ": " +
+                       ::gai_strerror(rc);
+        }
+    }
+
+    ~AddrList()
+    {
+        if (head)
+            ::freeaddrinfo(head);
+    }
+};
+
+} // namespace
+
+int
+listenTcp(const std::string &host, unsigned port, std::string *err)
+{
+    AddrList addrs(host, port, /*passive=*/true, err);
+    if (!addrs.head)
+        return -1;
+    for (addrinfo *a = addrs.head; a; a = a->ai_next) {
+        int fd = ::socket(a->ai_family, a->ai_socktype,
+                          a->ai_protocol);
+        if (fd < 0)
+            continue;
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 &&
+            ::listen(fd, 16) == 0)
+            return fd;
+        ::close(fd);
+    }
+    if (err)
+        *err = "cannot listen on " + host + ":" +
+               std::to_string(port) + ": " + std::strerror(errno);
+    return -1;
+}
+
+unsigned
+boundPort(int fd)
+{
+    sockaddr_storage ss = {};
+    socklen_t len = sizeof(ss);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss),
+                      &len) != 0)
+        return 0;
+    if (ss.ss_family == AF_INET)
+        return ntohs(
+            reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+    if (ss.ss_family == AF_INET6)
+        return ntohs(
+            reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+    return 0;
+}
+
+int
+connectTcp(const std::string &host, unsigned port,
+           std::string *err)
+{
+    AddrList addrs(host, port, /*passive=*/false, err);
+    if (!addrs.head)
+        return -1;
+    for (addrinfo *a = addrs.head; a; a = a->ai_next) {
+        int fd = ::socket(a->ai_family, a->ai_socktype,
+                          a->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0)
+            return fd;
+        ::close(fd);
+    }
+    if (err)
+        *err = "cannot connect to " + host + ":" +
+               std::to_string(port) + ": " + std::strerror(errno);
+    return -1;
+}
+
+bool
+sendLine(int fd, const std::string &line, std::string *err)
+{
+    std::string framed = line + "\n";
+    size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::send(fd, framed.data() + off,
+                           framed.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (err)
+                *err = "send failed: " + std::string(
+                           n < 0 ? std::strerror(errno)
+                                 : "peer closed");
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+bool
+sendMessage(int fd, const Json &msg, std::string *err)
+{
+    return sendLine(fd, msg.dump(-1), err);
+}
+
+Json
+errorMessage(const std::string &text)
+{
+    Json j = Json::object();
+    j.set("type", Json("error"));
+    j.set("message", Json(text));
+    return j;
+}
+
+LineReader::Status
+LineReader::readLine(std::string *line, std::string *err)
+{
+    for (;;) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            *line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return Status::Line;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, size_t(n));
+            continue;
+        }
+        if (n == 0) {
+            if (!buf_.empty() && err)
+                *err = "peer closed mid-line";
+            return Status::Eof;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Status::Timeout;
+        if (err)
+            *err = "recv failed: " +
+                   std::string(std::strerror(errno));
+        return Status::Error;
+    }
+}
+
+} // namespace siwi::serve

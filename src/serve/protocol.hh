@@ -1,0 +1,100 @@
+/**
+ * @file
+ * siwi-serve wire protocol: line-delimited JSON over TCP.
+ *
+ * Every message is one JSON object on one line, terminated by
+ * '\n' (the serializer is the deterministic common/json.hh dump,
+ * which never emits a newline in compact mode). Requests carry a
+ * "type" member:
+ *
+ *   {"type":"ping"}
+ *   {"type":"status"}
+ *   {"type":"fsck","repair":bool}
+ *   {"type":"submit","spec":{...spec-file document...}}
+ *   {"type":"shutdown"}
+ *
+ * A submit streams back, in completion order:
+ *
+ *   {"type":"accepted","suite":s,"cells":n,"machines":[...]}
+ *   {"type":"cell","index":i,"cached":b,"compute_ms":m,
+ *    "cell":{...}}                                  x n
+ *   {"type":"done","cells":n,"hits":h,"misses":m,
+ *    "verify_failures":v,"timeouts":t,"server_ms":w}
+ *
+ * "index" is the cell's canonical slot (runner expansion order),
+ * so the client reassembles a Results that serializes
+ * byte-identically to a local run no matter how completion
+ * interleaved. Any request can instead produce
+ * {"type":"error","message":...}. docs/SERVE.md is the
+ * normative description.
+ *
+ * This header also carries the small POSIX socket helpers shared
+ * by the server, the client and the tests: connection-oriented,
+ * IPv4/IPv6 via getaddrinfo, no external dependencies.
+ */
+
+#ifndef SIWI_SERVE_PROTOCOL_HH
+#define SIWI_SERVE_PROTOCOL_HH
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace siwi::serve {
+
+/** Protocol revision, echoed by ping. */
+constexpr int protocol_version = 1;
+
+/**
+ * Listen on @p host:@p port (port 0 = ephemeral).
+ * @return the listening fd, or -1 with @p err set.
+ */
+int listenTcp(const std::string &host, unsigned port,
+              std::string *err);
+
+/** Port a listening fd is actually bound to (ephemeral ports). */
+unsigned boundPort(int fd);
+
+/**
+ * Connect to @p host:@p port.
+ * @return the connected fd, or -1 with @p err set.
+ */
+int connectTcp(const std::string &host, unsigned port,
+               std::string *err);
+
+/**
+ * Send @p line plus a terminating newline, looping over partial
+ * sends, SIGPIPE suppressed. @return false and set @p err on a
+ * closed or broken peer.
+ */
+bool sendLine(int fd, const std::string &line, std::string *err);
+
+/** Serialize @p msg compactly and sendLine() it. */
+bool sendMessage(int fd, const Json &msg, std::string *err);
+
+/** One {"type":"error"} message. */
+Json errorMessage(const std::string &text);
+
+/**
+ * Buffered newline-framed reader over a socket fd. A read that
+ * hits a receive timeout (SO_RCVTIMEO on the fd) reports Timeout
+ * so servers can poll their stop flag on idle connections.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    enum class Status { Line, Eof, Timeout, Error };
+
+    /** Read the next full line (without the newline). */
+    Status readLine(std::string *line, std::string *err);
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace siwi::serve
+
+#endif // SIWI_SERVE_PROTOCOL_HH

@@ -1,0 +1,352 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "common/sha256.hh"
+#include "core/stats_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace siwi::serve {
+
+namespace {
+
+/**
+ * Write @p text to @p path atomically: temp file in the same
+ * directory (rename is only atomic within a filesystem), fflush +
+ * fclose checked, then rename over the target. The temp name
+ * carries the pid so concurrent processes sharing a cache
+ * directory cannot collide mid-write.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &text,
+                std::string *err)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        if (err)
+            *err = "cannot write " + tmp;
+        return false;
+    }
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok) {
+        if (f && written != text.size())
+            std::fclose(f);
+        std::remove(tmp.c_str());
+        if (err)
+            *err = "write error on " + tmp;
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        if (err)
+            *err = "cannot rename " + tmp + " -> " + path;
+        return false;
+    }
+    return true;
+}
+
+Json
+blobJson(const std::string &key, const runner::CellResult &cell)
+{
+    Json cell_json = runner::cellToJson(cell);
+    // The checksum covers the compact canonical dump of the cell
+    // payload: any bit flip that changes the parsed value fails
+    // validation, and re-serialization is deterministic, so a
+    // round-trip through the blob cannot drift the checksum.
+    std::string sum = sha256Hex(cell_json.dump(-1));
+    Json j = Json::object();
+    j.set("siwi_cache_blob", Json(cache_blob_version));
+    j.set("key", Json(key));
+    j.set("schema_version", Json(core::stats_schema_version));
+    j.set("cell_sha256", Json(sum));
+    j.set("cell", std::move(cell_json));
+    return j;
+}
+
+} // namespace
+
+std::string
+ResultCache::objectPath(const std::string &key) const
+{
+    // Git-style fan-out: 256 subdirectories keep any single
+    // directory small even for huge grids.
+    return dir_ + "/objects/" + key.substr(0, 2) + "/" +
+           key.substr(2) + ".json";
+}
+
+bool
+ResultCache::open(const std::string &dir, u64 max_entries,
+                  std::string *err)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    dir_ = dir;
+    max_entries_ = max_entries;
+    index_.clear();
+    next_seq_ = 1;
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "objects", ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create cache directory " + dir_ + ": " +
+                   ec.message();
+        return false;
+    }
+    // The index is advisory: unreadable or stale metadata never
+    // blocks opening — lookups go straight to the object files,
+    // and fsck() rebuilds the index from them.
+    std::string perr;
+    Json j = Json::parseFile(dir_ + "/index.json", &perr);
+    if (perr.empty() && j.isObject()) {
+        if (const Json *entries = j.find("entries")) {
+            if (entries->isArray()) {
+                for (const Json &e : entries->arr()) {
+                    IndexEntry ie;
+                    ie.key = e.getString("key");
+                    ie.seq = u64(e.getInt("seq"));
+                    if (!ie.key.empty())
+                        index_.push_back(std::move(ie));
+                }
+            }
+        }
+        std::sort(index_.begin(), index_.end(),
+                  [](const IndexEntry &a, const IndexEntry &b) {
+                      return a.seq < b.seq;
+                  });
+        for (const IndexEntry &e : index_)
+            next_seq_ = std::max(next_seq_, e.seq + 1);
+    }
+    return true;
+}
+
+bool
+ResultCache::validateBlob(const Json &blob, const std::string &key,
+                          runner::CellResult *out,
+                          std::string *why) const
+{
+    if (!blob.isObject() ||
+        blob.getInt("siwi_cache_blob", -1) != cache_blob_version) {
+        if (why)
+            *why = "not a v" +
+                   std::to_string(cache_blob_version) +
+                   " cache blob";
+        return false;
+    }
+    if (blob.getString("key") != key) {
+        if (why)
+            *why = "key mismatch (blob stored under '" +
+                   blob.getString("key") + "')";
+        return false;
+    }
+    i64 schema = blob.getInt("schema_version", -1);
+    if (schema != core::stats_schema_version) {
+        if (why)
+            *why = "stale stats schema v" +
+                   std::to_string(schema) + " (current v" +
+                   std::to_string(core::stats_schema_version) +
+                   ")";
+        return false;
+    }
+    const Json *cell = blob.find("cell");
+    if (!cell) {
+        if (why)
+            *why = "blob lacks 'cell' payload";
+        return false;
+    }
+    std::string sum = sha256Hex(cell->dump(-1));
+    if (sum != blob.getString("cell_sha256")) {
+        if (why)
+            *why = "payload checksum mismatch (corrupt blob)";
+        return false;
+    }
+    std::string perr;
+    if (out && !runner::cellFromJson(*cell, out, &perr)) {
+        if (why)
+            *why = "payload unparseable: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultCache::lookup(const std::string &key,
+                    runner::CellResult *out, std::string *why)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string path = objectPath(key);
+    std::string perr;
+    Json blob = Json::parseFile(path, &perr);
+    if (!perr.empty()) {
+        std::error_code ec;
+        if (!fs::exists(path, ec)) {
+            ++counters_.misses;
+            if (why)
+                *why = "absent";
+        } else {
+            // Present but unreadable/unparseable: corruption.
+            ++counters_.corrupt;
+            if (why)
+                *why = perr;
+        }
+        return false;
+    }
+    std::string vwhy;
+    if (!validateBlob(blob, key, out, &vwhy)) {
+        ++counters_.corrupt;
+        if (why)
+            *why = vwhy;
+        return false;
+    }
+    ++counters_.hits;
+    return true;
+}
+
+bool
+ResultCache::store(const std::string &key,
+                   const runner::CellResult &cell,
+                   std::string *err)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string path = objectPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create " + path + ": " + ec.message();
+        return false;
+    }
+    if (!writeFileAtomic(path, blobJson(key, cell).dump(2) + "\n",
+                         err))
+        return false;
+    ++counters_.stores;
+    auto it = std::find_if(index_.begin(), index_.end(),
+                           [&](const IndexEntry &e) {
+                               return e.key == key;
+                           });
+    if (it == index_.end())
+        index_.push_back({key, next_seq_++});
+    while (max_entries_ && index_.size() > max_entries_) {
+        // Oldest-stored-first: index order is insertion order, a
+        // deterministic policy with no clock involved.
+        fs::remove(objectPath(index_.front().key), ec);
+        index_.erase(index_.begin());
+        ++counters_.evictions;
+    }
+    // The index is derived metadata; a failed index write leaves
+    // the object (the truth) in place, so it degrades the
+    // eviction order, not correctness — fsck rebuilds it.
+    std::string ierr;
+    writeIndexLocked(&ierr);
+    return true;
+}
+
+bool
+ResultCache::writeIndexLocked(std::string *err)
+{
+    Json j = Json::object();
+    j.set("siwi_cache_index", Json(cache_blob_version));
+    j.set("schema_version", Json(core::stats_schema_version));
+    Json arr = Json::array();
+    for (const IndexEntry &e : index_) {
+        Json je = Json::object();
+        je.set("key", Json(e.key));
+        je.set("seq", Json(e.seq));
+        arr.push(std::move(je));
+    }
+    j.set("entries", std::move(arr));
+    return writeFileAtomic(dir_ + "/index.json",
+                           j.dump(2) + "\n", err);
+}
+
+FsckReport
+ResultCache::fsck(bool repair)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FsckReport rep;
+    std::vector<std::string> valid_keys;
+    std::error_code ec;
+    const fs::path objects = fs::path(dir_) / "objects";
+    for (auto it = fs::recursive_directory_iterator(objects, ec);
+         it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_regular_file())
+            continue;
+        const fs::path p = it->path();
+        if (p.extension() != ".json")
+            continue; // in-flight temp files and strays
+        ++rep.scanned;
+        // objects/<2-char fanout>/<62-char rest>.json
+        const std::string key =
+            p.parent_path().filename().string() +
+            p.stem().string();
+        std::string why, perr;
+        Json blob = Json::parseFile(p.string(), &perr);
+        bool ok = perr.empty() &&
+                  validateBlob(blob, key, nullptr, &why);
+        if (ok) {
+            ++rep.valid;
+            valid_keys.push_back(key);
+            continue;
+        }
+        ++rep.corrupt;
+        rep.problems.push_back(
+            key + ": " + (perr.empty() ? why : perr));
+        if (repair) {
+            fs::remove(p, ec);
+            ++rep.removed;
+        }
+    }
+    std::sort(valid_keys.begin(), valid_keys.end());
+    // Index drift: entries for absent objects, or objects the
+    // index never learned about (another process stored them).
+    std::vector<std::string> indexed;
+    indexed.reserve(index_.size());
+    for (const IndexEntry &e : index_)
+        indexed.push_back(e.key);
+    std::sort(indexed.begin(), indexed.end());
+    if (indexed != valid_keys) {
+        rep.problems.push_back(
+            "index out of sync: " +
+            std::to_string(indexed.size()) + " indexed vs " +
+            std::to_string(valid_keys.size()) +
+            " valid object(s)");
+        if (repair) {
+            index_.clear();
+            next_seq_ = 1;
+            for (const std::string &k : valid_keys)
+                index_.push_back({k, next_seq_++});
+            std::string ierr;
+            writeIndexLocked(&ierr);
+            rep.index_rebuilt = true;
+        }
+    } else if (repair && rep.removed) {
+        std::string ierr;
+        writeIndexLocked(&ierr);
+    }
+    return rep;
+}
+
+u64
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+}
+
+CacheCounters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace siwi::serve

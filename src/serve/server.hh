@@ -1,0 +1,142 @@
+/**
+ * @file
+ * siwi-serve: the simulation grid as a long-running service.
+ *
+ * One Server owns the persistent result cache and one
+ * runner::CellExecutor worker pool. Clients connect over TCP
+ * (serve/protocol.hh) and submit experiment spec documents — the
+ * same JSON schema as spec files (runner/spec.hh). Each submitted
+ * cell is keyed by content (serve/cache_key.hh) and resolved in
+ * one of three ways:
+ *
+ *   - cache hit: the validated blob streams back immediately;
+ *   - in-flight elsewhere: an identical cell already computing
+ *     for any connection is joined, not recomputed — the result
+ *     fans out to every waiter when it lands;
+ *   - miss: the cell is enqueued on the shared pool, and on
+ *     completion is stored to the cache and streamed to every
+ *     waiter.
+ *
+ * Results stream per cell as they complete, so an interrupted
+ * client (or server) loses only in-flight work: everything
+ * completed is in the cache, and re-submitting the same spec
+ * re-uses it (resumable sweeps). Connections are handled on one
+ * thread each; all simulation runs on the shared pool, so N
+ * clients share the machine fairly FIFO.
+ */
+
+#ifndef SIWI_SERVE_SERVER_HH
+#define SIWI_SERVE_SERVER_HH
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/experiment_runner.hh"
+#include "serve/result_cache.hh"
+
+namespace siwi::serve {
+
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    /** 0 = ephemeral; the bound port is Server::port(). */
+    unsigned port = 0;
+    /** Result cache directory (required). */
+    std::string cache_dir;
+    /** Worker threads, as runner::RunOptions::jobs. */
+    unsigned jobs = 0;
+    /** Cache entry bound (0 = unbounded). */
+    u64 cache_max_entries = 0;
+    /** Honor {"type":"shutdown"} requests. */
+    bool allow_remote_shutdown = true;
+};
+
+/** Aggregate server-side counters (the "status" reply). */
+struct ServerStatus
+{
+    u64 uptime_ms = 0;
+    u64 submissions = 0;
+    u64 cells_submitted = 0;
+    u64 cells_hit = 0;      //!< served from cache
+    u64 cells_joined = 0;   //!< deduped onto an in-flight cell
+    u64 cells_computed = 0;
+    u64 inflight = 0;       //!< distinct cells computing now
+    u64 compute_ms_total = 0;
+    u64 compute_ms_max = 0;
+    CacheCounters cache;
+    u64 cache_entries = 0;
+
+    Json toJson() const;
+};
+
+class Server
+{
+  public:
+    Server();
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Open the cache and start listening (no requests are served
+     * until run()). @return false and set @p err on bind/cache
+     * failure.
+     */
+    bool start(const ServerOptions &opts, std::string *err);
+
+    /** Bound port (after start; resolves ephemeral port 0). */
+    unsigned port() const { return port_; }
+
+    /**
+     * Serve until stop() (or a shutdown request). Blocks; run it
+     * on a dedicated thread for in-process use.
+     */
+    void run();
+
+    /** Request shutdown; run() returns after draining. */
+    void stop();
+
+    ServerStatus status() const;
+
+    ResultCache &cache() { return cache_; }
+
+  private:
+    struct Connection;
+    struct Submission;
+
+    void handleConnection(std::shared_ptr<Connection> conn);
+    bool handleRequest(const std::shared_ptr<Connection> &conn,
+                       const Json &req);
+    void handleSubmit(const std::shared_ptr<Connection> &conn,
+                      const Json &req);
+    void scheduleCell(const std::shared_ptr<Submission> &sub,
+                      size_t index, const std::string &key);
+    void computeAndDeliver(const std::shared_ptr<Submission> &sub,
+                           size_t index, const std::string &key);
+
+    ServerOptions opts_;
+    ResultCache cache_;
+    std::unique_ptr<runner::CellExecutor> pool_;
+    int listen_fd_ = -1;
+    unsigned port_ = 0;
+    std::atomic<bool> stop_{false};
+    u64 started_ms_ = 0;
+
+    mutable std::mutex mu_; //!< stats + in-flight + threads
+    ServerStatus stats_;
+    /** Waiters per in-flight cell key (cross-submission dedupe). */
+    std::map<std::string,
+             std::vector<std::pair<std::shared_ptr<Submission>,
+                                   size_t>>>
+        inflight_;
+    std::vector<std::thread> conn_threads_;
+};
+
+} // namespace siwi::serve
+
+#endif // SIWI_SERVE_SERVER_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * FIPS 180-4 known-answer vectors for the cache-key hash. The
+ * serve layer's content addressing rests on this implementation
+ * being exactly SHA-256, so the official test vectors (empty
+ * string, "abc", the two-block standard message) plus padding
+ * boundary cases are pinned here.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/sha256.hh"
+
+using namespace siwi;
+
+TEST(Sha256, FipsKnownAnswers)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e464"
+              "9b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396"
+              "177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkl"
+                        "jklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964"
+              "ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // 55, 56 and 64 bytes straddle the length-field boundary of
+    // the final block (one- vs two-block padding).
+    EXPECT_EQ(sha256Hex(std::string(55, 'a')),
+              "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5"
+              "258e241c9f1e910f734318");
+    EXPECT_EQ(sha256Hex(std::string(56, 'a')),
+              "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1b"
+              "de7090ef7970686ec6738a");
+    EXPECT_EQ(sha256Hex(std::string(64, 'a')),
+              "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db4"
+              "3d0ba5997337df154668eb");
+}
+
+TEST(Sha256, OneMillionA)
+{
+    EXPECT_EQ(sha256Hex(std::string(1000000, 'a')),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a4"
+              "97200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, RawDigestMatchesHex)
+{
+    auto digest = sha256("abc");
+    std::string hex;
+    for (u8 b : digest) {
+        static const char k[] = "0123456789abcdef";
+        hex += k[b >> 4];
+        hex += k[b & 0xf];
+    }
+    EXPECT_EQ(hex, sha256Hex("abc"));
+}

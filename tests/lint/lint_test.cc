@@ -194,6 +194,27 @@ TEST(LintFixtures, AllowlistedFindingIsSuppressed)
     EXPECT_TRUE(res.clean()) << dump(res);
 }
 
+TEST(LintFixtures, ServeClockOutsideAnchorIsFlagged)
+{
+    // src/serve/ is inside the scanned tree like any other source
+    // directory: the designated clock anchor (clock.hh) is
+    // suppressed by its justified allowlist entry, but a direct
+    // steady_clock read anywhere else in serve code is a finding.
+    FixtureTree tree("serve_clock");
+    Result res = lintTree(tree);
+    ASSERT_TRUE(res.errors.empty()) << dump(res);
+    EXPECT_TRUE(hasFinding(res, "nondet",
+                           "src/serve/evil_clock.cc", 13,
+                           "wall clock"))
+        << dump(res);
+    EXPECT_FALSE(hasFinding(res, "nondet", "src/serve/clock.hh", 0))
+        << dump(res);
+    // The anchor's entry matched, so it is not reported stale.
+    EXPECT_FALSE(hasFinding(res, "allowlist",
+                            "tools/siwi_lint/allowlist.txt", 0))
+        << dump(res);
+}
+
 TEST(LintFixtures, StaleAllowlistEntryIsReported)
 {
     FixtureTree tree("stale_allow");

@@ -1,0 +1,22 @@
+/* Fixture: the serve layer's single justified clock access point,
+ * covered by an allowlist entry (latency/timeout measurement only,
+ * never simulation state). */
+#ifndef SIWI_SERVE_CLOCK_HH
+#define SIWI_SERVE_CLOCK_HH
+
+#include <chrono>
+
+namespace siwi::serve {
+
+inline unsigned long long
+monoMillis()
+{
+    return (unsigned long long)
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+}
+
+} // namespace siwi::serve
+
+#endif // SIWI_SERVE_CLOCK_HH

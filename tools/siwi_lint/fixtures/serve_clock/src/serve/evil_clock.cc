@@ -1,0 +1,16 @@
+// Fixture: an unjustified clock read in serve code. Server code
+// must route every wall-clock access through the allowlisted
+// monoMillis() anchor; a direct read like this one has no
+// allowlist entry and must be flagged.
+#include <chrono>
+
+namespace siwi::serve {
+
+unsigned long long
+sneakyNow()
+{
+    return (unsigned long long)
+        std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace siwi::serve

@@ -23,6 +23,8 @@
 #include "frontend/registry.hh"
 #include "pipeline/config_io.hh"
 #include "runner/runner.hh"
+#include "serve/cached_run.hh"
+#include "serve/client.hh"
 
 using namespace siwi;
 using namespace siwi::runner;
@@ -81,6 +83,19 @@ usage(FILE *out)
 "  --no-skip          step every cycle instead of event-driven\n"
 "                     cycle skipping (bit-identical results;\n"
 "                     the stepping-equivalence cross-check)\n"
+"\n"
+"result cache / remote execution (docs/SERVE.md):\n"
+"  --cache DIR        read-through/write-through result cache:\n"
+"                     cells already in DIR are served from it,\n"
+"                     computed cells are stored into it (same\n"
+"                     layout siwi-serve uses, so the cache is\n"
+"                     shared in both directions)\n"
+"  --submit HOST:PORT submit the --spec experiment to a running\n"
+"                     siwi-serve and stream its results instead\n"
+"                     of executing locally (requires --spec;\n"
+"                     the spec is sent as-is, so selection,\n"
+"                     --set, --size, --cache and --no-skip do\n"
+"                     not apply)\n"
 "\n"
 "output:\n"
 "  --json PATH        write results as JSON\n"
@@ -159,6 +174,78 @@ doCheck(const std::string &path)
     }
     std::printf("check %s: %zu cell(s) healthy\n", path.c_str(),
                 res.cells.size());
+    return exit_ok;
+}
+
+/**
+ * Shared tail of a completed run, local or submitted: tables,
+ * artifact writes, the per-cell health gate and the baseline
+ * regression gate. @p json_path is empty when the caller already
+ * wrote the JSON artifact itself (the --submit path writes the
+ * reassembled document verbatim).
+ */
+int
+emitAndGate(const Results &res, bool quiet,
+            const std::string &json_path,
+            const std::string &csv_path,
+            const std::string &baseline_path, double tolerance)
+{
+    if (!quiet) {
+        for (const std::string &name : res.sweepNames()) {
+            std::printf("\n=== %s ===\n", name.c_str());
+            std::fputs(formatSweepTable(res, name).c_str(),
+                       stdout);
+        }
+    }
+
+    std::string err;
+    if (!json_path.empty() && !res.save(json_path, &err)) {
+        std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+        return exit_io;
+    }
+    if (!csv_path.empty()) {
+        std::FILE *f = std::fopen(csv_path.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "siwi-run: cannot write %s\n",
+                         csv_path.c_str());
+            return exit_io;
+        }
+        std::string csv = res.toCsv();
+        size_t written =
+            std::fwrite(csv.data(), 1, csv.size(), f);
+        if (std::fclose(f) != 0 || written != csv.size()) {
+            std::fprintf(stderr, "siwi-run: write error on %s\n",
+                         csv_path.c_str());
+            return exit_io;
+        }
+    }
+
+    if (res.verificationFailures()) {
+        std::fprintf(stderr,
+                     "siwi-run: %zu cell(s) failed verification\n",
+                     res.verificationFailures());
+        return exit_verify;
+    }
+    if (res.timeouts()) {
+        std::fprintf(
+            stderr,
+            "siwi-run: %zu cell(s) timed out at the cycle cap "
+            "(IPC not meaningful)\n",
+            res.timeouts());
+        return exit_verify;
+    }
+
+    if (!baseline_path.empty()) {
+        Results base;
+        if (!Results::load(baseline_path, &base, &err)) {
+            std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
+            return exit_io;
+        }
+        CompareReport rep = compareResults(base, res, tolerance);
+        std::fputs(rep.format().c_str(), stdout);
+        if (!rep.pass())
+            return exit_regression;
+    }
     return exit_ok;
 }
 
@@ -297,10 +384,87 @@ main(int argc, char **argv)
     args.option("--csv", &csv_path);
     args.option("--baseline", &baseline_path);
     args.option("--throughput-json", &throughput_path);
+    std::string cache_dir;
+    args.option("--cache", &cache_dir);
+    std::string submit_arg;
+    bool have_submit = args.option("--submit", &submit_arg);
 
     if (!finishArgs(args, "siwi-run")) {
         usage(stderr);
         return exit_usage;
+    }
+
+    if (have_submit) {
+        // Client mode: the spec document is sent as-is and the
+        // server resolves it, so every local selection / mutation
+        // flag would be silently ignored — reject them instead.
+        if (!have_spec) {
+            std::fprintf(stderr,
+                         "siwi-run: --submit requires --spec\n");
+            return exit_usage;
+        }
+        if (have_suite || !figures.empty() ||
+            !machine_files.empty() || !set_kvs.empty() ||
+            !machines.empty() || !wl_names.empty() ||
+            !sms_axis.empty() || !policy_axis.empty() ||
+            have_size || dump_config || dry_run || list_only ||
+            no_skip || !cache_dir.empty()) {
+            std::fprintf(
+                stderr,
+                "siwi-run: --submit sends the spec as-is; "
+                "selection, --set, --size, --cache and --no-skip "
+                "do not apply\n");
+            return exit_usage;
+        }
+        std::string host, serr;
+        unsigned port = 0;
+        if (!serve::parseHostPort(submit_arg, &host, &port,
+                                  &serr)) {
+            std::fprintf(stderr, "siwi-run: --submit: %s\n",
+                         serr.c_str());
+            return exit_usage;
+        }
+        Json spec = Json::parseFile(spec_path, &serr);
+        if (!serr.empty()) {
+            std::fprintf(stderr, "siwi-run: %s\n", serr.c_str());
+            return exit_io;
+        }
+        serve::SubmitProgress prog;
+        if (progress) {
+            prog = [](size_t done, size_t total,
+                      const CellResult &c, bool cached) {
+                std::fprintf(
+                    stderr, "[%zu/%zu] %s %s %s  ipc %.2f%s%s%s\n",
+                    done, total, c.sweep.c_str(),
+                    c.machine.c_str(), c.workload.c_str(), c.ipc,
+                    cached ? "  (cached)" : "",
+                    c.verified ? "" : "  VERIFY FAIL",
+                    c.timed_out ? "  TIMED OUT" : "");
+            };
+        }
+        serve::SubmitOutcome o;
+        if (!serve::submitSpec(host, port, spec, &o, &serr,
+                               prog)) {
+            std::fprintf(stderr, "siwi-run: %s\n", serr.c_str());
+            return exit_io;
+        }
+        std::fprintf(
+            stderr,
+            "siwi-run: %llu cell(s) via %s:%u: %llu from cache, "
+            "%llu computed, server %llu ms\n",
+            (unsigned long long)o.cells, host.c_str(), port,
+            (unsigned long long)o.hits,
+            (unsigned long long)o.misses,
+            (unsigned long long)o.server_ms);
+        if (!json_path.empty() &&
+            !o.document.writeFile(json_path, 2, &serr)) {
+            std::fprintf(stderr, "siwi-run: %s\n", serr.c_str());
+            return exit_io;
+        }
+        // The document is already written: byte-identical to a
+        // local run of the same spec (serve/client.hh).
+        return emitAndGate(o.results, quiet, "", csv_path,
+                           baseline_path, tolerance);
     }
 
     // Resolve machine names against the registry: the built-in
@@ -529,14 +693,33 @@ main(int argc, char **argv)
     size_t total = 0;
     for (const SweepSpec &s : sweeps)
         total += s.cellCount();
+    serve::ResultCache cache;
+    if (!cache_dir.empty()) {
+        std::string cerr_;
+        if (!cache.open(cache_dir, 0, &cerr_)) {
+            std::fprintf(stderr, "siwi-run: %s\n", cerr_.c_str());
+            return exit_io;
+        }
+    }
+    serve::CachedRunCounters cc;
     auto t0 = std::chrono::steady_clock::now();
-    Results res = runSweeps(sweeps, opts);
+    Results res =
+        cache_dir.empty()
+            ? runSweeps(sweeps, opts)
+            : serve::runSweepsCached(sweeps, opts, &cache, &cc);
     auto t1 = std::chrono::steady_clock::now();
     double secs =
         std::chrono::duration<double>(t1 - t0).count();
     std::fprintf(stderr,
                  "siwi-run: %zu cells on %u thread(s) in %.2fs\n",
                  total, effectiveJobs(jobs, total), secs);
+    if (!cache_dir.empty())
+        std::fprintf(stderr,
+                     "siwi-run: cache %s: %llu hit(s), %llu "
+                     "computed\n",
+                     cache_dir.c_str(),
+                     (unsigned long long)cc.hits,
+                     (unsigned long long)cc.misses);
 
     if (!throughput_path.empty()) {
         // The perf-trajectory record CI uploads as an artifact:
@@ -549,6 +732,10 @@ main(int argc, char **argv)
         tj.set("seconds", Json(secs));
         tj.set("cells_per_sec",
                Json(secs > 0.0 ? double(total) / secs : 0.0));
+        if (!cache_dir.empty()) {
+            tj.set("cache_hits", Json(cc.hits));
+            tj.set("cache_misses", Json(cc.misses));
+        }
         std::string terr;
         if (!tj.writeFile(throughput_path, 2, &terr)) {
             std::fprintf(stderr, "siwi-run: %s\n", terr.c_str());
@@ -556,61 +743,6 @@ main(int argc, char **argv)
         }
     }
 
-    if (!quiet) {
-        for (const std::string &name : res.sweepNames()) {
-            std::printf("\n=== %s ===\n", name.c_str());
-            std::fputs(formatSweepTable(res, name).c_str(),
-                       stdout);
-        }
-    }
-
-    std::string err;
-    if (!json_path.empty() && !res.save(json_path, &err)) {
-        std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
-        return exit_io;
-    }
-    if (!csv_path.empty()) {
-        std::FILE *f = std::fopen(csv_path.c_str(), "wb");
-        if (!f) {
-            std::fprintf(stderr, "siwi-run: cannot write %s\n",
-                         csv_path.c_str());
-            return exit_io;
-        }
-        std::string csv = res.toCsv();
-        size_t written =
-            std::fwrite(csv.data(), 1, csv.size(), f);
-        if (std::fclose(f) != 0 || written != csv.size()) {
-            std::fprintf(stderr, "siwi-run: write error on %s\n",
-                         csv_path.c_str());
-            return exit_io;
-        }
-    }
-
-    if (res.verificationFailures()) {
-        std::fprintf(stderr,
-                     "siwi-run: %zu cell(s) failed verification\n",
-                     res.verificationFailures());
-        return exit_verify;
-    }
-    if (res.timeouts()) {
-        std::fprintf(
-            stderr,
-            "siwi-run: %zu cell(s) timed out at the cycle cap "
-            "(IPC not meaningful)\n",
-            res.timeouts());
-        return exit_verify;
-    }
-
-    if (!baseline_path.empty()) {
-        Results base;
-        if (!Results::load(baseline_path, &base, &err)) {
-            std::fprintf(stderr, "siwi-run: %s\n", err.c_str());
-            return exit_io;
-        }
-        CompareReport rep = compareResults(base, res, tolerance);
-        std::fputs(rep.format().c_str(), stdout);
-        if (!rep.pass())
-            return exit_regression;
-    }
-    return exit_ok;
+    return emitAndGate(res, quiet, json_path, csv_path,
+                       baseline_path, tolerance);
 }

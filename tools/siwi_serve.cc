@@ -1,0 +1,170 @@
+/**
+ * @file
+ * siwi-serve: the experiment grid as a long-running service.
+ *
+ * Serves the siwi-serve wire protocol (docs/SERVE.md): clients
+ * submit experiment spec documents, the server shards their cells
+ * across one worker pool, answers repeats from a persistent
+ * content-addressed result cache, and streams per-cell results as
+ * they complete. `siwi-run --submit HOST:PORT --spec f.json` is
+ * the matching client; `siwi-run --cache DIR` shares the same
+ * cache offline.
+ *
+ * Exit codes: 0 clean shutdown / clean fsck, 1 unhealthy fsck,
+ * 3 usage error, 4 startup failure.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "runner/cli.hh"
+#include "serve/server.hh"
+
+using namespace siwi;
+
+namespace {
+
+constexpr int exit_ok = 0;
+constexpr int exit_unhealthy = 1;
+constexpr int exit_usage = 3;
+constexpr int exit_startup = 4;
+
+void
+usage(FILE *out)
+{
+    std::fprintf(out,
+"usage: siwi-serve --cache DIR [options]\n"
+"\n"
+"  --cache DIR        result cache directory (created when\n"
+"                     absent); required\n"
+"  --host HOST        bind address (default: 127.0.0.1)\n"
+"  --port N           TCP port; 0 picks an ephemeral port\n"
+"                     (default: 0)\n"
+"  --print-port       print the bound port on stdout once\n"
+"                     listening (scripts with --port 0)\n"
+"  -j, --jobs N       worker threads (default: all cores)\n"
+"  --max-entries N    evict oldest cache entries beyond N\n"
+"                     (default: 0 = unbounded)\n"
+"  --no-remote-shutdown  ignore {\"type\":\"shutdown\"} requests\n"
+"  --fsck             validate every cache object and the index,\n"
+"                     report problems, exit (no server)\n"
+"  --repair           with --fsck: delete corrupt objects and\n"
+"                     rebuild the index\n");
+}
+
+serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    // Server::stop() only stores an atomic flag, so it is safe
+    // here; run() notices within one accept-poll interval.
+    if (g_server)
+        g_server->stop();
+}
+
+int
+doFsck(const std::string &cache_dir, bool repair)
+{
+    serve::ResultCache cache;
+    std::string err;
+    if (!cache.open(cache_dir, 0, &err)) {
+        std::fprintf(stderr, "siwi-serve: %s\n", err.c_str());
+        return exit_startup;
+    }
+    serve::FsckReport rep = cache.fsck(repair);
+    for (const std::string &p : rep.problems)
+        std::fprintf(stderr, "siwi-serve: fsck: %s\n", p.c_str());
+    std::printf("fsck %s: %llu object(s), %llu valid, %llu "
+                "corrupt, %llu removed%s\n",
+                cache_dir.c_str(),
+                (unsigned long long)rep.scanned,
+                (unsigned long long)rep.valid,
+                (unsigned long long)rep.corrupt,
+                (unsigned long long)rep.removed,
+                rep.index_rebuilt ? ", index rebuilt" : "");
+    if (rep.clean() || (repair && rep.corrupt == rep.removed))
+        return exit_ok;
+    return exit_unhealthy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runner::ArgList args(argc, argv);
+
+    if (args.flag("--help") || args.flag("-h")) {
+        usage(stdout);
+        return exit_ok;
+    }
+
+    serve::ServerOptions opts;
+    std::string cache_dir;
+    args.option("--cache", &cache_dir);
+    args.option("--host", &opts.host);
+    unsigned port = 0;
+    args.intOption("--port", &port);
+    opts.port = port;
+    unsigned jobs = 0;
+    if (!args.intOption("--jobs", &jobs))
+        args.intOption("-j", &jobs);
+    opts.jobs = jobs;
+    unsigned max_entries = 0;
+    args.intOption("--max-entries", &max_entries);
+    opts.cache_max_entries = max_entries;
+    opts.allow_remote_shutdown =
+        !args.flag("--no-remote-shutdown");
+    bool print_port = args.flag("--print-port");
+    bool fsck = args.flag("--fsck");
+    bool repair = args.flag("--repair");
+
+    if (!runner::finishArgs(args, "siwi-serve")) {
+        usage(stderr);
+        return exit_usage;
+    }
+    if (cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "siwi-serve: --cache DIR is required\n");
+        usage(stderr);
+        return exit_usage;
+    }
+    if (repair && !fsck) {
+        std::fprintf(stderr,
+                     "siwi-serve: --repair requires --fsck\n");
+        return exit_usage;
+    }
+    if (fsck)
+        return doFsck(cache_dir, repair);
+
+    opts.cache_dir = cache_dir;
+    serve::Server server;
+    std::string err;
+    if (!server.start(opts, &err)) {
+        std::fprintf(stderr, "siwi-serve: %s\n", err.c_str());
+        return exit_startup;
+    }
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::fprintf(stderr,
+                 "siwi-serve: listening on %s:%u, cache %s "
+                 "(%llu entr%s), %u worker(s)\n",
+                 opts.host.c_str(), server.port(),
+                 cache_dir.c_str(),
+                 (unsigned long long)server.cache().entries(),
+                 server.cache().entries() == 1 ? "y" : "ies",
+                 runner::resolveJobs(opts.jobs));
+    if (print_port) {
+        std::printf("%u\n", server.port());
+        std::fflush(stdout);
+    }
+
+    server.run();
+    g_server = nullptr;
+    std::fprintf(stderr, "siwi-serve: shut down\n");
+    return exit_ok;
+}
